@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+corresponding experiment (through ``pytest-benchmark`` so that simulation
+wall-clock time is also measured), renders the rows/series the paper
+reports as plain text, prints them and saves them under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Directory where benchmark reports are written.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a report and persist it under ``benchmarks/results/<name>.txt``."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def report():
+    """Fixture exposing :func:`emit_report` to benchmarks."""
+    return emit_report
+
+
+def paper_scale() -> bool:
+    """Whether to run the experiments at full paper scale.
+
+    The default is a reduced scale that keeps the whole benchmark suite
+    under a few minutes while preserving every qualitative result; set
+    ``PAGECACHE_SIM_PAPER_SCALE=1`` to regenerate the figures with the
+    paper's exact file sizes and concurrency sweeps.
+    """
+    return os.environ.get("PAGECACHE_SIM_PAPER_SCALE", "0") not in ("0", "", "false")

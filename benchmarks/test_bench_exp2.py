@@ -1,0 +1,57 @@
+"""Exp 2 (Figure 5) — concurrent applications on a local disk.
+
+Regenerates the read-time and write-time curves of Figure 5 (mean
+per-application cumulative time vs number of concurrent applications) for
+the calibrated reference ("real execution"), WRENCH and WRENCH-cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import paper_scale
+from repro.experiments.exp2_concurrent import exp2_series
+from repro.experiments.report import concurrency_report
+from repro.units import GB, MB
+
+COUNTS = (1, 4, 8, 12, 16, 20, 24, 28, 32) if paper_scale() else (1, 4, 8, 16, 24, 32)
+INPUT_SIZE = 3 * GB
+CHUNK = 100 * MB
+SIMULATORS = ("real", "wrench", "wrench-cache")
+
+
+def test_fig5_concurrent_local(benchmark, report):
+    """Figure 5: concurrent read/write times with 3 GB files on a local disk."""
+
+    def run():
+        return exp2_series(SIMULATORS, counts=COUNTS, input_size=INPUT_SIZE,
+                           chunk_size=CHUNK, nfs=False)
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = concurrency_report(
+        "Figure 5: concurrent results with 3 GB files (Exp 2, local disk)", series
+    )
+    report("fig5_concurrent_local", text)
+
+    last = {sim: series[sim][-1] for sim in SIMULATORS}
+    # The cacheless simulator grossly overestimates read times at high
+    # concurrency; WRENCH-cache stays close to the reference.
+    assert last["wrench"].read_time > 2 * last["real"].read_time
+    assert (
+        abs(last["wrench-cache"].read_time - last["real"].read_time)
+        < abs(last["wrench"].read_time - last["real"].read_time)
+    )
+    # Averaged over the whole sweep, the page cache model is closer to the
+    # reference than the cacheless simulator for both reads and writes.
+    def mean_gap(simulator, attribute):
+        return sum(
+            abs(getattr(point, attribute) - getattr(ref_point, attribute))
+            for point, ref_point in zip(series[simulator], series["real"])
+        ) / len(series["real"])
+
+    assert mean_gap("wrench-cache", "read_time") < mean_gap("wrench", "read_time")
+    assert mean_gap("wrench-cache", "write_time") < mean_gap("wrench", "write_time")
+    # Write times plateau only after the page cache saturates with dirty
+    # data: at low concurrency they are far below the cacheless prediction.
+    first = {sim: series[sim][0] for sim in SIMULATORS}
+    assert first["wrench-cache"].write_time < first["wrench"].write_time / 3

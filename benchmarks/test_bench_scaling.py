@@ -1,0 +1,42 @@
+"""Figure 8 — simulation-time scalability.
+
+Measures the wall-clock time needed to run the simulation as a function of
+the number of concurrent applications, for WRENCH and WRENCH-cache with
+local and NFS I/O, and fits a linear regression to each curve (the
+``y = a x + b`` annotations of Figure 8).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import paper_scale
+from repro.experiments.exp5_scaling import run_scaling, scaling_regressions
+from repro.experiments.report import scaling_report
+from repro.units import GB, MB
+
+COUNTS = (1, 4, 8, 16, 24, 32) if paper_scale() else (1, 4, 8, 16)
+INPUT_SIZE = 3 * GB
+CHUNK = 100 * MB
+
+
+def test_fig8_simulation_time(benchmark, report):
+    """Figure 8: simulation time vs number of concurrent applications."""
+
+    def run():
+        return run_scaling(COUNTS, input_size=INPUT_SIZE, chunk_size=CHUNK)
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    fits = scaling_regressions(curves)
+    text = scaling_report(curves, fits)
+    report("fig8_simulation_time", text)
+
+    # Simulation time scales linearly with the number of applications.
+    for label, fit in fits.items():
+        assert fit.slope >= 0.0, label
+        assert fit.r_squared > 0.7, label
+    # The page cache model has a higher per-application simulation cost
+    # than the cacheless simulator, as reported in the paper.
+    assert (
+        fits["WRENCH-cache (local)"].slope >= fits["WRENCH (local)"].slope
+    )

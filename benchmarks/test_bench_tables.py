@@ -1,0 +1,70 @@
+"""Tables I, II and III — application parameters and bandwidth calibration.
+
+These benchmarks regenerate the three tables of the paper's experimental
+setup.  Table III additionally measures, inside the simulator, the
+effective bandwidth obtained when reading/writing through each simulated
+device, verifying that the platform configuration matches the calibration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import Environment
+from repro.experiments.calibration import TABLE3_BANDWIDTHS
+from repro.experiments.report import table1_report, table2_report, table3_report
+from repro.platform.memory import MemoryDevice
+from repro.platform.storage import Disk
+from repro.units import GB, GiB, MBps
+
+
+def test_table1_synthetic_parameters(benchmark, report):
+    """Table I: synthetic application parameters."""
+    text = benchmark(table1_report)
+    report("table1_synthetic_parameters", text)
+    assert "100.0" in text
+
+
+def test_table2_nighres_parameters(benchmark, report):
+    """Table II: Nighres application parameters."""
+    text = benchmark(table2_report)
+    report("table2_nighres_parameters", text)
+    assert "cortical_reconstruction" in text
+
+
+def _measure_device_bandwidths() -> dict:
+    """Measure effective simulated bandwidths of the configured devices."""
+    measured = {}
+    for name, bandwidth in (
+        ("memory", TABLE3_BANDWIDTHS.memory.simulated),
+        ("local_disk", TABLE3_BANDWIDTHS.local_disk.simulated),
+        ("remote_disk", TABLE3_BANDWIDTHS.remote_disk.simulated),
+    ):
+        env = Environment()
+        if name == "memory":
+            device = MemoryDevice.symmetric(env, name, bandwidth, size=250 * GiB)
+        else:
+            device = Disk.symmetric(env, name, bandwidth)
+
+        def transfer(device=device, env=env):
+            yield device.read(10 * GB)
+            yield device.write(10 * GB)
+
+        process = env.process(transfer())
+        env.run(until=process)
+        measured[name] = 20 * GB / env.now
+    return measured
+
+
+def test_table3_bandwidths(benchmark, report):
+    """Table III: bandwidth benchmarks and simulator configuration."""
+    measured = benchmark(_measure_device_bandwidths)
+    text = table3_report()
+    lines = [text, "", "Effective simulated bandwidths (MBps):"]
+    for name, value in measured.items():
+        lines.append(f"  {name:12s} {value / MBps:8.1f}")
+    report("table3_bandwidths", "\n".join(lines))
+    # The simulated devices deliver the configured symmetric bandwidths.
+    assert measured["memory"] == pytest.approx(4812 * MBps, rel=1e-6)
+    assert measured["local_disk"] == pytest.approx(465 * MBps, rel=1e-6)
+    assert measured["remote_disk"] == pytest.approx(445 * MBps, rel=1e-6)

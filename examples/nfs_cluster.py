@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Remote (NFS) storage with a server-side page cache (Exp 3).
+
+Builds a two-host platform — a 32-core compute node and an NFS server
+connected by a 25 Gbps link — and runs concurrent synthetic applications
+whose files live on the NFS export.  The server cache is writethrough (as
+commonly configured in HPC clusters to avoid data loss) with the read cache
+enabled, so writes pay the remote disk bandwidth while repeated reads are
+served from the server's memory.
+
+Run it with::
+
+    python examples/nfs_cluster.py [apps]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Simulation, SimulationConfig
+from repro.analysis.tables import format_table
+from repro.apps.concurrent import make_instances, stage_and_submit_instances
+from repro.units import GB
+
+
+def run(cache_mode: str, n_apps: int):
+    simulation = Simulation(config=SimulationConfig(cache_mode="writeback",
+                                                    trace_interval=None))
+    simulation.create_cluster_platform(with_nfs_server=True)
+    storage = simulation.create_nfs_storage_service(
+        "storage1", "/export",
+        cache_mode=cache_mode,
+    )
+    instances = make_instances(n_apps, 3 * GB)
+    stage_and_submit_instances(simulation, instances, host="node1", storage=storage)
+    return simulation.run()
+
+
+def main() -> None:
+    n_apps = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    print(f"{n_apps} concurrent applications, 3 GB files on an NFS export\n")
+
+    cacheless = run("none", n_apps)
+    writethrough = run("writethrough", n_apps)
+
+    rows = [
+        ["no server cache", cacheless.mean_app_read_time(),
+         cacheless.mean_app_write_time(), cacheless.makespan],
+        ["writethrough server cache", writethrough.mean_app_read_time(),
+         writethrough.mean_app_write_time(), writethrough.makespan],
+    ]
+    print(format_table(
+        ["configuration", "mean read (s)", "mean write (s)", "makespan (s)"],
+        rows, precision=1,
+    ))
+
+    stats = writethrough.cache_stats.get("storage1")
+    if stats is not None:
+        print(f"\nServer cache hit ratio: {stats.hit_ratio * 100:.0f}% — the page "
+              "cache only helps reads, since writethrough writes always touch the "
+              "remote disk (the paper's Exp 3 observation).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that legacy editable installs (``pip install -e . --no-use-pep517``) work on
+systems without the ``wheel`` package, e.g. offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,6 @@
+"""Analysis utilities: regressions and plain-text tables/reports."""
+
+from repro.analysis.regression import LinearFit, linear_fit
+from repro.analysis.tables import format_table
+
+__all__ = ["LinearFit", "linear_fit", "format_table"]

@@ -1,0 +1,97 @@
+"""Linear regression (Figure 8 fits).
+
+A tiny ordinary-least-squares implementation with the statistics the paper
+reports: slope, intercept, coefficient of determination and the p-value of
+the slope (two-sided t-test against a zero slope).  SciPy is used for the
+p-value when available; otherwise a normal approximation is applied so the
+package keeps working with NumPy alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of an ordinary-least-squares fit ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    p_value: float
+    n: int
+
+    def predict(self, x: float) -> float:
+        """Predicted value at ``x``."""
+        return self.slope * x + self.intercept
+
+    def equation(self, precision: int = 2) -> str:
+        """Human-readable equation, like the annotations of Figure 8."""
+        sign = "+" if self.intercept >= 0 else "-"
+        return (
+            f"y={self.slope:.{precision}f}x{sign}{abs(self.intercept):.{precision}f}"
+        )
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Fit ``y = a x + b`` by ordinary least squares.
+
+    Raises
+    ------
+    ValueError
+        If fewer than two points are given or all ``x`` are identical.
+    """
+    xs = np.asarray(list(x), dtype=float)
+    ys = np.asarray(list(y), dtype=float)
+    if xs.size != ys.size:
+        raise ValueError(f"length mismatch: {xs.size} x values vs {ys.size} y values")
+    if xs.size < 2:
+        raise ValueError("at least two points are required for a linear fit")
+    if np.allclose(xs, xs[0]):
+        raise ValueError("all x values are identical; the slope is undefined")
+
+    n = xs.size
+    x_mean = xs.mean()
+    y_mean = ys.mean()
+    sxx = float(((xs - x_mean) ** 2).sum())
+    sxy = float(((xs - x_mean) * (ys - y_mean)).sum())
+    slope = sxy / sxx
+    intercept = y_mean - slope * x_mean
+
+    predicted = slope * xs + intercept
+    ss_res = float(((ys - predicted) ** 2).sum())
+    ss_tot = float(((ys - y_mean) ** 2).sum())
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+
+    p_value = _slope_p_value(n, slope, sxx, ss_res)
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared,
+                     p_value=p_value, n=int(n))
+
+
+def _slope_p_value(n: int, slope: float, sxx: float, ss_res: float) -> float:
+    """Two-sided p-value of the slope against the null hypothesis slope=0."""
+    dof = n - 2
+    if dof <= 0:
+        return float("nan")
+    if ss_res <= 0:
+        return 0.0 if slope != 0 else 1.0
+    stderr = math.sqrt(ss_res / dof / sxx)
+    if stderr == 0:
+        return 0.0
+    t_stat = abs(slope / stderr)
+    try:
+        from scipy import stats
+
+        return float(2.0 * stats.t.sf(t_stat, dof))
+    except Exception:  # pragma: no cover - scipy always present in CI
+        # Normal approximation of the t distribution.
+        return float(2.0 * (1.0 - _normal_cdf(t_stat)))
+
+
+def _normal_cdf(value: float) -> float:
+    return 0.5 * (1.0 + math.erf(value / math.sqrt(2.0)))

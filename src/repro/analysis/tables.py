@@ -1,0 +1,53 @@
+"""Plain-text table formatting for experiment reports.
+
+The benchmark harness prints the same rows and series the paper reports;
+these helpers keep that output aligned and readable without pulling in any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *,
+                 precision: int = 2, title: Optional[str] = None) -> str:
+    """Render ``rows`` as an aligned plain-text table.
+
+    Floats are rounded to ``precision`` decimal places; all other values use
+    ``str``.  Returns the table as a single string (no trailing newline).
+    """
+    formatted_rows: List[List[str]] = [
+        [_format_cell(value, precision) for value in row] for row in rows
+    ]
+    widths = [len(str(header)) for header in headers]
+    for row in formatted_rows:
+        if len(row) != len(widths):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(widths)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(header) for header in headers]))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in formatted_rows)
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: Sequence[Sequence[object]], *,
+                  headers: Sequence[str], precision: int = 2) -> str:
+    """Render one labelled data series (a curve of a figure) as text."""
+    return format_table(headers, points, precision=precision, title=name)

@@ -1,0 +1,32 @@
+"""Application models evaluated in the paper.
+
+* :mod:`repro.apps.synthetic` — the synthetic C application: three
+  sequential single-core tasks, each reading the file produced by the
+  previous task, incrementing every byte and writing the result (Table I).
+* :mod:`repro.apps.nighres` — the Nighres cortical-reconstruction workflow
+  (skull stripping, tissue classification, region extraction, cortical
+  reconstruction; Table II).
+* :mod:`repro.apps.concurrent` — helpers to run many independent instances
+  of an application on the same host (Exp 2 and Exp 3).
+"""
+
+from repro.apps.synthetic import (
+    SYNTHETIC_CPU_TIMES,
+    synthetic_cpu_time,
+    synthetic_files,
+    synthetic_workflow,
+)
+from repro.apps.nighres import NIGHRES_STEPS, nighres_workflow, nighres_input_files
+from repro.apps.concurrent import make_instances, stage_and_submit_instances
+
+__all__ = [
+    "SYNTHETIC_CPU_TIMES",
+    "synthetic_cpu_time",
+    "synthetic_files",
+    "synthetic_workflow",
+    "NIGHRES_STEPS",
+    "nighres_workflow",
+    "nighres_input_files",
+    "make_instances",
+    "stage_and_submit_instances",
+]

@@ -1,0 +1,124 @@
+"""The Nighres cortical-reconstruction workflow (Section III.D, Table II).
+
+The real application is a Python script calling Java image-processing
+routines from the Nighres toolbox; the paper patches it to remove lazy
+loading and compression and injects the measured CPU times.  The workflow
+has four sequential steps:
+
+================================  ==========  ===========  ========
+Step                              Input (MB)  Output (MB)  CPU (s)
+================================  ==========  ===========  ========
+Skull stripping                   295         393          137
+Tissue classification             197         1376         614
+Region extraction                 1376        885          76
+Cortical reconstruction           393         786          272
+================================  ==========  ===========  ========
+
+Each step reads files produced by previous steps, or initial input files,
+and writes files that may or may not be read later: region extraction
+consumes the tissue-classification output (1376 MB) and cortical
+reconstruction re-reads the skull-stripping output (393 MB), which is what
+makes the later reads benefit from the page cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.filesystem.file import File
+from repro.platform.cpu import CPU
+from repro.simulator.workflow import Task, Workflow
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class NighresStep:
+    """One step of the Nighres workflow (Table II)."""
+
+    name: str
+    input_size: float
+    output_size: float
+    cpu_time: float
+
+
+#: Table II — the four steps of the cortical reconstruction workflow.
+NIGHRES_STEPS: Tuple[NighresStep, ...] = (
+    NighresStep("skull_stripping", 295 * MB, 393 * MB, 137.0),
+    NighresStep("tissue_classification", 197 * MB, 1376 * MB, 614.0),
+    NighresStep("region_extraction", 1376 * MB, 885 * MB, 76.0),
+    NighresStep("cortical_reconstruction", 393 * MB, 786 * MB, 272.0),
+)
+
+
+def nighres_files(prefix: str = "") -> Dict[str, File]:
+    """All files of the workflow, keyed by role."""
+    return {
+        "t1w": File(f"{prefix}t1_weighted", NIGHRES_STEPS[0].input_size),
+        "t1map": File(f"{prefix}t1_map", NIGHRES_STEPS[1].input_size),
+        "skull_stripped": File(f"{prefix}skull_stripped", NIGHRES_STEPS[0].output_size),
+        "tissue_classified": File(f"{prefix}tissue_classified", NIGHRES_STEPS[1].output_size),
+        "region_extracted": File(f"{prefix}region_extracted", NIGHRES_STEPS[2].output_size),
+        "cortical_surface": File(f"{prefix}cortical_surface", NIGHRES_STEPS[3].output_size),
+    }
+
+
+def nighres_input_files(prefix: str = "") -> List[File]:
+    """Files that must be staged before running the workflow."""
+    files = nighres_files(prefix)
+    return [files["t1w"], files["t1map"]]
+
+
+def nighres_workflow(*, name: str = "nighres", file_prefix: str = "",
+                     core_speed: float = CPU.DEFAULT_SPEED) -> Workflow:
+    """Build the four-step Nighres workflow.
+
+    The file sizes and CPU times come from Table II (participant 0027430 of
+    the MPI-CBS dataset).  Step ordering is sequential, as in the real
+    Python script: each step only starts once the previous one finished.
+    """
+    files = nighres_files(file_prefix)
+    workflow = Workflow(name)
+
+    skull = workflow.add_task(
+        Task.from_cpu_time(
+            "skull_stripping",
+            NIGHRES_STEPS[0].cpu_time,
+            inputs=[files["t1w"]],
+            outputs=[files["skull_stripped"]],
+            core_speed=core_speed,
+        )
+    )
+    tissue = workflow.add_task(
+        Task.from_cpu_time(
+            "tissue_classification",
+            NIGHRES_STEPS[1].cpu_time,
+            inputs=[files["t1map"]],
+            outputs=[files["tissue_classified"]],
+            core_speed=core_speed,
+        )
+    )
+    region = workflow.add_task(
+        Task.from_cpu_time(
+            "region_extraction",
+            NIGHRES_STEPS[2].cpu_time,
+            inputs=[files["tissue_classified"]],
+            outputs=[files["region_extracted"]],
+            core_speed=core_speed,
+        )
+    )
+    cortical = workflow.add_task(
+        Task.from_cpu_time(
+            "cortical_reconstruction",
+            NIGHRES_STEPS[3].cpu_time,
+            inputs=[files["skull_stripped"]],
+            outputs=[files["cortical_surface"]],
+            core_speed=core_speed,
+        )
+    )
+
+    # The real application runs its steps strictly sequentially.
+    workflow.add_dependency(skull, tissue)
+    workflow.add_dependency(tissue, region)
+    workflow.add_dependency(region, cortical)
+    return workflow

@@ -1,0 +1,113 @@
+"""The synthetic application (Section III.D, Table I).
+
+The application consists of three single-core, sequential tasks.  Each task
+reads the file produced by the previous task, increments every byte of the
+file (to emulate real processing) and writes the resulting data to disk.
+Files are numbered by ascending access time: File 1 is read by Task 1,
+File 2 is written by Task 1 and read by Task 2, and so on; four files of
+identical size are therefore involved.  The anonymous memory used by the
+application is released after each task.
+
+The per-task CPU times were measured on the real cluster for a set of input
+sizes (Table I) and are injected in the simulation; intermediate sizes are
+linearly interpolated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.filesystem.file import File
+from repro.platform.cpu import CPU
+from repro.simulator.workflow import Task, Workflow
+from repro.units import GB
+
+#: Table I — measured CPU time (seconds) per task for each input size (GB).
+SYNTHETIC_CPU_TIMES: Dict[float, float] = {
+    3.0: 4.4,
+    20.0: 28.0,
+    50.0: 75.0,
+    75.0: 110.0,
+    100.0: 155.0,
+}
+
+#: Number of pipeline tasks in the synthetic application.
+NUM_TASKS = 3
+
+
+def synthetic_cpu_time(input_size: float) -> float:
+    """CPU time (seconds) of one task for an input of ``input_size`` bytes.
+
+    Sizes present in Table I return the measured value; other sizes are
+    linearly interpolated (and extrapolated from the two nearest points
+    outside the measured range), which keeps the CPU model smooth for
+    what-if studies.
+    """
+    size_gb = input_size / GB
+    points = sorted(SYNTHETIC_CPU_TIMES.items())
+    for gb, seconds in points:
+        if abs(size_gb - gb) < 1e-9:
+            return seconds
+    # Linear interpolation / extrapolation.
+    if size_gb <= points[0][0]:
+        (x0, y0), (x1, y1) = points[0], points[1]
+    elif size_gb >= points[-1][0]:
+        (x0, y0), (x1, y1) = points[-2], points[-1]
+    else:
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            if x0 <= size_gb <= x1:
+                break
+    slope = (y1 - y0) / (x1 - x0)
+    return max(0.0, y0 + slope * (size_gb - x0))
+
+
+def synthetic_files(input_size: float, prefix: str = "") -> List[File]:
+    """The four files of the pipeline, all of size ``input_size`` bytes."""
+    return [File(f"{prefix}file{i + 1}", input_size) for i in range(NUM_TASKS + 1)]
+
+
+def synthetic_workflow(input_size: float, *, name: str = "synthetic",
+                       file_prefix: Optional[str] = None,
+                       cpu_time: Optional[float] = None,
+                       files: Optional[Sequence[File]] = None,
+                       core_speed: float = CPU.DEFAULT_SPEED) -> Workflow:
+    """Build the three-task synthetic pipeline.
+
+    Parameters
+    ----------
+    input_size:
+        Size of every file of the pipeline, in bytes.
+    name:
+        Workflow name (also the default application label in traces).
+    file_prefix:
+        Prefix for file names, so that concurrent instances use distinct
+        files (defaults to ``"<name>_"`` when ``files`` is not given and the
+        name is not the default).
+    cpu_time:
+        Per-task CPU time in seconds; defaults to the Table I value
+        (interpolated if needed).
+    files:
+        Explicit list of the four pipeline files (overrides ``file_prefix``).
+    """
+    if files is None:
+        prefix = file_prefix if file_prefix is not None else (
+            f"{name}_" if name != "synthetic" else ""
+        )
+        files = synthetic_files(input_size, prefix=prefix)
+    if len(files) != NUM_TASKS + 1:
+        raise ValueError(f"the synthetic pipeline needs {NUM_TASKS + 1} files")
+    task_cpu_time = cpu_time if cpu_time is not None else synthetic_cpu_time(input_size)
+
+    workflow = Workflow(name)
+    for index in range(NUM_TASKS):
+        workflow.add_task(
+            Task.from_cpu_time(
+                f"task{index + 1}",
+                task_cpu_time,
+                inputs=[files[index]],
+                outputs=[files[index + 1]],
+                core_speed=core_speed,
+                release_memory=True,
+            )
+        )
+    return workflow

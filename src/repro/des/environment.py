@@ -1,0 +1,170 @@
+"""The simulation environment: clock, event queue and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, List, Optional, Tuple, Union
+
+from repro.des.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    NORMAL,
+    PENDING,
+    Timeout,
+)
+from repro.des.process import Process
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class _StopSimulation(Exception):
+    """Internal signal used to end :meth:`Environment.run` at ``until``."""
+
+
+class Environment:
+    """Execution environment for a simulation.
+
+    The environment owns the simulated clock and the priority queue of
+    triggered events.  Processes are created with :meth:`process` and the
+    simulation is advanced with :meth:`run` or :meth:`step`.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock (seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # ----------------------------------------------------------------- state
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    @property
+    def queue_size(self) -> int:
+        """Number of triggered-but-unprocessed events."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------- factories
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process from a generator and return it."""
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Return an event that triggers after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Return a new untriggered event."""
+        return Event(self)
+
+    def all_of(self, events) -> AllOf:
+        """Return an event triggered when all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Return an event triggered when any of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------ scheduling
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Schedule ``event`` to be processed after ``delay`` seconds."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Return the time of the next scheduled event, or ``inf``."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the next event.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain in the queue.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if event._ok is False and not event.defused:
+            # Nobody handled the failure: surface it to the caller of run().
+            exc = event._value
+            raise exc
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` — run until the event queue is exhausted;
+            * a number — run until the simulated clock reaches that time;
+            * an :class:`Event` — run until that event is processed and
+              return its value.
+
+        Returns
+        -------
+        The value of the ``until`` event, if one was given.
+        """
+        if until is not None and not isinstance(until, Event):
+            at = float(until)
+            if at < self._now:
+                raise ValueError(
+                    f"until ({at}) must not be earlier than the current time ({self._now})"
+                )
+            until = Event(self)
+            until._ok = True
+            until._value = None
+            self.schedule(until, priority=NORMAL, delay=at - self._now)
+
+        if isinstance(until, Event):
+            if until.callbacks is None:
+                if until.ok:
+                    return until.value
+                raise until.value
+            until.callbacks.append(_stop_simulation)
+
+        try:
+            while True:
+                self.step()
+        except _StopSimulation as stop:
+            event = stop.args[0]
+            if event._ok:
+                return event._value
+            event.defused = True
+            raise event._value
+        except EmptySchedule:
+            if isinstance(until, Event) and until._value is PENDING:
+                raise RuntimeError(
+                    "simulation ended before the awaited event was triggered"
+                ) from None
+            return None
+
+
+def _stop_simulation(event: Event) -> None:
+    raise _StopSimulation(event)

@@ -1,0 +1,303 @@
+"""Core event types for the discrete-event kernel.
+
+An :class:`Event` is the unit of synchronisation between simulated
+processes.  Events move through three states:
+
+* *pending*: created but not yet triggered;
+* *triggered*: scheduled into the environment's event queue with a value
+  (or an exception); callbacks have not run yet;
+* *processed*: popped from the queue, all callbacks executed.
+
+Processes (see :mod:`repro.des.process`) wait on events by ``yield``-ing
+them; the environment resumes the process when the event is processed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+
+class _Pending:
+    """Sentinel marking an event value that has not been decided yet."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PENDING>"
+
+
+#: Sentinel used as the value of untriggered events.
+PENDING = _Pending()
+
+#: Default priority for normal events.
+NORMAL = 1
+#: Priority for urgent events (processed before normal events at equal times).
+URGENT = 0
+
+
+class Interrupt(Exception):
+    """Exception thrown into a process when it is interrupted.
+
+    The ``cause`` attribute carries the object given to
+    :meth:`repro.des.process.Process.interrupt`.
+    """
+
+    @property
+    def cause(self) -> Any:
+        """The cause passed to ``Process.interrupt``."""
+        return self.args[0]
+
+
+class StopProcess(Exception):
+    """Raised internally to stop a process and return a value.
+
+    Using ``return value`` inside a process generator is the idiomatic way
+    to produce a result; this exception exists for API completeness and for
+    callers that need to end a process from a helper function.
+    """
+
+    @property
+    def value(self) -> Any:
+        """The value the process returns."""
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A single simulation event.
+
+    Parameters
+    ----------
+    env:
+        The environment the event belongs to.
+    """
+
+    def __init__(self, env: "Environment"):  # noqa: F821 - forward reference
+        self.env = env
+        #: Callables invoked (with the event) when the event is processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        #: Set when a failed event's exception has been handled somewhere.
+        self.defused = False
+
+    # ------------------------------------------------------------------ state
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled for processing."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once all callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded; only valid once triggered."""
+        if self._ok is None:
+            raise AttributeError(f"{self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception for failed events)."""
+        if self._value is PENDING:
+            raise AttributeError(f"value of {self!r} is not available yet")
+        return self._value
+
+    # ------------------------------------------------------------- triggering
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Any process waiting on the event will have ``exception`` thrown into
+        it.  If nothing waits on the event and the exception is never
+        defused, the environment re-raises it when the event is processed.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the outcome (success/failure and value) of ``event``."""
+        if event._ok is None:
+            raise RuntimeError(f"{event!r} has not been triggered")
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    # ------------------------------------------------------------ composition
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_events, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_event, [self, other])
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} ({state}) at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):  # noqa: F821
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    @property
+    def delay(self) -> float:
+        """The configured delay in simulated seconds."""
+        return self._delay
+
+    def __repr__(self) -> str:
+        return f"<Timeout(delay={self._delay}) at {id(self):#x}>"
+
+
+class Initialize(Event):
+    """Event that starts a freshly created process at the current time."""
+
+    def __init__(self, env: "Environment", process: "Process"):  # noqa: F821
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class ConditionValue:
+    """Ordered mapping of the events that triggered in a condition.
+
+    Behaves like a read-only dict keyed by event, preserving the order in
+    which events were given to the condition.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(key)
+        return key.value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def todict(self) -> dict:
+        """Return a plain ``{event: value}`` dict."""
+        return {event: event.value for event in self.events}
+
+    def values(self):
+        """Return the values of the triggered events, in insertion order."""
+        return [event.value for event in self.events]
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Composite event triggered when a predicate over sub-events holds.
+
+    Used through the ``&`` / ``|`` operators on events or the
+    :class:`AllOf` / :class:`AnyOf` helpers.
+    """
+
+    def __init__(self, env, evaluate, events):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("cannot mix events from different environments")
+
+        # Immediately check for already-processed events.
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+        if not self._events and not self.triggered:
+            self.succeed(ConditionValue())
+
+    def _populate_value(self, value: ConditionValue) -> None:
+        for event in self._events:
+            if isinstance(event, Condition) and event.triggered and event.ok:
+                event._populate_value(value)
+            elif event.callbacks is None and event not in value.events:
+                value.events.append(event)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event.ok:
+            event.defused = True
+            self.fail(event.value)
+        elif self._evaluate(self._events, self._count):
+            value = ConditionValue()
+            self._populate_value(value)
+            self.succeed(value)
+
+    @staticmethod
+    def all_events(events: List[Event], count: int) -> bool:
+        """Predicate: all sub-events triggered."""
+        return len(events) == count
+
+    @staticmethod
+    def any_event(events: List[Event], count: int) -> bool:
+        """Predicate: at least one sub-event triggered."""
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Condition that triggers once *all* given events have triggered."""
+
+    def __init__(self, env, events):
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that triggers once *any* of the given events triggers."""
+
+    def __init__(self, env, events):
+        super().__init__(env, Condition.any_event, events)

@@ -1,0 +1,314 @@
+"""Shared resources for simulated processes.
+
+Provides the classic SimPy-style primitives used throughout the simulator:
+
+* :class:`Resource` — a counted resource with FIFO queuing (e.g. CPU cores);
+* :class:`PriorityResource` — same, with priority-ordered queuing;
+* :class:`Container` — a continuous quantity with ``put``/``get`` (e.g. a
+  memory pool measured in bytes);
+* :class:`Store` — a FIFO queue of Python objects (used for mailboxes
+  between services);
+* :class:`Lock` — a mutex built on :class:`Resource` with capacity 1, used
+  to serialise access to the page-cache LRU lists exactly like the paper
+  uses SimGrid's locking between the two Memory Manager threads.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, List, Optional
+
+from repro.des.events import Event
+
+
+class Request(Event):
+    """Event representing a pending request for one unit of a resource.
+
+    The request triggers once the unit is granted.  Requests are context
+    managers: leaving the ``with`` block releases the unit.
+    """
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self._released = False
+        resource._add_request(self)
+
+    def release(self) -> None:
+        """Release the granted unit (idempotent)."""
+        if not self._released:
+            self._released = True
+            self.resource._do_release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a request that has not been granted yet."""
+        self.resource._cancel(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.release()
+
+
+class Release(Event):
+    """Immediately-triggered event confirming a release (for symmetry)."""
+
+    def __init__(self, resource: "Resource", request: Request):
+        super().__init__(resource.env)
+        request.release()
+        self.succeed()
+
+
+class Resource:
+    """Counted resource with ``capacity`` units and FIFO queuing."""
+
+    def __init__(self, env, capacity: int = 1, name: Optional[str] = None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.name = name or type(self).__name__
+        self.users: List[Request] = []
+        self.queue: List[Request] = []
+        self._tie = count()
+
+    # ------------------------------------------------------------------ api
+    @property
+    def count(self) -> int:
+        """Number of units currently in use."""
+        return len(self.users)
+
+    @property
+    def available(self) -> int:
+        """Number of free units."""
+        return self.capacity - len(self.users)
+
+    def request(self, priority: int = 0) -> Request:
+        """Request one unit; returns an event that triggers when granted."""
+        return Request(self, priority=priority)
+
+    def release(self, request: Request) -> Release:
+        """Release a previously granted request."""
+        return Release(self, request)
+
+    # ------------------------------------------------------------- internals
+    def _add_request(self, request: Request) -> None:
+        self.queue.append(request)
+        self._grant()
+
+    def _queue_order(self) -> List[Request]:
+        return self.queue
+
+    def _grant(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            ordered = self._queue_order()
+            request = ordered[0]
+            self.queue.remove(request)
+            self.users.append(request)
+            # The request succeeds with itself as value so that processes can
+            # write ``with (yield resource.request()): ...``.
+            request.succeed(request)
+
+    def _do_release(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+        elif request in self.queue:
+            self.queue.remove(request)
+        self._grant()
+
+    def _cancel(self, request: Request) -> None:
+        if request in self.queue:
+            self.queue.remove(request)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name!r} "
+            f"{self.count}/{self.capacity} used, {len(self.queue)} queued>"
+        )
+
+
+class PriorityResource(Resource):
+    """Resource whose queue is served in increasing ``priority`` order."""
+
+    def _queue_order(self) -> List[Request]:
+        return sorted(self.queue, key=lambda r: r.priority)
+
+
+class ContainerPut(Event):
+    """Pending deposit of ``amount`` into a :class:`Container`."""
+
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        super().__init__(container.env)
+        self.amount = amount
+        container._put_queue.append(self)
+        container._trigger()
+
+
+class ContainerGet(Event):
+    """Pending withdrawal of ``amount`` from a :class:`Container`."""
+
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        super().__init__(container.env)
+        self.amount = amount
+        container._get_queue.append(self)
+        container._trigger()
+
+
+class Container:
+    """A homogeneous continuous quantity (bytes, joules, ...).
+
+    ``put`` blocks while the container is full, ``get`` blocks while it does
+    not hold enough.
+    """
+
+    def __init__(self, env, capacity: float = float("inf"), init: float = 0.0,
+                 name: Optional[str] = None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if init < 0 or init > capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self.name = name or type(self).__name__
+        self._level = float(init)
+        self._put_queue: List[ContainerPut] = []
+        self._get_queue: List[ContainerGet] = []
+
+    @property
+    def level(self) -> float:
+        """Current amount stored in the container."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Deposit ``amount``; returns an event triggered when it fits."""
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        """Withdraw ``amount``; returns an event triggered when available."""
+        return ContainerGet(self, amount)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_queue:
+                put = self._put_queue[0]
+                if self._level + put.amount <= self.capacity + 1e-9:
+                    self._level += put.amount
+                    self._put_queue.pop(0)
+                    put.succeed()
+                    progressed = True
+            if self._get_queue:
+                get = self._get_queue[0]
+                if self._level + 1e-9 >= get.amount:
+                    self._level -= get.amount
+                    self._get_queue.pop(0)
+                    get.succeed(get.amount)
+                    progressed = True
+
+    def __repr__(self) -> str:
+        return f"<Container {self.name!r} level={self._level}/{self.capacity}>"
+
+
+class StorePut(Event):
+    """Pending deposit of an item into a :class:`Store`."""
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    """Pending retrieval of an item from a :class:`Store`."""
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        store._get_queue.append(self)
+        store._trigger()
+
+
+class Store:
+    """FIFO queue of arbitrary Python objects with bounded capacity."""
+
+    def __init__(self, env, capacity: float = float("inf"), name: Optional[str] = None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.name = name or type(self).__name__
+        self.items: List[Any] = []
+        self._put_queue: List[StorePut] = []
+        self._get_queue: List[StoreGet] = []
+
+    def put(self, item: Any) -> StorePut:
+        """Append ``item``; returns an event triggered once stored."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Retrieve the oldest item; returns an event carrying the item."""
+        return StoreGet(self)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_queue and len(self.items) < self.capacity:
+                put = self._put_queue.pop(0)
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            if self._get_queue and self.items:
+                get = self._get_queue.pop(0)
+                get.succeed(self.items.pop(0))
+                progressed = True
+
+    def __repr__(self) -> str:
+        return f"<Store {self.name!r} items={len(self.items)}>"
+
+
+class Lock:
+    """A mutex for simulated processes.
+
+    The page cache LRU lists are manipulated both by foreground I/O and by
+    the background periodical-flush process; a lock serialises those
+    accesses the same way the WRENCH implementation uses SimGrid mutexes.
+
+    Usage from a process::
+
+        with (yield lock.acquire()):
+            ... critical section ...
+    """
+
+    def __init__(self, env, name: Optional[str] = None):
+        self.env = env
+        self.name = name or "Lock"
+        self._resource = Resource(env, capacity=1, name=self.name)
+
+    def acquire(self) -> Request:
+        """Return an event granting the lock when it becomes free."""
+        return self._resource.request()
+
+    @property
+    def locked(self) -> bool:
+        """True while some process holds the lock."""
+        return self._resource.count > 0
+
+    @property
+    def waiters(self) -> int:
+        """Number of processes queued for the lock."""
+        return len(self._resource.queue)
+
+    def __repr__(self) -> str:
+        return f"<Lock {self.name!r} locked={self.locked} waiters={self.waiters}>"

@@ -1,0 +1,45 @@
+"""Exception hierarchy shared across the simulator.
+
+Every error raised by the library derives from :class:`SimulationError` so
+that callers can catch simulator failures without also swallowing Python
+programming errors.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by pagecache-sim."""
+
+
+class ConfigurationError(SimulationError):
+    """An invalid platform, cache or experiment configuration was supplied."""
+
+
+class StorageError(SimulationError):
+    """A storage operation could not be carried out (e.g. disk full)."""
+
+
+class FileNotFoundInSimulation(StorageError):
+    """A simulated file was accessed before being registered or written."""
+
+
+class InsufficientMemoryError(SimulationError):
+    """The simulated host ran out of memory for anonymous allocations."""
+
+
+class CacheConsistencyError(SimulationError):
+    """An internal invariant of the page cache model was violated.
+
+    These errors indicate a bug in the simulator rather than a mis-use of the
+    API; they are raised eagerly so that accounting drift never silently
+    corrupts results.
+    """
+
+
+class SchedulingError(SimulationError):
+    """A workflow could not be scheduled (cycle, missing file, bad host)."""
+
+
+class SimulationDeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting."""

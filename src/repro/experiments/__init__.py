@@ -1,0 +1,70 @@
+"""Evaluation harness: regenerates every table and figure of the paper.
+
+Each ``expN_*`` module exposes a ``run_*`` function producing the data of
+one figure, plus a ``*_report`` helper that formats the same rows/series
+the paper reports.  The mapping between paper artifacts and modules is:
+
+===========  ==========================================  =========================
+Artifact     Content                                      Module
+===========  ==========================================  =========================
+Table I      synthetic application parameters             ``calibration``
+Table II     Nighres application parameters               ``calibration``
+Table III    bandwidth benchmarks / simulator config      ``calibration``
+Figure 4a    Exp 1 simulation errors                      ``exp1_single``
+Figure 4b    Exp 1 memory profiles                        ``exp1_single``
+Figure 4c    Exp 1 cache contents                         ``exp1_single``
+Figure 5     Exp 2 concurrent local I/O                   ``exp2_concurrent``
+Figure 6     Exp 4 Nighres errors                         ``exp4_nighres``
+Figure 7     Exp 3 concurrent NFS I/O                     ``exp3_nfs``
+Figure 8     simulation-time scaling                      ``exp5_scaling``
+===========  ==========================================  =========================
+
+The "real execution" columns are produced by a calibrated reference
+simulator (see :mod:`repro.experiments.harness` and DESIGN.md §4): the same
+page-cache engine run at higher fidelity (asymmetric measured bandwidths,
+kernel idiosyncrasies such as eviction protection of files being written).
+"""
+
+from repro.experiments.calibration import (
+    BandwidthCalibration,
+    TABLE1_SYNTHETIC,
+    TABLE2_NIGHRES,
+    TABLE3_BANDWIDTHS,
+)
+from repro.experiments.harness import (
+    SIMULATORS,
+    ScenarioConfig,
+    build_simulation,
+)
+from repro.experiments.metrics import (
+    absolute_relative_error,
+    mean_absolute_relative_error,
+)
+from repro.experiments.exp1_single import run_exp1, exp1_errors, EXP1_OPERATIONS
+from repro.experiments.exp2_concurrent import run_exp2, sweep_exp2
+from repro.experiments.exp3_nfs import run_exp3, sweep_exp3
+from repro.experiments.exp4_nighres import run_exp4, exp4_errors
+from repro.experiments.exp5_scaling import run_scaling, ScalingPoint
+
+__all__ = [
+    "BandwidthCalibration",
+    "TABLE1_SYNTHETIC",
+    "TABLE2_NIGHRES",
+    "TABLE3_BANDWIDTHS",
+    "SIMULATORS",
+    "ScenarioConfig",
+    "build_simulation",
+    "absolute_relative_error",
+    "mean_absolute_relative_error",
+    "run_exp1",
+    "exp1_errors",
+    "EXP1_OPERATIONS",
+    "run_exp2",
+    "sweep_exp2",
+    "run_exp3",
+    "sweep_exp3",
+    "run_exp4",
+    "exp4_errors",
+    "run_scaling",
+    "ScalingPoint",
+]

@@ -1,0 +1,110 @@
+"""Calibration data: Tables I, II and III of the paper.
+
+Table I and Table II give the application parameters (file sizes and
+measured CPU times) that the paper injects into the simulators.  Table III
+gives the measured device bandwidths on the real cluster and the symmetric
+values used to configure the simulators (the mean of the measured read and
+write bandwidths, because SimGrid 3.25 only supports symmetrical
+bandwidths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.nighres import NIGHRES_STEPS, NighresStep
+from repro.apps.synthetic import SYNTHETIC_CPU_TIMES
+from repro.units import MBps
+
+
+#: Table I — synthetic application parameters (input size GB -> CPU time s).
+TABLE1_SYNTHETIC: Dict[float, float] = dict(SYNTHETIC_CPU_TIMES)
+
+#: Table II — Nighres application parameters.
+TABLE2_NIGHRES: Tuple[NighresStep, ...] = NIGHRES_STEPS
+
+
+@dataclass(frozen=True)
+class DeviceBandwidths:
+    """Measured and simulated bandwidths of one device (bytes/s)."""
+
+    name: str
+    real_read: float
+    real_write: float
+    simulated: Optional[float]
+
+    @property
+    def symmetric_mean(self) -> float:
+        """Mean of the measured read and write bandwidths."""
+        return (self.real_read + self.real_write) / 2.0
+
+
+@dataclass(frozen=True)
+class BandwidthCalibration:
+    """Table III — bandwidth benchmarks and simulator configuration."""
+
+    memory: DeviceBandwidths
+    local_disk: DeviceBandwidths
+    remote_disk: DeviceBandwidths
+    network: DeviceBandwidths
+
+    def devices(self) -> List[DeviceBandwidths]:
+        """All devices in the order of Table III."""
+        return [self.memory, self.local_disk, self.remote_disk, self.network]
+
+    def rows(self) -> List[Tuple[str, float, float, float]]:
+        """Rows of Table III: (device, real read, real write, simulated), MBps."""
+        return [
+            (
+                device.name,
+                device.real_read / MBps,
+                device.real_write / MBps,
+                (device.simulated or device.symmetric_mean) / MBps,
+            )
+            for device in self.devices()
+        ]
+
+
+#: Table III with the paper's measured values.
+TABLE3_BANDWIDTHS = BandwidthCalibration(
+    memory=DeviceBandwidths("Memory", 6860 * MBps, 2764 * MBps, 4812 * MBps),
+    local_disk=DeviceBandwidths("Local disk", 510 * MBps, 420 * MBps, 465 * MBps),
+    remote_disk=DeviceBandwidths("Remote disk", 515 * MBps, 375 * MBps, 445 * MBps),
+    network=DeviceBandwidths("Network", 3000 * MBps, 3000 * MBps, 3000 * MBps),
+)
+
+
+def table1_rows() -> List[Tuple[float, float]]:
+    """Rows of Table I: (input size GB, CPU time s)."""
+    return sorted(TABLE1_SYNTHETIC.items())
+
+
+def table2_rows() -> List[Tuple[str, float, float, float]]:
+    """Rows of Table II: (step, input MB, output MB, CPU time s)."""
+    return [
+        (step.name, step.input_size / 1e6, step.output_size / 1e6, step.cpu_time)
+        for step in TABLE2_NIGHRES
+    ]
+
+
+def simulator_bandwidths() -> Dict[str, float]:
+    """Symmetric bandwidths used to configure the paper-faithful simulators."""
+    table = TABLE3_BANDWIDTHS
+    return {
+        "memory": table.memory.simulated,
+        "local_disk": table.local_disk.simulated,
+        "remote_disk": table.remote_disk.simulated,
+        "network": table.network.simulated,
+    }
+
+
+def real_bandwidths() -> Dict[str, Tuple[float, float]]:
+    """Measured (read, write) bandwidths used by the calibrated reference."""
+    table = TABLE3_BANDWIDTHS
+    return {
+        "memory": (table.memory.real_read, table.memory.real_write),
+        "local_disk": (table.local_disk.real_read, table.local_disk.real_write),
+        "remote_disk": (table.remote_disk.real_read, table.remote_disk.real_write),
+        "network": (table.network.real_read, table.network.real_write),
+    }

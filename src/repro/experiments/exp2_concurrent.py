@@ -1,0 +1,102 @@
+"""Exp 2 — concurrent applications on a local disk (Figure 5).
+
+1 to 32 concurrent instances of the synthetic application run on a single
+32-core node, each instance operating on its own 3 GB files stored on the
+same local SSD.  The paper plots, as a function of the number of concurrent
+applications, the mean per-application cumulative read time and write time
+for the real execution, WRENCH and WRENCH-cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.concurrent import make_instances, stage_and_submit_instances
+from repro.experiments.harness import ScenarioConfig, build_simulation
+from repro.units import GB, MB
+
+#: Concurrency levels plotted in Figures 5 and 7.
+DEFAULT_APP_COUNTS: Tuple[int, ...] = (1, 4, 8, 12, 16, 20, 24, 28, 32)
+
+#: File size of each instance (3 GB in the paper).
+DEFAULT_INPUT_SIZE = 3 * GB
+
+
+@dataclass
+class ConcurrencyPoint:
+    """One point of Figure 5 / Figure 7."""
+
+    simulator: str
+    n_apps: int
+    #: Mean per-application cumulative read time (seconds).
+    read_time: float
+    #: Mean per-application cumulative write time (seconds).
+    write_time: float
+    makespan: float
+    wallclock_time: float
+
+    def as_row(self) -> Tuple[int, float, float]:
+        """(n_apps, read_time, write_time) row for reports."""
+        return (self.n_apps, self.read_time, self.write_time)
+
+
+def run_exp2(simulator: str, n_apps: int, *,
+             input_size: float = DEFAULT_INPUT_SIZE,
+             chunk_size: float = 100 * MB,
+             nfs: bool = False) -> ConcurrencyPoint:
+    """Run one concurrency level for one simulator.
+
+    ``nfs=False`` gives Exp 2 (local disk); ``nfs=True`` gives Exp 3 (the
+    same workload against the NFS-mounted remote disk).
+    """
+    scenario = ScenarioConfig(nfs=nfs, chunk_size=chunk_size, trace_interval=None)
+    simulation, storage = build_simulation(simulator, scenario)
+    instances = make_instances(n_apps, input_size)
+    stage_and_submit_instances(
+        simulation, instances, host="node1", storage=storage, chunk_size=chunk_size
+    )
+    result = simulation.run()
+    return ConcurrencyPoint(
+        simulator=simulator,
+        n_apps=n_apps,
+        read_time=result.mean_app_read_time(),
+        write_time=result.mean_app_write_time(),
+        makespan=result.makespan,
+        wallclock_time=result.wallclock_time,
+    )
+
+
+def sweep_exp2(simulator: str, *, counts: Sequence[int] = DEFAULT_APP_COUNTS,
+               input_size: float = DEFAULT_INPUT_SIZE,
+               chunk_size: float = 100 * MB,
+               nfs: bool = False) -> List[ConcurrencyPoint]:
+    """Run a full concurrency sweep for one simulator (one curve of Fig 5/7)."""
+    return [
+        run_exp2(
+            simulator,
+            n_apps,
+            input_size=input_size,
+            chunk_size=chunk_size,
+            nfs=nfs,
+        )
+        for n_apps in counts
+    ]
+
+
+def exp2_series(simulators: Sequence[str] = ("real", "wrench", "wrench-cache"), *,
+                counts: Sequence[int] = DEFAULT_APP_COUNTS,
+                input_size: float = DEFAULT_INPUT_SIZE,
+                chunk_size: float = 100 * MB,
+                nfs: bool = False) -> Dict[str, List[ConcurrencyPoint]]:
+    """All the curves of Figure 5 (or Figure 7 with ``nfs=True``)."""
+    return {
+        simulator: sweep_exp2(
+            simulator,
+            counts=counts,
+            input_size=input_size,
+            chunk_size=chunk_size,
+            nfs=nfs,
+        )
+        for simulator in simulators
+    }

@@ -1,0 +1,60 @@
+"""Exp 3 — concurrent applications on NFS storage (Figure 7).
+
+Same workload as Exp 2 (1 to 32 instances of the synthetic application with
+3 GB files), but all files live on an NFS-mounted partition of a remote
+disk served by another node over the 25 Gbps network.  As commonly
+configured in HPC environments there is no client write cache and the
+server cache is writethrough; client and server read caches are enabled, so
+writes happen at disk bandwidth while reads can benefit from server-side
+cache hits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.exp2_concurrent import (
+    ConcurrencyPoint,
+    DEFAULT_APP_COUNTS,
+    DEFAULT_INPUT_SIZE,
+    exp2_series,
+    run_exp2,
+    sweep_exp2,
+)
+from repro.units import MB
+
+
+def run_exp3(simulator: str, n_apps: int, *,
+             input_size: float = DEFAULT_INPUT_SIZE,
+             chunk_size: float = 100 * MB) -> ConcurrencyPoint:
+    """Run one NFS concurrency level for one simulator."""
+    return run_exp2(
+        simulator, n_apps, input_size=input_size, chunk_size=chunk_size, nfs=True
+    )
+
+
+def sweep_exp3(simulator: str, *, counts: Sequence[int] = DEFAULT_APP_COUNTS,
+               input_size: float = DEFAULT_INPUT_SIZE,
+               chunk_size: float = 100 * MB) -> List[ConcurrencyPoint]:
+    """Run a full NFS concurrency sweep for one simulator (one curve of Fig 7)."""
+    return sweep_exp2(
+        simulator,
+        counts=counts,
+        input_size=input_size,
+        chunk_size=chunk_size,
+        nfs=True,
+    )
+
+
+def exp3_series(simulators: Sequence[str] = ("real", "wrench", "wrench-cache"), *,
+                counts: Sequence[int] = DEFAULT_APP_COUNTS,
+                input_size: float = DEFAULT_INPUT_SIZE,
+                chunk_size: float = 100 * MB) -> Dict[str, List[ConcurrencyPoint]]:
+    """All the curves of Figure 7."""
+    return exp2_series(
+        simulators,
+        counts=counts,
+        input_size=input_size,
+        chunk_size=chunk_size,
+        nfs=True,
+    )

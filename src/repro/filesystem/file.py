@@ -1,0 +1,43 @@
+"""Simulated files.
+
+A file is pure metadata: a unique name and a size in bytes.  The actual
+bytes are never materialised; storage devices and the page cache only track
+amounts of data.
+"""
+
+from __future__ import annotations
+
+from repro.units import format_size
+
+
+class File:
+    """A simulated file.
+
+    Parameters
+    ----------
+    name:
+        Unique file name (also used as the page-cache key).
+    size:
+        File size in bytes; must be non-negative.
+    """
+
+    __slots__ = ("name", "size")
+
+    def __init__(self, name: str, size: float):
+        if not name:
+            raise ValueError("a file needs a non-empty name")
+        if size < 0:
+            raise ValueError(f"file {name!r}: size must be >= 0, got {size}")
+        self.name = str(name)
+        self.size = float(size)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, File):
+            return self.name == other.name and self.size == other.size
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.size))
+
+    def __repr__(self) -> str:
+        return f"File({self.name!r}, {format_size(self.size)})"

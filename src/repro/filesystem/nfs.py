@@ -1,0 +1,56 @@
+"""NFS mount configuration.
+
+Exp 3 of the paper runs the synthetic application against a 50 GiB
+NFS-mounted partition of a remote disk.  As is common in HPC environments
+the mount is configured so that data loss cannot happen on a client crash:
+there is **no client write cache**, the **server cache is writethrough**,
+and **read caches are enabled on both sides** (the simulators model the
+server-side read cache, which is the one shared by all concurrent
+application instances).
+
+:class:`NFSConfig` captures these options so that the remote storage
+service can be reconfigured for what-if studies (e.g. enabling a writeback
+server cache, which the paper's model also supports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NFSConfig:
+    """Caching behaviour of an NFS mount.
+
+    Attributes
+    ----------
+    server_cache_mode:
+        ``"writethrough"`` (paper's Exp 3 configuration), ``"writeback"``
+        or ``"none"``.
+    server_read_cache:
+        Whether reads are served from the server's page cache when possible.
+    client_read_cache:
+        Whether the client keeps a read cache.  The paper's model does not
+        simulate the client read cache for NFS (the effect is dominated by
+        the shared server cache), so this defaults to ``False``.
+    client_write_cache:
+        Whether the client buffers writes.  Disabled in HPC deployments to
+        avoid data loss, and in the paper's experiments.
+    """
+
+    server_cache_mode: str = "writethrough"
+    server_read_cache: bool = True
+    client_read_cache: bool = False
+    client_write_cache: bool = False
+
+    def __post_init__(self) -> None:
+        if self.server_cache_mode not in ("writethrough", "writeback", "none"):
+            raise ValueError(
+                "server_cache_mode must be 'writethrough', 'writeback' or 'none', "
+                f"got {self.server_cache_mode!r}"
+            )
+
+    @classmethod
+    def hpc_default(cls) -> "NFSConfig":
+        """The configuration used in the paper's Exp 3."""
+        return cls()

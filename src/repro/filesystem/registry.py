@@ -1,0 +1,75 @@
+"""File location registry.
+
+The registry answers "where does file X live?" for the workflow management
+system: it maps file names to the storage services holding a copy, and it
+records which files currently exist (inputs staged before the execution or
+outputs already produced).  It mirrors WRENCH's ``FileRegistryService``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import FileNotFoundInSimulation
+from repro.filesystem.file import File
+
+
+class FileRegistry:
+    """Tracks which storage service holds each simulated file."""
+
+    def __init__(self) -> None:
+        self._locations: Dict[str, List[object]] = {}
+        self._files: Dict[str, File] = {}
+
+    # ------------------------------------------------------------------- api
+    def add_entry(self, file: File, storage_service) -> None:
+        """Record that ``storage_service`` holds a copy of ``file``."""
+        self._files[file.name] = file
+        services = self._locations.setdefault(file.name, [])
+        if storage_service not in services:
+            services.append(storage_service)
+
+    def remove_entry(self, file: File, storage_service) -> None:
+        """Remove the record of ``storage_service`` holding ``file``."""
+        services = self._locations.get(file.name, [])
+        if storage_service in services:
+            services.remove(storage_service)
+        if not services:
+            self._locations.pop(file.name, None)
+
+    def lookup(self, file: File) -> List[object]:
+        """Return the storage services holding ``file`` (may be empty)."""
+        return list(self._locations.get(file.name, []))
+
+    def primary_location(self, file: File):
+        """Return the first registered location of ``file``.
+
+        Raises
+        ------
+        FileNotFoundInSimulation
+            If the file is not present on any storage service.
+        """
+        services = self._locations.get(file.name)
+        if not services:
+            raise FileNotFoundInSimulation(
+                f"file {file.name!r} is not present on any storage service"
+            )
+        return services[0]
+
+    def exists(self, file: File) -> bool:
+        """True if at least one storage service holds ``file``."""
+        return bool(self._locations.get(file.name))
+
+    def file_by_name(self, name: str) -> Optional[File]:
+        """Return the :class:`File` registered under ``name``, if any."""
+        return self._files.get(name)
+
+    def known_files(self) -> List[File]:
+        """All files that have ever been registered."""
+        return list(self._files.values())
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def __repr__(self) -> str:
+        return f"<FileRegistry files={len(self._locations)}>"

@@ -1,0 +1,35 @@
+"""Linux page cache simulation model (the paper's primary contribution).
+
+The model follows Section III of the paper:
+
+* :class:`~repro.pagecache.block.Block` — the *data block* abstraction: a
+  set of file pages cached by a single I/O operation, carrying the file
+  name, size, entry time, last access time and dirty flag (Figure 2).
+* :class:`~repro.pagecache.lru.LRUList` and
+  :class:`~repro.pagecache.lru.PageCacheLists` — the kernel's two-list
+  (active/inactive) LRU structure, balanced so that the active list never
+  exceeds twice the inactive list.
+* :class:`~repro.pagecache.memory_manager.MemoryManager` — flushing,
+  eviction, cached I/O accounting, anonymous memory, and the periodical
+  flush background thread (Algorithm 1).
+* :class:`~repro.pagecache.io_controller.IOController` — chunk-by-chunk
+  file reads (Algorithm 2) and writes (Algorithm 3) in writeback mode,
+  plus the writethrough write path.
+"""
+
+from repro.pagecache.block import Block
+from repro.pagecache.config import PageCacheConfig
+from repro.pagecache.lru import LRUList, PageCacheLists
+from repro.pagecache.memory_manager import MemoryManager
+from repro.pagecache.io_controller import IOController
+from repro.pagecache.stats import CacheStatistics
+
+__all__ = [
+    "Block",
+    "PageCacheConfig",
+    "LRUList",
+    "PageCacheLists",
+    "MemoryManager",
+    "IOController",
+    "CacheStatistics",
+]

@@ -1,0 +1,96 @@
+"""The data-block abstraction.
+
+Simulating individual file pages would make simulation cost proportional to
+the amount of data; the paper instead introduces *data blocks*: contiguous
+sets of file pages that were accessed by the same I/O operation and
+therefore share their metadata.  A block records the file it belongs to,
+its size, its entry (creation) time in the cache, its last access time and
+whether it is dirty.  Blocks may be split into smaller blocks when an I/O
+operation or an eviction/flush decision only covers part of a block.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Any, Optional, Tuple
+
+_block_ids = count()
+
+
+class Block:
+    """A set of cached file pages sharing their metadata (Figure 2).
+
+    Parameters
+    ----------
+    filename:
+        Name of the file the pages belong to.
+    size:
+        Block size in bytes (strictly positive).
+    entry_time:
+        Simulated time at which the data entered the page cache.
+    last_access:
+        Simulated time of the most recent access.
+    dirty:
+        ``True`` if the block holds data not yet persisted to storage.
+    storage:
+        The storage device holding the on-disk copy of the file; used by
+        flushing to know where dirty data must be written.
+    """
+
+    __slots__ = ("id", "filename", "size", "entry_time", "last_access", "dirty",
+                 "storage")
+
+    def __init__(self, filename: str, size: float, entry_time: float,
+                 last_access: Optional[float] = None, dirty: bool = False,
+                 storage: Any = None):
+        if size <= 0:
+            raise ValueError(f"block size must be positive, got {size}")
+        self.id = next(_block_ids)
+        self.filename = filename
+        self.size = float(size)
+        self.entry_time = float(entry_time)
+        self.last_access = float(entry_time if last_access is None else last_access)
+        self.dirty = bool(dirty)
+        self.storage = storage
+
+    # ------------------------------------------------------------------- api
+    def touch(self, now: float) -> None:
+        """Record an access at simulated time ``now``."""
+        self.last_access = float(now)
+
+    def is_expired(self, now: float, expiration: float) -> bool:
+        """True if the block is dirty and older than ``expiration`` seconds.
+
+        Only dirty blocks can expire; expiration drives the periodical
+        flushing of Algorithm 1.
+        """
+        return self.dirty and (now - self.entry_time) >= expiration
+
+    def split(self, first_size: float) -> Tuple["Block", "Block"]:
+        """Split the block into two blocks of sizes ``first_size`` and the rest.
+
+        Both halves keep the metadata (entry time, last access, dirty flag,
+        storage) of the original block.  Raises ``ValueError`` if
+        ``first_size`` is not strictly between 0 and the block size.
+        """
+        if not (0 < first_size < self.size):
+            raise ValueError(
+                f"cannot split a block of {self.size} bytes at {first_size}"
+            )
+        first = Block(self.filename, first_size, self.entry_time,
+                      self.last_access, self.dirty, self.storage)
+        second = Block(self.filename, self.size - first_size, self.entry_time,
+                       self.last_access, self.dirty, self.storage)
+        return first, second
+
+    def clone(self) -> "Block":
+        """Return a copy of the block (new id, same metadata)."""
+        return Block(self.filename, self.size, self.entry_time,
+                     self.last_access, self.dirty, self.storage)
+
+    def __repr__(self) -> str:
+        flag = "dirty" if self.dirty else "clean"
+        return (
+            f"<Block #{self.id} file={self.filename!r} size={self.size:.0f} "
+            f"entry={self.entry_time:.2f} access={self.last_access:.2f} {flag}>"
+        )

@@ -1,0 +1,313 @@
+"""Two-list LRU structure of the Linux page cache.
+
+The kernel flags pages for eviction with a two-list strategy: newly
+accessed data enters the *inactive* list; data accessed again is promoted
+to the *active* list; the active list is kept at most twice the size of the
+inactive list by demoting its least recently used entries.  Only clean data
+on the inactive list is eligible for eviction.
+
+:class:`LRUList` is a single list of :class:`~repro.pagecache.block.Block`
+objects ordered by last access time (oldest first);
+:class:`PageCacheLists` pairs an inactive and an active list and implements
+promotion, demotion and balancing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import CacheConsistencyError
+from repro.pagecache.block import Block
+
+#: Accounting tolerance in bytes.
+_EPSILON = 1e-6
+
+
+class LRUList:
+    """An LRU-ordered list of data blocks.
+
+    Blocks are kept ordered by last access time, oldest first.  Appending a
+    block with a monotonically increasing access time keeps the order
+    without sorting; out-of-order insertions (e.g. demotions from the
+    active list) fall back to an insertion by key.
+    """
+
+    def __init__(self, name: str = "lru"):
+        self.name = name
+        self._blocks: List[Block] = []
+        self._size = 0.0
+        self._dirty = 0.0
+        self._per_file: Dict[str, float] = {}
+
+    # ----------------------------------------------------------------- sizes
+    @property
+    def size(self) -> float:
+        """Total bytes held by the list."""
+        return self._size
+
+    @property
+    def dirty_size(self) -> float:
+        """Bytes of dirty data held by the list."""
+        return self._dirty
+
+    @property
+    def clean_size(self) -> float:
+        """Bytes of clean (evictable) data held by the list."""
+        return max(0.0, self._size - self._dirty)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def __contains__(self, block: Block) -> bool:
+        return block in self._blocks
+
+    @property
+    def blocks(self) -> List[Block]:
+        """The blocks in LRU order (oldest first).  Do not mutate."""
+        return self._blocks
+
+    # ------------------------------------------------------------ accounting
+    def _account_add(self, block: Block) -> None:
+        self._size += block.size
+        if block.dirty:
+            self._dirty += block.size
+        self._per_file[block.filename] = (
+            self._per_file.get(block.filename, 0.0) + block.size
+        )
+
+    def _account_remove(self, block: Block) -> None:
+        self._size -= block.size
+        if block.dirty:
+            self._dirty -= block.size
+        remaining = self._per_file.get(block.filename, 0.0) - block.size
+        if remaining <= _EPSILON:
+            self._per_file.pop(block.filename, None)
+        else:
+            self._per_file[block.filename] = remaining
+        if self._size < -_EPSILON or self._dirty < -_EPSILON:
+            raise CacheConsistencyError(
+                f"negative accounting in LRU list {self.name!r}: "
+                f"size={self._size}, dirty={self._dirty}"
+            )
+        self._size = max(0.0, self._size)
+        self._dirty = max(0.0, self._dirty)
+
+    # ------------------------------------------------------------- mutations
+    def append(self, block: Block) -> None:
+        """Add ``block`` as the most recently used entry."""
+        if self._blocks and block.last_access < self._blocks[-1].last_access:
+            self.insert_ordered(block)
+            return
+        self._blocks.append(block)
+        self._account_add(block)
+
+    def insert_ordered(self, block: Block) -> None:
+        """Insert ``block`` keeping the list ordered by last access time."""
+        index = 0
+        for index, existing in enumerate(self._blocks):  # noqa: B007
+            if existing.last_access > block.last_access:
+                break
+        else:
+            index = len(self._blocks)
+        self._blocks.insert(index, block)
+        self._account_add(block)
+
+    def remove(self, block: Block) -> None:
+        """Remove ``block`` from the list."""
+        self._blocks.remove(block)
+        self._account_remove(block)
+
+    def pop_lru(self) -> Block:
+        """Remove and return the least recently used block."""
+        if not self._blocks:
+            raise CacheConsistencyError(f"LRU list {self.name!r} is empty")
+        block = self._blocks.pop(0)
+        self._account_remove(block)
+        return block
+
+    def mark_clean(self, block: Block) -> None:
+        """Clear the dirty flag of ``block``, fixing the dirty accounting."""
+        if block not in self._blocks:
+            raise CacheConsistencyError(
+                f"block {block!r} is not in LRU list {self.name!r}"
+            )
+        if block.dirty:
+            block.dirty = False
+            self._dirty = max(0.0, self._dirty - block.size)
+
+    def clear(self) -> List[Block]:
+        """Remove all blocks and return them."""
+        blocks, self._blocks = self._blocks, []
+        self._size = 0.0
+        self._dirty = 0.0
+        self._per_file = {}
+        return blocks
+
+    # --------------------------------------------------------------- queries
+    def cached_of_file(self, filename: str) -> float:
+        """Bytes of ``filename`` held by the list."""
+        return self._per_file.get(filename, 0.0)
+
+    def files(self) -> Dict[str, float]:
+        """Mapping ``filename -> cached bytes`` for this list."""
+        return dict(self._per_file)
+
+    def blocks_of_file(self, filename: str) -> List[Block]:
+        """Blocks of ``filename``, in LRU order."""
+        return [block for block in self._blocks if block.filename == filename]
+
+    def dirty_blocks(self, exclude_file: Optional[str] = None) -> List[Block]:
+        """Dirty blocks in LRU order, optionally excluding one file."""
+        return [
+            block
+            for block in self._blocks
+            if block.dirty and block.filename != exclude_file
+        ]
+
+    def clean_blocks(self, exclude_files: Iterable[str] = ()) -> List[Block]:
+        """Clean blocks in LRU order, optionally excluding some files."""
+        excluded = set(exclude_files)
+        return [
+            block
+            for block in self._blocks
+            if not block.dirty and block.filename not in excluded
+        ]
+
+    def expired_blocks(self, now: float, expiration: float) -> List[Block]:
+        """Dirty blocks whose entry time is older than ``expiration`` seconds."""
+        return [block for block in self._blocks if block.is_expired(now, expiration)]
+
+    def assert_consistent(self) -> None:
+        """Validate the internal accounting against the block contents."""
+        total = sum(block.size for block in self._blocks)
+        dirty = sum(block.size for block in self._blocks if block.dirty)
+        if abs(total - self._size) > 1e-3 or abs(dirty - self._dirty) > 1e-3:
+            raise CacheConsistencyError(
+                f"LRU list {self.name!r} accounting drift: "
+                f"size {self._size} vs {total}, dirty {self._dirty} vs {dirty}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<LRUList {self.name!r} blocks={len(self._blocks)} "
+            f"size={self._size:.0f} dirty={self._dirty:.0f}>"
+        )
+
+
+class PageCacheLists:
+    """The paired inactive/active LRU lists with kernel-style balancing."""
+
+    def __init__(self, active_to_inactive_ratio: float = 2.0,
+                 balance: bool = True):
+        self.inactive = LRUList("inactive")
+        self.active = LRUList("active")
+        self.active_to_inactive_ratio = active_to_inactive_ratio
+        self.balance_enabled = balance
+
+    # ----------------------------------------------------------------- sizes
+    @property
+    def size(self) -> float:
+        """Total cached bytes across both lists."""
+        return self.inactive.size + self.active.size
+
+    @property
+    def dirty_size(self) -> float:
+        """Total dirty bytes across both lists."""
+        return self.inactive.dirty_size + self.active.dirty_size
+
+    @property
+    def clean_size(self) -> float:
+        """Total clean bytes across both lists."""
+        return self.inactive.clean_size + self.active.clean_size
+
+    def cached_of_file(self, filename: str) -> float:
+        """Bytes of ``filename`` cached across both lists."""
+        return (
+            self.inactive.cached_of_file(filename)
+            + self.active.cached_of_file(filename)
+        )
+
+    def files(self) -> Dict[str, float]:
+        """Mapping ``filename -> cached bytes`` across both lists."""
+        merged = self.inactive.files()
+        for filename, size in self.active.files().items():
+            merged[filename] = merged.get(filename, 0.0) + size
+        return merged
+
+    def all_blocks(self) -> List[Block]:
+        """All blocks, inactive list first (the order data is read back)."""
+        return list(self.inactive) + list(self.active)
+
+    # ------------------------------------------------------------- mutations
+    def add_to_inactive(self, block: Block) -> None:
+        """Insert a newly cached block (first access) and rebalance."""
+        self.inactive.append(block)
+        self.balance()
+
+    def add_to_active(self, block: Block) -> None:
+        """Insert a re-accessed block into the active list and rebalance."""
+        self.active.append(block)
+        self.balance()
+
+    def promote(self, block: Block, now: float) -> None:
+        """Move ``block`` from the inactive to the active list (re-access)."""
+        self.inactive.remove(block)
+        block.touch(now)
+        self.active.append(block)
+        self.balance()
+
+    def remove(self, block: Block) -> None:
+        """Remove ``block`` from whichever list holds it."""
+        if block in self.inactive:
+            self.inactive.remove(block)
+        elif block in self.active:
+            self.active.remove(block)
+        else:
+            raise CacheConsistencyError(f"{block!r} is not cached")
+
+    def balance(self) -> float:
+        """Demote LRU active data until active <= ratio x inactive.
+
+        Exactly the excess is demoted (the last demoted block is split if
+        needed), so the structural invariant ``active <= ratio x inactive``
+        holds after every cache update, matching the kernel's steady state
+        where the active list is kept at most twice the inactive list.
+        Returns the number of bytes demoted.
+        """
+        if not self.balance_enabled:
+            return 0.0
+        ratio = self.active_to_inactive_ratio
+        excess = self.active.size - ratio * self.inactive.size
+        if excess <= _EPSILON:
+            return 0.0
+        # Demoting x bytes must yield active - x <= ratio * (inactive + x).
+        to_demote = excess / (1.0 + ratio)
+        demoted = 0.0
+        while demoted < to_demote - _EPSILON and len(self.active) > 0:
+            block = self.active.blocks[0]  # least recently used
+            needed = to_demote - demoted
+            if block.size <= needed + _EPSILON:
+                self.active.remove(block)
+                self.inactive.insert_ordered(block)
+                demoted += block.size
+            else:
+                self.active.remove(block)
+                demoted_part, kept_part = block.split(needed)
+                self.inactive.insert_ordered(demoted_part)
+                self.active.insert_ordered(kept_part)
+                demoted += needed
+        return demoted
+
+    def assert_consistent(self) -> None:
+        """Validate accounting of both lists."""
+        self.inactive.assert_consistent()
+        self.active.assert_consistent()
+
+    def __repr__(self) -> str:
+        return (
+            f"<PageCacheLists inactive={self.inactive.size:.0f}B "
+            f"active={self.active.size:.0f}B dirty={self.dirty_size:.0f}B>"
+        )

@@ -1,0 +1,551 @@
+"""The Memory Manager (Section III.A of the paper).
+
+The Memory Manager owns the page cache LRU lists and the memory accounting
+of one host.  It implements:
+
+* cache accounting: free, cached, dirty and anonymous memory;
+* :meth:`MemoryManager.flush` — synchronous flushing of least recently used
+  dirty blocks until a requested amount is persisted (foreground writeback);
+* :meth:`MemoryManager.evict` — removal of least recently used clean blocks
+  from the inactive list (and, optionally, the active list);
+* :meth:`MemoryManager.read_from_cache` / :meth:`MemoryManager.add_to_cache`
+  / :meth:`MemoryManager.write_to_cache` — the cache-side halves of
+  Algorithms 2 and 3;
+* the periodical-flush background process of Algorithm 1.
+
+Methods that consume simulated time (flushes, cached reads and writes) are
+generator-based processes and must be ``yield``-ed from a simulation
+process; accounting-only methods (eviction, anonymous memory) return
+immediately, matching the paper's statement that eviction overhead is not
+part of simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.des.environment import Environment
+from repro.errors import CacheConsistencyError, ConfigurationError
+from repro.pagecache.block import Block
+from repro.pagecache.config import PageCacheConfig
+from repro.pagecache.lru import LRUList, PageCacheLists
+from repro.pagecache.stats import CacheStatistics
+from repro.platform.memory import MemoryDevice
+from repro.units import format_size
+
+#: Accounting tolerance in bytes.
+_EPSILON = 1e-6
+
+
+@dataclass
+class MemorySnapshot:
+    """Point-in-time view of a host's memory, as plotted in Figure 4b."""
+
+    time: float
+    total: float
+    free: float
+    used: float
+    cached: float
+    dirty: float
+    anonymous: float
+    dirty_threshold: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the snapshot as a plain dictionary."""
+        return {
+            "time": self.time,
+            "total": self.total,
+            "free": self.free,
+            "used": self.used,
+            "cached": self.cached,
+            "dirty": self.dirty,
+            "anonymous": self.anonymous,
+            "dirty_threshold": self.dirty_threshold,
+        }
+
+
+class MemoryManager:
+    """Simulates the memory and page cache of one host.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    memory:
+        The host's memory device (size and bandwidths).
+    config:
+        Page cache configuration (kernel tunables).
+    name:
+        Name used for the background process and in error messages.
+    """
+
+    def __init__(self, env: Environment, memory: MemoryDevice,
+                 config: Optional[PageCacheConfig] = None, name: str = "mm"):
+        if memory is None:
+            raise ConfigurationError("MemoryManager requires a memory device")
+        self.env = env
+        self.memory = memory
+        self.config = config or PageCacheConfig()
+        self.name = name
+        self.total_memory = float(memory.size)
+        self._free = float(memory.size)
+        self._anonymous = 0.0
+        self._anonymous_by_owner: Dict[str, float] = {}
+        self.lists = PageCacheLists(
+            active_to_inactive_ratio=self.config.active_to_inactive_ratio,
+            balance=self.config.balance_lists,
+        )
+        self.stats = CacheStatistics()
+        #: Files currently being written (used by ``protect_written_files``).
+        self._files_being_written: Set[str] = set()
+        self._running = True
+        self._flusher = None
+        if self.config.periodic_flushing:
+            self._flusher = env.process(
+                self._periodic_flush(), name=f"{name}-periodic-flush"
+            )
+
+    # ------------------------------------------------------------------ state
+    @property
+    def free_mem(self) -> float:
+        """Unused memory in bytes.
+
+        Under heavy concurrency the accounting may transiently go a few
+        bytes negative when several processes reserve memory between yield
+        points; the value self-corrects at the next flush/eviction.
+        """
+        return self._free
+
+    @property
+    def cached(self) -> float:
+        """Bytes held by the page cache (both LRU lists)."""
+        return self.lists.size
+
+    @property
+    def dirty(self) -> float:
+        """Bytes of dirty (not yet persisted) data in the page cache."""
+        return self.lists.dirty_size
+
+    @property
+    def anonymous(self) -> float:
+        """Bytes of anonymous (application) memory in use."""
+        return self._anonymous
+
+    @property
+    def used_memory(self) -> float:
+        """Memory in use (anonymous + cache), as reported by ``atop``."""
+        return self._anonymous + self.lists.size
+
+    @property
+    def evictable(self) -> float:
+        """Clean cache bytes that eviction is allowed to reclaim."""
+        amount = self.lists.inactive.clean_size
+        if self.config.evict_from_active:
+            amount += self.lists.active.clean_size
+        return amount
+
+    @property
+    def available_mem(self) -> float:
+        """Free memory plus reclaimable (clean) cache."""
+        return self._free + self.lists.clean_size
+
+    @property
+    def dirty_capacity(self) -> float:
+        """Maximum amount of dirty data allowed (the dirty ratio threshold)."""
+        if self.config.dirty_threshold_base == "total":
+            base = self.total_memory
+        else:
+            base = self.available_mem
+        return self.config.dirty_ratio * base
+
+    @property
+    def dirty_background_capacity(self) -> float:
+        """Dirty amount above which background writeback starts."""
+        if self.config.dirty_threshold_base == "total":
+            base = self.total_memory
+        else:
+            base = self.available_mem
+        return self.config.dirty_background_ratio * base
+
+    @property
+    def remaining_dirty_allowance(self) -> float:
+        """How much more dirty data may be produced before flushing."""
+        return self.dirty_capacity - self.dirty
+
+    def cached_amount(self, filename: str) -> float:
+        """Bytes of ``filename`` currently in the page cache."""
+        return self.lists.cached_of_file(filename)
+
+    def cache_content(self) -> Dict[str, float]:
+        """Per-file cache content (Figure 4c)."""
+        return self.lists.files()
+
+    def snapshot(self) -> MemorySnapshot:
+        """Return a :class:`MemorySnapshot` of the current state."""
+        return MemorySnapshot(
+            time=self.env.now,
+            total=self.total_memory,
+            free=self._free,
+            used=self.used_memory,
+            cached=self.lists.size,
+            dirty=self.lists.dirty_size,
+            anonymous=self._anonymous,
+            dirty_threshold=self.dirty_capacity,
+        )
+
+    def assert_consistent(self) -> None:
+        """Check that free + cached + anonymous matches total memory."""
+        self.lists.assert_consistent()
+        balance = self._free + self.lists.size + self._anonymous
+        if abs(balance - self.total_memory) > 1e-3:
+            raise CacheConsistencyError(
+                f"memory accounting drift on {self.name!r}: free({self._free}) + "
+                f"cached({self.lists.size}) + anonymous({self._anonymous}) != "
+                f"total({self.total_memory})"
+            )
+
+    # ------------------------------------------------------ anonymous memory
+    def use_anonymous_memory(self, amount: float, owner: Optional[str] = None) -> None:
+        """Allocate ``amount`` bytes of anonymous (application) memory."""
+        if amount < 0:
+            raise ValueError("cannot allocate a negative amount of memory")
+        if amount == 0:
+            return
+        self._anonymous += amount
+        self._free -= amount
+        if owner is not None:
+            self._anonymous_by_owner[owner] = (
+                self._anonymous_by_owner.get(owner, 0.0) + amount
+            )
+
+    def release_anonymous_memory(self, amount: Optional[float] = None,
+                                 owner: Optional[str] = None) -> float:
+        """Release anonymous memory.
+
+        If ``owner`` is given and ``amount`` is ``None``, all memory held by
+        that owner is released (the synthetic application releases its
+        anonymous memory after each task).  Returns the amount released.
+        """
+        if amount is None:
+            if owner is None:
+                amount = self._anonymous
+            else:
+                amount = self._anonymous_by_owner.get(owner, 0.0)
+        amount = min(amount, self._anonymous)
+        if amount <= 0:
+            return 0.0
+        self._anonymous -= amount
+        self._free += amount
+        if owner is not None:
+            remaining = self._anonymous_by_owner.get(owner, 0.0) - amount
+            if remaining <= _EPSILON:
+                self._anonymous_by_owner.pop(owner, None)
+            else:
+                self._anonymous_by_owner[owner] = remaining
+        return amount
+
+    def anonymous_of(self, owner: str) -> float:
+        """Anonymous memory currently attributed to ``owner``."""
+        return self._anonymous_by_owner.get(owner, 0.0)
+
+    # -------------------------------------------------- written-file tracking
+    def mark_file_being_written(self, filename: str) -> None:
+        """Register ``filename`` as currently being written (kernel heuristic)."""
+        self._files_being_written.add(filename)
+
+    def unmark_file_being_written(self, filename: str) -> None:
+        """Remove ``filename`` from the being-written set."""
+        self._files_being_written.discard(filename)
+
+    def _eviction_exclusions(self, exclude_file: Optional[str]) -> Set[str]:
+        excluded: Set[str] = set()
+        if exclude_file is not None:
+            excluded.add(exclude_file)
+        if self.config.protect_written_files:
+            excluded |= self._files_being_written
+        return excluded
+
+    # ---------------------------------------------------------------- evict
+    def evict(self, amount: float, exclude_file: Optional[str] = None) -> float:
+        """Evict up to ``amount`` bytes of clean data from the cache.
+
+        Traverses the inactive list in LRU order, deleting clean blocks (and
+        splitting the last one if needed).  When ``evict_from_active`` is
+        enabled and the inactive list runs out of clean blocks, the active
+        list is scanned as well.  Returns the number of bytes evicted; this
+        may be less than requested when no clean data remains.
+
+        Eviction consumes no simulated time (negligible in real systems).
+        """
+        if amount is None or amount <= 0:
+            return 0.0
+        excluded = self._eviction_exclusions(exclude_file)
+        evicted = 0.0
+        lists: List[LRUList] = [self.lists.inactive]
+        if self.config.evict_from_active:
+            lists.append(self.lists.active)
+        for lru in lists:
+            if evicted >= amount - _EPSILON:
+                break
+            for block in list(lru.blocks):
+                if evicted >= amount - _EPSILON:
+                    break
+                if block.dirty or block.filename in excluded:
+                    continue
+                needed = amount - evicted
+                if block.size <= needed + _EPSILON:
+                    lru.remove(block)
+                    evicted += block.size
+                    self._free += block.size
+                else:
+                    kept_size = block.size - needed
+                    lru.remove(block)
+                    kept, _gone = block.split(kept_size)
+                    lru.insert_ordered(kept)
+                    evicted += needed
+                    self._free += needed
+        if evicted > 0:
+            self.stats.evicted_bytes += evicted
+            self.stats.evict_ops += 1
+            # Shrinking the inactive list may break the two-list balance;
+            # rebalance as the kernel's reclaim path does (deactivating LRU
+            # active data into the inactive list).
+            self.lists.balance()
+        return evicted
+
+    # ---------------------------------------------------------------- flush
+    def _select_dirty_blocks(self, amount: float,
+                             exclude_file: Optional[str] = None,
+                             ) -> Tuple[List[Block], float]:
+        """Pick LRU dirty blocks totalling ``amount`` bytes and mark them clean.
+
+        Returns the blocks (already marked clean in the lists, splitting the
+        last one if necessary) and the total amount selected.  The selection
+        is synchronous so that a concurrent flusher never picks the same
+        blocks twice.
+        """
+        selected: List[Block] = []
+        total = 0.0
+        for lru in (self.lists.inactive, self.lists.active):
+            if total >= amount - _EPSILON:
+                break
+            for block in list(lru.blocks):
+                if total >= amount - _EPSILON:
+                    break
+                if not block.dirty or block.filename == exclude_file:
+                    continue
+                needed = amount - total
+                if block.size <= needed + _EPSILON:
+                    lru.mark_clean(block)
+                    selected.append(block)
+                    total += block.size
+                else:
+                    # Split into a flushed part and a part that remains dirty.
+                    lru.remove(block)
+                    flushed_part, dirty_part = block.split(needed)
+                    flushed_part.dirty = False
+                    lru.insert_ordered(flushed_part)
+                    lru.insert_ordered(dirty_part)
+                    selected.append(flushed_part)
+                    total += flushed_part.size
+        return selected, total
+
+    def flush(self, amount: float, exclude_file: Optional[str] = None):
+        """Flush up to ``amount`` bytes of dirty data to storage.
+
+        This is a simulation process (``yield`` it from another process):
+        the selected blocks are written to their backing storage devices and
+        the elapsed time is governed by the storage model, including
+        bandwidth sharing with any concurrent I/O.  Returns the number of
+        bytes flushed, which may be smaller than requested if less dirty
+        data is available.
+        """
+        if amount is None or amount <= 0:
+            return 0.0
+        blocks, total = self._select_dirty_blocks(amount, exclude_file)
+        if total <= 0:
+            return 0.0
+        yield from self._write_blocks_to_storage(blocks)
+        self.stats.flushed_bytes += total
+        self.stats.flush_ops += 1
+        return total
+
+    def _write_blocks_to_storage(self, blocks: Iterable[Block]):
+        """Write the given blocks to their storage devices, grouped per device."""
+        per_device: Dict[object, float] = {}
+        for block in blocks:
+            if block.storage is None:
+                continue
+            per_device[block.storage] = per_device.get(block.storage, 0.0) + block.size
+        for device, amount in per_device.items():
+            yield device.write(amount, label=f"{self.name}-flush")
+
+    # ------------------------------------------------------ cache operations
+    def add_to_cache(self, filename: str, amount: float, storage,
+                     dirty: bool = False) -> Optional[Block]:
+        """Insert freshly read (or written) data as a new block.
+
+        Newly cached data always enters the inactive list, as in the kernel.
+        Accounting only; the disk or memory transfer time is simulated by
+        the caller.
+        """
+        if amount <= 0:
+            return None
+        block = Block(
+            filename,
+            amount,
+            entry_time=self.env.now,
+            last_access=self.env.now,
+            dirty=dirty,
+            storage=storage,
+        )
+        self.lists.add_to_inactive(block)
+        self._free -= amount
+        return block
+
+    def write_to_cache(self, filename: str, amount: float, storage):
+        """Write ``amount`` bytes of ``filename`` into the cache (dirty).
+
+        Simulation process: charges a memory write at memory bandwidth and
+        creates a dirty block in the inactive list (writes are assumed to
+        target uncached data, as in the paper).
+        """
+        if amount <= 0:
+            return 0.0
+        self.add_to_cache(filename, amount, storage, dirty=True)
+        self.stats.cache_write_bytes += amount
+        yield self.memory.write(amount, label=f"{self.name}-cache-write")
+        return amount
+
+    def read_from_cache(self, filename: str, amount: float):
+        """Read ``amount`` bytes of ``filename`` from the cache.
+
+        Simulation process implementing the cache-hit path of Algorithm 2:
+        data is taken from the inactive list first, then from the active
+        list; clean blocks are merged into a single re-accessed block
+        appended to the active list, dirty blocks are promoted individually
+        so they keep their entry time.  Charges a memory read at memory
+        bandwidth.  Returns the number of bytes served (bounded by the
+        amount of the file actually cached).
+        """
+        if amount <= 0:
+            return 0.0
+        now = self.env.now
+        remaining = amount
+        merged_clean_size = 0.0
+        merged_entry_time = now
+        merged_storage = None
+
+        for lru in (self.lists.inactive, self.lists.active):
+            if remaining <= _EPSILON:
+                break
+            for block in list(lru.blocks):
+                if remaining <= _EPSILON:
+                    break
+                if block.filename != filename:
+                    continue
+                if block.size > remaining + _EPSILON:
+                    # Only part of the block is accessed: split and re-access
+                    # the first part only.
+                    lru.remove(block)
+                    accessed, rest = block.split(remaining)
+                    lru.insert_ordered(rest)
+                    block = accessed
+                else:
+                    lru.remove(block)
+                taken = block.size
+                if block.dirty:
+                    # Dirty blocks are moved independently to preserve their
+                    # entry time (needed for expiration).
+                    block.touch(now)
+                    self.lists.active.append(block)
+                else:
+                    merged_entry_time = min(merged_entry_time, block.entry_time)
+                    merged_clean_size += taken
+                    if block.storage is not None:
+                        merged_storage = block.storage
+                remaining -= taken
+
+        if merged_clean_size > 0:
+            merged = Block(
+                filename,
+                merged_clean_size,
+                entry_time=merged_entry_time,
+                last_access=now,
+                dirty=False,
+                storage=merged_storage,
+            )
+            self.lists.active.append(merged)
+
+        self.lists.balance()
+        served = amount - max(0.0, remaining)
+        if served > 0:
+            self.stats.record_hit(filename, served)
+            yield self.memory.read(served, label=f"{self.name}-cache-read")
+        return served
+
+    def invalidate_file(self, filename: str) -> float:
+        """Drop every cached block of ``filename`` (e.g. file deletion).
+
+        Dirty data of the file is discarded without being written back,
+        mirroring what happens when a file is unlinked.  Returns the number
+        of bytes removed from the cache.
+        """
+        removed = 0.0
+        for lru in (self.lists.inactive, self.lists.active):
+            for block in list(lru.blocks):
+                if block.filename == filename:
+                    lru.remove(block)
+                    removed += block.size
+                    self._free += block.size
+        if removed > 0:
+            self.lists.balance()
+        return removed
+
+    # ---------------------------------------------------- periodical flushing
+    def expired_blocks(self) -> List[Block]:
+        """Dirty blocks older than the configured expiration time."""
+        now = self.env.now
+        expiration = self.config.dirty_expire
+        return (
+            self.lists.inactive.expired_blocks(now, expiration)
+            + self.lists.active.expired_blocks(now, expiration)
+        )
+
+    def _periodic_flush(self):
+        """Algorithm 1: flush expired dirty blocks every ``writeback_interval``."""
+        interval = self.config.writeback_interval
+        while self._running:
+            start = self.env.now
+            blocks = self.expired_blocks()
+            flushed = 0.0
+            for block in blocks:
+                # Mark clean before the write so foreground flushing does not
+                # pick the same block.
+                if block in self.lists.inactive:
+                    self.lists.inactive.mark_clean(block)
+                elif block in self.lists.active:
+                    self.lists.active.mark_clean(block)
+                else:
+                    continue
+                flushed += block.size
+                if block.storage is not None:
+                    yield block.storage.write(block.size, label=f"{self.name}-bg-flush")
+            if flushed > 0:
+                self.stats.background_flushed_bytes += flushed
+            flushing_time = self.env.now - start
+            if flushing_time < interval:
+                yield self.env.timeout(interval - flushing_time)
+
+    def stop(self) -> None:
+        """Stop the background flusher at its next wake-up."""
+        self._running = False
+
+    def __repr__(self) -> str:
+        return (
+            f"<MemoryManager {self.name!r} total={format_size(self.total_memory)} "
+            f"free={format_size(max(0.0, self._free))} "
+            f"cached={format_size(self.cached)} dirty={format_size(self.dirty)} "
+            f"anon={format_size(self.anonymous)}>"
+        )

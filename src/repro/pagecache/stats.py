@@ -1,0 +1,101 @@
+"""Cache statistics counters.
+
+The counters are purely observational: they never influence simulated time.
+They are used by the test-suite to check invariants (e.g. bytes served from
+cache + bytes served from disk == bytes requested) and by the experiment
+reports to explain *why* a simulation behaves the way it does (hit ratios,
+flushed volume, evicted volume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CacheStatistics:
+    """Byte and operation counters for a simulated page cache."""
+
+    #: Bytes served from the page cache (cache hits).
+    cache_hit_bytes: float = 0.0
+    #: Bytes read from the underlying storage device (cache misses).
+    cache_miss_bytes: float = 0.0
+    #: Bytes written to the page cache (writeback writes).
+    cache_write_bytes: float = 0.0
+    #: Bytes written directly to storage (writethrough or direct I/O).
+    direct_write_bytes: float = 0.0
+    #: Bytes of dirty data flushed to storage (foreground flushes).
+    flushed_bytes: float = 0.0
+    #: Bytes of dirty data flushed by the periodical background flusher.
+    background_flushed_bytes: float = 0.0
+    #: Bytes of clean data evicted from the cache.
+    evicted_bytes: float = 0.0
+    #: Number of chunk read operations.
+    read_ops: int = 0
+    #: Number of chunk write operations.
+    write_ops: int = 0
+    #: Number of foreground flush invocations that flushed at least one byte.
+    flush_ops: int = 0
+    #: Number of eviction invocations that evicted at least one byte.
+    evict_ops: int = 0
+    #: Per-file bytes served from cache.
+    per_file_hits: Dict[str, float] = field(default_factory=dict)
+    #: Per-file bytes read from storage.
+    per_file_misses: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------- api
+    def record_hit(self, filename: str, amount: float) -> None:
+        """Record ``amount`` bytes of ``filename`` served from the cache."""
+        self.cache_hit_bytes += amount
+        self.per_file_hits[filename] = self.per_file_hits.get(filename, 0.0) + amount
+
+    def record_miss(self, filename: str, amount: float) -> None:
+        """Record ``amount`` bytes of ``filename`` read from storage."""
+        self.cache_miss_bytes += amount
+        self.per_file_misses[filename] = (
+            self.per_file_misses.get(filename, 0.0) + amount
+        )
+
+    @property
+    def total_read_bytes(self) -> float:
+        """Total bytes served to applications by read operations."""
+        return self.cache_hit_bytes + self.cache_miss_bytes
+
+    @property
+    def total_write_bytes(self) -> float:
+        """Total bytes written by applications."""
+        return self.cache_write_bytes + self.direct_write_bytes
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of read bytes served from the cache (0 if no reads)."""
+        total = self.total_read_bytes
+        if total <= 0:
+            return 0.0
+        return self.cache_hit_bytes / total
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the scalar counters as a plain dictionary."""
+        return {
+            "cache_hit_bytes": self.cache_hit_bytes,
+            "cache_miss_bytes": self.cache_miss_bytes,
+            "cache_write_bytes": self.cache_write_bytes,
+            "direct_write_bytes": self.direct_write_bytes,
+            "flushed_bytes": self.flushed_bytes,
+            "background_flushed_bytes": self.background_flushed_bytes,
+            "evicted_bytes": self.evicted_bytes,
+            "read_ops": self.read_ops,
+            "write_ops": self.write_ops,
+            "flush_ops": self.flush_ops,
+            "evict_ops": self.evict_ops,
+            "hit_ratio": self.hit_ratio,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<CacheStatistics hits={self.cache_hit_bytes:.0f}B "
+            f"misses={self.cache_miss_bytes:.0f}B "
+            f"flushed={self.flushed_bytes + self.background_flushed_bytes:.0f}B "
+            f"evicted={self.evicted_bytes:.0f}B>"
+        )

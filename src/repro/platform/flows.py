@@ -1,0 +1,209 @@
+"""Fair-sharing flow model for contended devices.
+
+A :class:`FairShareChannel` represents a device (disk head, memory bus,
+network link) with a nominal bandwidth ``B``.  When ``n`` transfers are in
+flight simultaneously, each progresses at ``B / n`` (progressive filling /
+max-min fairness with a single bottleneck), which is the macroscopic model
+SimGrid uses for storage and network resources and the one the paper relies
+on for simulating concurrent applications.
+
+The channel recomputes the remaining work of every active flow whenever a
+flow starts or completes, and schedules a single "next completion" waker
+process.  The cost of the model is therefore proportional to the number of
+flow arrivals/departures, not to the amount of data transferred.
+
+A channel can also be configured with ``sharing=False``, in which case each
+transfer proceeds at the full bandwidth regardless of contention.  This
+degenerate mode reproduces the paper's standalone Python prototype, which
+"does not simulate bandwidth sharing and thus does not support concurrency".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.des.environment import Environment
+from repro.des.events import Event
+from repro.errors import ConfigurationError
+
+#: Tolerance below which a flow is considered complete (bytes).
+_EPSILON = 1e-6
+
+
+class Flow:
+    """A single transfer in progress on a :class:`FairShareChannel`."""
+
+    __slots__ = ("amount", "remaining", "event", "start_time", "label")
+
+    def __init__(self, amount: float, event: Event, start_time: float,
+                 label: Optional[str] = None):
+        self.amount = float(amount)
+        self.remaining = float(amount)
+        self.event = event
+        self.start_time = start_time
+        self.label = label
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the transfer completed, in ``[0, 1]``."""
+        if self.amount == 0:
+            return 1.0
+        return 1.0 - self.remaining / self.amount
+
+    def __repr__(self) -> str:
+        return (
+            f"<Flow {self.label or ''} {self.amount - self.remaining:.0f}/"
+            f"{self.amount:.0f} bytes>"
+        )
+
+
+class FairShareChannel:
+    """A bandwidth-limited channel shared fairly among concurrent flows.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    bandwidth:
+        Nominal bandwidth in bytes per second.  Must be positive.
+    name:
+        Human-readable name used in ``repr`` and statistics.
+    sharing:
+        If ``True`` (default), the bandwidth is divided equally among active
+        flows.  If ``False``, every flow progresses at the full bandwidth
+        (contention-oblivious mode used by the single-threaded prototype).
+    """
+
+    def __init__(self, env: Environment, bandwidth: float,
+                 name: str = "channel", sharing: bool = True):
+        if bandwidth <= 0:
+            raise ConfigurationError(
+                f"channel {name!r} requires a positive bandwidth, got {bandwidth}"
+            )
+        self.env = env
+        self.bandwidth = float(bandwidth)
+        self.name = name
+        self.sharing = sharing
+        self._flows: List[Flow] = []
+        self._last_update = env.now
+        self._version = 0
+        # Statistics
+        self.total_transferred = 0.0
+        self.total_flows = 0
+        self._busy_since: Optional[float] = None
+        self.busy_time = 0.0
+
+    # ----------------------------------------------------------------- state
+    @property
+    def active_flows(self) -> int:
+        """Number of transfers currently in flight."""
+        return len(self._flows)
+
+    @property
+    def rate_per_flow(self) -> float:
+        """Bandwidth currently granted to each active flow."""
+        if not self._flows:
+            return self.bandwidth
+        if not self.sharing:
+            return self.bandwidth
+        return self.bandwidth / len(self._flows)
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Fraction of time the channel had at least one active flow."""
+        end = self.env.now if horizon is None else horizon
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += max(0.0, end - self._busy_since)
+        if end <= 0:
+            return 0.0
+        return min(1.0, busy / end)
+
+    # ------------------------------------------------------------------- api
+    def transfer(self, amount: float, label: Optional[str] = None) -> Event:
+        """Start a transfer of ``amount`` bytes.
+
+        Returns an event that succeeds (with the elapsed transfer time) once
+        the transfer completes.  Zero-sized transfers complete immediately.
+        """
+        if amount < 0:
+            raise ValueError(f"cannot transfer a negative amount ({amount})")
+        done = Event(self.env)
+        if amount <= _EPSILON:
+            done.succeed(0.0)
+            return done
+
+        self._update_progress()
+        flow = Flow(amount, done, self.env.now, label=label)
+        if self._busy_since is None:
+            self._busy_since = self.env.now
+        self._flows.append(flow)
+        self.total_flows += 1
+        self._reschedule()
+        return done
+
+    def estimate_time(self, amount: float) -> float:
+        """Time the transfer would take with the *current* contention level.
+
+        This is an instantaneous estimate used by tests and reporting only;
+        the actual transfer time depends on future arrivals and departures.
+        """
+        flows = len(self._flows) + 1
+        rate = self.bandwidth if not self.sharing else self.bandwidth / flows
+        return amount / rate
+
+    # ------------------------------------------------------------- internals
+    def _update_progress(self) -> None:
+        now = self.env.now
+        elapsed = now - self._last_update
+        if elapsed > 0 and self._flows:
+            rate = self.rate_per_flow
+            for flow in self._flows:
+                done_amount = min(flow.remaining, rate * elapsed)
+                flow.remaining -= done_amount
+                self.total_transferred += done_amount
+        self._last_update = now
+
+    def _complete_finished_flows(self) -> None:
+        finished = [flow for flow in self._flows if flow.remaining <= _EPSILON]
+        for flow in finished:
+            self._flows.remove(flow)
+            flow.remaining = 0.0
+            flow.event.succeed(self.env.now - flow.start_time)
+        if not self._flows and self._busy_since is not None:
+            self.busy_time += self.env.now - self._busy_since
+            self._busy_since = None
+
+    def _reschedule(self) -> None:
+        self._version += 1
+        while self._flows:
+            rate = self.rate_per_flow
+            next_completion = min(flow.remaining / rate for flow in self._flows)
+            if self.env.now + next_completion > self.env.now:
+                version = self._version
+                self.env.process(self._waker(version, next_completion),
+                                 name=f"{self.name}-waker")
+                return
+            # The residual work is so small that its completion time is not
+            # representable at the current simulated time: finish the
+            # smallest flows immediately instead of spinning on zero-length
+            # timeouts (floating-point underflow guard).
+            smallest = min(flow.remaining for flow in self._flows)
+            for flow in list(self._flows):
+                if flow.remaining <= smallest + _EPSILON:
+                    self.total_transferred += flow.remaining
+                    flow.remaining = 0.0
+            self._complete_finished_flows()
+
+    def _waker(self, version: int, delay: float):
+        yield self.env.timeout(delay)
+        if version != self._version:
+            return
+        self._update_progress()
+        self._complete_finished_flows()
+        self._reschedule()
+
+    def __repr__(self) -> str:
+        return (
+            f"<FairShareChannel {self.name!r} bw={self.bandwidth:.3g} B/s "
+            f"flows={len(self._flows)} sharing={self.sharing}>"
+        )

@@ -1,0 +1,96 @@
+"""Host model: CPU + memory + local disks.
+
+A host groups the hardware devices the higher layers need: a multi-core
+CPU, a memory device (size and bandwidth) and a set of named disks.  The
+page-cache machinery (Memory Manager, I/O Controller) is attached to hosts
+by the simulator layer, keeping this module purely about hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.des.environment import Environment
+from repro.errors import ConfigurationError
+from repro.platform.cpu import CPU
+from repro.platform.memory import MemoryDevice
+from repro.platform.storage import Disk
+from repro.units import format_size
+
+
+class Host:
+    """A simulated machine.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    name:
+        Unique host name.
+    cores:
+        Number of CPU cores.
+    speed:
+        Per-core speed in flops/s.
+    memory:
+        The host's :class:`~repro.platform.memory.MemoryDevice`.
+    """
+
+    def __init__(self, env: Environment, name: str, *, cores: int = 1,
+                 speed: float = CPU.DEFAULT_SPEED,
+                 memory: Optional[MemoryDevice] = None):
+        self.env = env
+        self.name = name
+        self.cpu = CPU(env, cores=cores, speed=speed, name=f"{name}.cpu")
+        self.memory = memory
+        self.disks: Dict[str, Disk] = {}
+        #: Set by the simulator layer when page caching is enabled.
+        self.memory_manager = None
+
+    # -------------------------------------------------------------- building
+    def set_memory(self, memory: MemoryDevice) -> MemoryDevice:
+        """Attach a memory device to the host."""
+        self.memory = memory
+        return memory
+
+    def add_disk(self, disk: Disk, mount_point: Optional[str] = None) -> Disk:
+        """Attach a disk under ``mount_point`` (defaults to the disk name)."""
+        key = mount_point or disk.name
+        if key in self.disks:
+            raise ConfigurationError(
+                f"host {self.name!r} already has a disk mounted at {key!r}"
+            )
+        self.disks[key] = disk
+        return disk
+
+    def disk(self, mount_point: str) -> Disk:
+        """Return the disk mounted at ``mount_point``."""
+        try:
+            return self.disks[mount_point]
+        except KeyError:
+            raise ConfigurationError(
+                f"host {self.name!r} has no disk mounted at {mount_point!r}; "
+                f"known mount points: {sorted(self.disks)}"
+            ) from None
+
+    # ------------------------------------------------------------------ info
+    @property
+    def cores(self) -> int:
+        """Number of CPU cores."""
+        return self.cpu.cores
+
+    @property
+    def speed(self) -> float:
+        """Per-core CPU speed in flops/s."""
+        return self.cpu.speed
+
+    @property
+    def memory_size(self) -> float:
+        """Physical memory size in bytes (0 if no memory device attached)."""
+        return self.memory.size if self.memory is not None else 0.0
+
+    def __repr__(self) -> str:
+        mem = format_size(self.memory_size) if self.memory else "none"
+        return (
+            f"<Host {self.name!r} cores={self.cores} mem={mem} "
+            f"disks={sorted(self.disks)}>"
+        )

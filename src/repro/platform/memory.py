@@ -1,0 +1,83 @@
+"""Memory device model.
+
+The page cache model charges cached reads and cache writes at memory
+bandwidth.  A :class:`MemoryDevice` is a bandwidth-limited device just like
+a disk (reads and writes through fair-sharing channels), plus a total size
+used by the :class:`~repro.pagecache.memory_manager.MemoryManager` for
+capacity accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.des.environment import Environment
+from repro.errors import ConfigurationError
+from repro.platform.storage import StorageDevice
+from repro.units import format_size
+
+
+class MemoryDevice(StorageDevice):
+    """RAM of a host: a storage device with byte-addressable capacity.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    name:
+        Device name, typically ``"<host>.ram"``.
+    size:
+        Total physical memory in bytes.
+    read_bandwidth, write_bandwidth:
+        Memory bandwidths in bytes per second.
+    latency:
+        Per-access latency (usually 0 for the macroscopic model).
+    sharing:
+        Whether concurrent accesses share the memory bandwidth.
+    """
+
+    def __init__(self, env: Environment, name: str, *, size: float,
+                 read_bandwidth: float, write_bandwidth: float,
+                 latency: float = 0.0, sharing: bool = True,
+                 unified_channel: Optional[bool] = None):
+        if size <= 0:
+            raise ConfigurationError(f"memory {name!r}: size must be positive")
+        if unified_channel is None:
+            unified_channel = read_bandwidth == write_bandwidth
+        super().__init__(
+            env,
+            name,
+            read_bandwidth=read_bandwidth,
+            write_bandwidth=write_bandwidth,
+            capacity=size,
+            latency=latency,
+            sharing=sharing,
+            unified_channel=unified_channel,
+        )
+
+    @property
+    def size(self) -> float:
+        """Total physical memory in bytes (alias of ``capacity``)."""
+        return self.capacity
+
+    @classmethod
+    def symmetric(cls, env: Environment, name: str, bandwidth: float, *,
+                  size: float, latency: float = 0.0,
+                  sharing: bool = True) -> "MemoryDevice":
+        """Create a memory device with identical read and write bandwidths."""
+        return cls(
+            env,
+            name,
+            size=size,
+            read_bandwidth=bandwidth,
+            write_bandwidth=bandwidth,
+            latency=latency,
+            sharing=sharing,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<MemoryDevice {self.name!r} size={format_size(self.size)} "
+            f"r={format_size(self.read_bandwidth)}/s "
+            f"w={format_size(self.write_bandwidth)}/s>"
+        )

@@ -1,0 +1,42 @@
+"""Compute service: task computation on a host's CPU.
+
+A thin wrapper over :class:`~repro.platform.cpu.CPU` mirroring WRENCH's
+bare-metal compute service.  It exists mainly so the workflow executor
+talks to services (storage + compute) rather than to devices directly,
+which keeps the door open for richer compute models (multi-core tasks,
+batch queues) without touching the executor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.des.environment import Environment
+from repro.platform.host import Host
+from repro.simulator.workflow import Task
+
+
+class ComputeService:
+    """Executes the computational part of tasks on a host."""
+
+    def __init__(self, env: Environment, host: Host, name: Optional[str] = None):
+        self.env = env
+        self.host = host
+        self.name = name or f"compute:{host.name}"
+        self.tasks_completed = 0
+
+    def execute(self, task: Task):
+        """Run the computation of ``task``; simulation process.
+
+        Returns the simulated duration of the computation (which may exceed
+        the task's CPU time if all cores were busy and the task had to
+        queue).
+        """
+        start = self.env.now
+        if task.flops > 0:
+            yield self.host.cpu.execute(task.flops, label=f"compute:{task.name}")
+        self.tasks_completed += 1
+        return self.env.now - start
+
+    def __repr__(self) -> str:
+        return f"<ComputeService {self.name!r} host={self.host.name!r}>"

@@ -1,0 +1,350 @@
+"""Simulation facade.
+
+:class:`Simulation` is the main entry point of the library.  It ties
+together a platform, storage services, workflows and tracing, then runs the
+discrete-event simulation and returns a :class:`SimulationResult` with
+everything the paper's figures are built from: per-operation times, memory
+profiles, cache contents and cache statistics.
+
+Example
+-------
+>>> from repro import Simulation, SimulationConfig, File, GB
+>>> from repro.apps.synthetic import synthetic_workflow
+>>> sim = Simulation(config=SimulationConfig(cache_mode="writeback"))
+>>> sim.create_single_node_platform()
+>>> svc = sim.create_storage_service("node1", "/local")
+>>> app = synthetic_workflow(input_size=3 * GB)
+>>> sim.stage_file(app.input_files()[0], svc)
+>>> sim.submit_workflow(app, host="node1", storage=svc)
+>>> result = sim.run()
+>>> result.makespan > 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.des.environment import Environment
+from repro.errors import ConfigurationError
+from repro.filesystem.file import File
+from repro.filesystem.nfs import NFSConfig
+from repro.filesystem.registry import FileRegistry
+from repro.pagecache.config import PageCacheConfig
+from repro.pagecache.memory_manager import MemorySnapshot
+from repro.pagecache.stats import CacheStatistics
+from repro.platform.host import Host
+from repro.platform.platform import Platform, concordia_cluster
+from repro.simulator.cacheless import SimpleStorageService
+from repro.simulator.storage_service import (
+    NFSStorageService,
+    PageCachedStorageService,
+    StorageService,
+)
+from repro.simulator.tracing import CacheContentRecord, OperationRecord, Tracer
+from repro.simulator.wms import WorkflowExecutor
+from repro.simulator.workflow import Workflow
+from repro.units import GiB, MBps, GB
+
+#: Valid cache modes for storage services.
+CACHE_MODES = ("none", "writeback", "writethrough")
+
+
+@dataclass
+class SimulationConfig:
+    """Global configuration of a simulation.
+
+    Attributes
+    ----------
+    cache_mode:
+        Default cache mode of storage services: ``"none"`` reproduces the
+        original WRENCH simulator, ``"writeback"`` and ``"writethrough"``
+        enable the page cache model.
+    page_cache:
+        Kernel tunables for the page cache model.
+    chunk_size:
+        Default I/O granularity (``None`` = the page-cache default).
+    trace_interval:
+        Period in simulated seconds of the memory profile sampler
+        (``None`` disables sampling).
+    """
+
+    cache_mode: str = "writeback"
+    page_cache: PageCacheConfig = field(default_factory=PageCacheConfig)
+    chunk_size: Optional[float] = None
+    trace_interval: Optional[float] = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cache_mode not in CACHE_MODES:
+            raise ConfigurationError(
+                f"cache_mode must be one of {CACHE_MODES}, got {self.cache_mode!r}"
+            )
+        if self.chunk_size is not None and self.chunk_size <= 0:
+            raise ConfigurationError("chunk_size must be positive")
+        if self.trace_interval is not None and self.trace_interval <= 0:
+            raise ConfigurationError("trace_interval must be positive")
+
+
+@dataclass
+class SimulationResult:
+    """Everything observed during a simulation run."""
+
+    #: Simulated makespan (time of the last completed workflow).
+    makespan: float
+    #: Wall-clock time spent running the simulation (Figure 8).
+    wallclock_time: float
+    #: All traced read/compute/write operations.
+    operations: List[OperationRecord]
+    #: Periodic memory snapshots (Figure 4b).
+    memory_trace: List[MemorySnapshot]
+    #: Per-file cache contents recorded after each I/O (Figure 4c).
+    cache_contents: List[CacheContentRecord]
+    #: Cache statistics per host name.
+    cache_stats: Dict[str, CacheStatistics]
+    #: Per-workflow-instance makespan, keyed by label.
+    app_makespans: Dict[str, float]
+
+    # ------------------------------------------------------------------- api
+    def operations_of(self, kind: str, app: Optional[str] = None) -> List[OperationRecord]:
+        """Operations of ``kind`` (optionally restricted to one app)."""
+        return [
+            record
+            for record in self.operations
+            if record.kind == kind and (app is None or record.app == app)
+        ]
+
+    def duration_of(self, task: str, kind: str, app: Optional[str] = None) -> float:
+        """Summed duration of ``kind`` operations of ``task``."""
+        return sum(
+            record.duration
+            for record in self.operations
+            if record.task == task
+            and record.kind == kind
+            and (app is None or record.app == app)
+        )
+
+    def total_read_time(self, app: Optional[str] = None) -> float:
+        """Total simulated time spent reading files."""
+        return sum(record.duration for record in self.operations_of("read", app))
+
+    def total_write_time(self, app: Optional[str] = None) -> float:
+        """Total simulated time spent writing files."""
+        return sum(record.duration for record in self.operations_of("write", app))
+
+    def mean_app_read_time(self) -> float:
+        """Mean per-application cumulative read time (Figures 5 and 7)."""
+        apps = {record.app for record in self.operations}
+        if not apps:
+            return 0.0
+        return sum(self.total_read_time(app) for app in apps) / len(apps)
+
+    def mean_app_write_time(self) -> float:
+        """Mean per-application cumulative write time (Figures 5 and 7)."""
+        apps = {record.app for record in self.operations}
+        if not apps:
+            return 0.0
+        return sum(self.total_write_time(app) for app in apps) / len(apps)
+
+
+class Simulation:
+    """Builds and runs one simulated execution."""
+
+    def __init__(self, env: Optional[Environment] = None,
+                 config: Optional[SimulationConfig] = None):
+        self.env = env or Environment()
+        self.config = config or SimulationConfig()
+        self.platform: Optional[Platform] = None
+        self.registry = FileRegistry()
+        self.tracer = Tracer(self.env, sample_interval=self.config.trace_interval)
+        self.storage_services: List[StorageService] = []
+        self._executors: List[WorkflowExecutor] = []
+        self._has_run = False
+
+    # --------------------------------------------------------------- platform
+    def set_platform(self, platform: Platform) -> Platform:
+        """Use an externally built platform."""
+        self.platform = platform
+        return platform
+
+    def create_single_node_platform(self, *, cores: int = 32,
+                                    memory_size: float = 250 * GiB,
+                                    memory_bandwidth: float = 4812 * MBps,
+                                    disk_bandwidth: float = 465 * MBps,
+                                    disk_capacity: float = float("inf"),
+                                    ) -> Platform:
+        """Create a one-node platform matching the paper's compute nodes."""
+        platform = concordia_cluster(
+            self.env,
+            compute_nodes=1,
+            cores_per_node=cores,
+            memory_size=memory_size,
+            memory_bandwidth=memory_bandwidth,
+            local_disk_bandwidth=disk_bandwidth,
+            local_disk_capacity=disk_capacity,
+            with_nfs_server=False,
+        )
+        return self.set_platform(platform)
+
+    def create_cluster_platform(self, **kwargs) -> Platform:
+        """Create the full cluster platform (compute nodes + NFS server)."""
+        return self.set_platform(concordia_cluster(self.env, **kwargs))
+
+    def host(self, name: str) -> Host:
+        """Return a host of the platform."""
+        if self.platform is None:
+            raise ConfigurationError("no platform has been set")
+        return self.platform.host(name)
+
+    # --------------------------------------------------------------- services
+    def create_storage_service(self, host_name: str, mount_point: str, *,
+                               cache_mode: Optional[str] = None,
+                               name: Optional[str] = None) -> StorageService:
+        """Create a local storage service on ``host_name``/``mount_point``."""
+        mode = cache_mode or self.config.cache_mode
+        if mode not in CACHE_MODES:
+            raise ConfigurationError(f"unknown cache mode {mode!r}")
+        host = self.host(host_name)
+        disk = host.disk(mount_point)
+        if mode == "none":
+            network = self.platform.network if self.platform else None
+            service: StorageService = SimpleStorageService(
+                self.env, host, disk, network=network, name=name
+            )
+        else:
+            service = PageCachedStorageService(
+                self.env,
+                host,
+                disk,
+                cache_config=self.config.page_cache,
+                writethrough=(mode == "writethrough"),
+                name=name,
+            )
+            self.tracer.attach_memory_manager(service.memory_manager)
+        self.storage_services.append(service)
+        return service
+
+    def create_nfs_storage_service(self, server_host: str, mount_point: str, *,
+                                   nfs_config: Optional[NFSConfig] = None,
+                                   cache_mode: Optional[str] = None,
+                                   name: Optional[str] = None) -> StorageService:
+        """Create an NFS storage service served by ``server_host``.
+
+        With ``cache_mode="none"`` the server does not cache anything
+        (cacheless baseline); otherwise the server maintains a page cache
+        according to ``nfs_config`` (writethrough by default, as in Exp 3).
+        """
+        mode = cache_mode or self.config.cache_mode
+        host = self.host(server_host)
+        disk = host.disk(mount_point)
+        if mode == "none":
+            service: StorageService = SimpleStorageService(
+                self.env, host, disk, network=self.platform.network, name=name
+            )
+        else:
+            config = nfs_config or NFSConfig.hpc_default()
+            if mode == "writeback":
+                config = NFSConfig(
+                    server_cache_mode="writeback",
+                    server_read_cache=config.server_read_cache,
+                    client_read_cache=config.client_read_cache,
+                    client_write_cache=config.client_write_cache,
+                )
+            service = NFSStorageService(
+                self.env,
+                host,
+                disk,
+                network=self.platform.network,
+                nfs_config=config,
+                cache_config=self.config.page_cache,
+                name=name,
+            )
+            if service.memory_manager is not None:
+                self.tracer.attach_memory_manager(service.memory_manager)
+        self.storage_services.append(service)
+        return service
+
+    # ------------------------------------------------------------------ files
+    def stage_file(self, file: File, service: StorageService) -> None:
+        """Create ``file`` on ``service`` before the simulation starts."""
+        service.stage_file(file)
+        self.registry.add_entry(file, service)
+
+    def stage_files(self, files: List[File], service: StorageService) -> None:
+        """Stage several files on the same service."""
+        for file in files:
+            self.stage_file(file, service)
+
+    # -------------------------------------------------------------- workflows
+    def submit_workflow(self, workflow: Workflow, *, host: str,
+                        storage: StorageService, label: Optional[str] = None,
+                        chunk_size: Optional[float] = None) -> WorkflowExecutor:
+        """Register a workflow instance for execution on ``host``.
+
+        ``storage`` receives the files produced by the workflow.  Input
+        files must have been staged (or be produced by another submitted
+        workflow) before :meth:`run` is called.
+        """
+        executor = WorkflowExecutor(
+            self.env,
+            workflow,
+            self.host(host),
+            self.registry,
+            storage,
+            self.tracer,
+            label=label,
+            chunk_size=chunk_size or self.config.chunk_size,
+        )
+        self._executors.append(executor)
+        return executor
+
+    # -------------------------------------------------------------------- run
+    def run(self, until: Optional[float] = None) -> SimulationResult:
+        """Run the simulation until all submitted workflows complete."""
+        import time as _time
+
+        if self._has_run:
+            raise ConfigurationError("a Simulation object can only be run once")
+        if not self._executors:
+            raise ConfigurationError("no workflow was submitted")
+        self._has_run = True
+
+        processes = [
+            self.env.process(executor.run(), name=f"executor:{executor.label}")
+            for executor in self._executors
+        ]
+        completion = self.env.all_of(processes)
+
+        wall_start = _time.perf_counter()
+        if until is not None:
+            self.env.run(until=until)
+        else:
+            self.env.run(until=completion)
+        wallclock = _time.perf_counter() - wall_start
+
+        # Stop background flushers so that subsequent env.run calls (if any)
+        # are not kept alive forever by the periodical flushing loops.
+        for host in (self.platform.hosts.values() if self.platform else []):
+            if host.memory_manager is not None:
+                host.memory_manager.stop()
+
+        cache_stats: Dict[str, CacheStatistics] = {}
+        for host in (self.platform.hosts.values() if self.platform else []):
+            if host.memory_manager is not None:
+                cache_stats[host.name] = host.memory_manager.stats
+
+        app_makespans = {
+            executor.label: (executor.end_time - executor.start_time)
+            for executor in self._executors
+            if executor.start_time is not None and executor.end_time is not None
+        }
+
+        return SimulationResult(
+            makespan=self.env.now,
+            wallclock_time=wallclock,
+            operations=list(self.tracer.operations),
+            memory_trace=list(self.tracer.memory_trace),
+            cache_contents=list(self.tracer.cache_contents),
+            cache_stats=cache_stats,
+            app_makespans=app_makespans,
+        )

@@ -1,0 +1,283 @@
+"""Storage services.
+
+A storage service exposes file read/write operations backed by a disk on a
+host.  Three flavours are provided:
+
+* :class:`~repro.simulator.cacheless.SimpleStorageService` — the original
+  WRENCH behaviour: every byte goes to the disk at disk bandwidth, no page
+  cache (defined in its own module to keep the baseline isolated);
+* :class:`PageCachedStorageService` — WRENCH-cache: local I/O goes through
+  the host's Memory Manager and I/O Controller (writeback or writethrough);
+* :class:`NFSStorageService` — a remote storage service reached over the
+  network; the *server* maintains its own page cache (read cache enabled,
+  writethrough by default as in the paper's Exp 3), the client does not
+  cache.
+
+All read/write methods are simulation processes returning an
+:class:`~repro.pagecache.io_controller.IOResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.des.environment import Environment
+from repro.errors import ConfigurationError
+from repro.filesystem.file import File
+from repro.filesystem.nfs import NFSConfig
+from repro.pagecache.config import PageCacheConfig
+from repro.pagecache.io_controller import IOController, IOResult
+from repro.pagecache.memory_manager import MemoryManager
+from repro.platform.host import Host
+from repro.platform.network import Network
+from repro.platform.storage import Disk
+
+#: Accounting tolerance in bytes.
+_EPSILON = 1e-6
+
+
+class StorageService:
+    """Base class for storage services."""
+
+    #: Cache behaviour; one of ``"none"``, ``"writeback"``, ``"writethrough"``.
+    cache_mode = "none"
+
+    def __init__(self, env: Environment, host: Host, disk: Disk,
+                 name: Optional[str] = None):
+        self.env = env
+        self.host = host
+        self.disk = disk
+        self.name = name or f"{host.name}:{disk.name}"
+
+    # ------------------------------------------------------------------- api
+    def stage_file(self, file: File) -> None:
+        """Place ``file`` on the service without simulating any transfer.
+
+        Used to create the input files that exist before the execution
+        starts (the page cache is cleared before each run in the paper, so
+        staged files are *not* cached).
+        """
+        self.disk.allocate(file.size)
+
+    def delete_file(self, file: File) -> None:
+        """Remove ``file`` from the service, releasing its disk space."""
+        self.disk.deallocate(file.size)
+
+    def read_file(self, file: File, *, reader_host: Optional[Host] = None,
+                  owner: Optional[str] = None, chunk_size: Optional[float] = None,
+                  use_anonymous_memory: bool = True):
+        """Read ``file``; simulation process returning an :class:`IOResult`."""
+        raise NotImplementedError
+
+    def write_file(self, file: File, *, writer_host: Optional[Host] = None,
+                   owner: Optional[str] = None, chunk_size: Optional[float] = None):
+        """Write ``file``; simulation process returning an :class:`IOResult`."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} cache={self.cache_mode}>"
+
+
+class PageCachedStorageService(StorageService):
+    """Local storage service with a simulated page cache (WRENCH-cache).
+
+    Parameters
+    ----------
+    env, host, disk:
+        Location of the service.  The host must have a memory device.
+    cache_config:
+        Page cache tunables; a fresh :class:`MemoryManager` is created on
+        the host if it does not already have one (one manager per host,
+        shared by all its services, like the kernel's single page cache).
+    writethrough:
+        If true, writes use the writethrough path instead of writeback.
+    """
+
+    def __init__(self, env: Environment, host: Host, disk: Disk,
+                 cache_config: Optional[PageCacheConfig] = None,
+                 writethrough: bool = False, name: Optional[str] = None):
+        super().__init__(env, host, disk, name=name)
+        if host.memory is None:
+            raise ConfigurationError(
+                f"host {host.name!r} has no memory device; a page-cached storage "
+                "service requires one"
+            )
+        if host.memory_manager is None:
+            host.memory_manager = MemoryManager(
+                env, host.memory, cache_config or PageCacheConfig(),
+                name=f"{host.name}.mm",
+            )
+        self.memory_manager: MemoryManager = host.memory_manager
+        self.io_controller = IOController(env, self.memory_manager)
+        self.writethrough = writethrough
+
+    @property
+    def cache_mode(self) -> str:  # type: ignore[override]
+        return "writethrough" if self.writethrough else "writeback"
+
+    def read_file(self, file: File, *, reader_host: Optional[Host] = None,
+                  owner: Optional[str] = None, chunk_size: Optional[float] = None,
+                  use_anonymous_memory: bool = True):
+        result = yield from self.io_controller.read_file(
+            file.name,
+            file.size,
+            self.disk,
+            chunk_size=chunk_size,
+            anonymous_owner=owner,
+            use_anonymous_memory=use_anonymous_memory,
+        )
+        return result
+
+    def write_file(self, file: File, *, writer_host: Optional[Host] = None,
+                   owner: Optional[str] = None, chunk_size: Optional[float] = None):
+        self.disk.allocate(file.size)
+        result = yield from self.io_controller.write_file(
+            file.name,
+            file.size,
+            self.disk,
+            chunk_size=chunk_size,
+            writethrough=self.writethrough,
+        )
+        return result
+
+    def delete_file(self, file: File) -> None:
+        super().delete_file(file)
+        self.memory_manager.invalidate_file(file.name)
+
+
+class NFSStorageService(StorageService):
+    """A storage service on a remote host, accessed over the network.
+
+    Reads are served by the *server*: each chunk is read on the server
+    (hitting the server's page cache when possible) and then transferred
+    over the network to the client.  Writes are transferred to the server
+    and then written according to the server cache mode (writethrough in
+    the paper's Exp 3: the write is synchronous to the server disk and the
+    written data populates the server's read cache).
+
+    The client does not cache data (``NFSConfig.client_read_cache`` /
+    ``client_write_cache`` are ignored by the model beyond validation, as
+    in the paper), but the client's anonymous memory is still accounted on
+    the client host when it has a memory manager.
+    """
+
+    def __init__(self, env: Environment, server_host: Host, disk: Disk,
+                 network: Network, nfs_config: Optional[NFSConfig] = None,
+                 cache_config: Optional[PageCacheConfig] = None,
+                 name: Optional[str] = None):
+        super().__init__(env, server_host, disk,
+                         name=name or f"nfs:{server_host.name}:{disk.name}")
+        self.network = network
+        self.nfs_config = nfs_config or NFSConfig.hpc_default()
+        self._server_has_cache = (
+            self.nfs_config.server_cache_mode != "none"
+            or self.nfs_config.server_read_cache
+        )
+        if self._server_has_cache:
+            if server_host.memory is None:
+                raise ConfigurationError(
+                    f"NFS server {server_host.name!r} has no memory device"
+                )
+            if server_host.memory_manager is None:
+                server_host.memory_manager = MemoryManager(
+                    env, server_host.memory, cache_config or PageCacheConfig(),
+                    name=f"{server_host.name}.mm",
+                )
+            self.memory_manager: Optional[MemoryManager] = server_host.memory_manager
+            self.io_controller: Optional[IOController] = IOController(
+                env, self.memory_manager
+            )
+        else:
+            self.memory_manager = None
+            self.io_controller = None
+
+    @property
+    def cache_mode(self) -> str:  # type: ignore[override]
+        return self.nfs_config.server_cache_mode
+
+    # ------------------------------------------------------------------ reads
+    def read_file(self, file: File, *, reader_host: Optional[Host] = None,
+                  owner: Optional[str] = None, chunk_size: Optional[float] = None,
+                  use_anonymous_memory: bool = True):
+        if reader_host is None:
+            raise ConfigurationError("NFS reads require the reading host")
+        chunk = chunk_size or (
+            self.memory_manager.config.chunk_size
+            if self.memory_manager is not None
+            else PageCacheConfig().chunk_size
+        )
+        start = self.env.now
+        result = IOResult(file.name, file.size, start, start)
+        remaining = file.size
+        client_mm = reader_host.memory_manager
+        while remaining > _EPSILON:
+            this_chunk = min(chunk, remaining)
+            if self.nfs_config.server_read_cache and self.io_controller is not None:
+                disk_read, cache_read = yield from self.io_controller.read_chunk(
+                    file.name,
+                    file.size,
+                    this_chunk,
+                    self.disk,
+                    use_anonymous_memory=False,
+                )
+                result.storage_bytes += disk_read
+                result.cache_bytes += cache_read
+            else:
+                yield self.disk.read(this_chunk, label=f"nfs-read:{file.name}")
+                result.storage_bytes += this_chunk
+            yield self.network.transfer(
+                self.host.name, reader_host.name, this_chunk,
+                label=f"nfs:{file.name}",
+            )
+            if use_anonymous_memory and client_mm is not None:
+                client_mm.use_anonymous_memory(this_chunk, owner=owner)
+            result.chunks += 1
+            remaining -= this_chunk
+        result.end_time = self.env.now
+        return result
+
+    # ----------------------------------------------------------------- writes
+    def write_file(self, file: File, *, writer_host: Optional[Host] = None,
+                   owner: Optional[str] = None, chunk_size: Optional[float] = None):
+        if writer_host is None:
+            raise ConfigurationError("NFS writes require the writing host")
+        self.disk.allocate(file.size)
+        chunk = chunk_size or (
+            self.memory_manager.config.chunk_size
+            if self.memory_manager is not None
+            else PageCacheConfig().chunk_size
+        )
+        start = self.env.now
+        result = IOResult(file.name, file.size, start, start)
+        remaining = file.size
+        mode = self.nfs_config.server_cache_mode
+        while remaining > _EPSILON:
+            this_chunk = min(chunk, remaining)
+            yield self.network.transfer(
+                writer_host.name, self.host.name, this_chunk,
+                label=f"nfs:{file.name}",
+            )
+            if mode == "writethrough" and self.io_controller is not None:
+                cached = yield from self.io_controller.write_chunk_through(
+                    file.name, this_chunk, self.disk
+                )
+                result.storage_bytes += this_chunk
+                result.cache_bytes += cached
+            elif mode == "writeback" and self.io_controller is not None:
+                cache_written, flushed = yield from self.io_controller.write_chunk(
+                    file.name, this_chunk, self.disk
+                )
+                result.cache_bytes += cache_written
+                result.storage_bytes += flushed
+            else:
+                yield self.disk.write(this_chunk, label=f"nfs-write:{file.name}")
+                result.storage_bytes += this_chunk
+            result.chunks += 1
+            remaining -= this_chunk
+        result.end_time = self.env.now
+        return result
+
+    def delete_file(self, file: File) -> None:
+        super().delete_file(file)
+        if self.memory_manager is not None:
+            self.memory_manager.invalidate_file(file.name)

@@ -1,0 +1,161 @@
+"""Execution tracing.
+
+The paper's evaluation relies on three kinds of observations:
+
+* per-operation times (Read 1, Write 1, ... of each task) — used to compute
+  the absolute relative simulation errors of Figures 4a, 6;
+* memory profiles over time (total, used, cache, dirty) — Figure 4b,
+  collected on the real system with ``atop``/``collectl``;
+* per-file cache contents after each application I/O — Figure 4c.
+
+The :class:`Tracer` collects all three: storage services and the workflow
+executor report :class:`OperationRecord` objects, and an optional sampling
+process snapshots the memory manager at a fixed interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.des.environment import Environment
+from repro.pagecache.memory_manager import MemoryManager, MemorySnapshot
+
+
+@dataclass
+class OperationRecord:
+    """One traced operation (file read, file write or computation)."""
+
+    app: str
+    task: str
+    kind: str  # "read", "write" or "compute"
+    filename: Optional[str]
+    size: float
+    start: float
+    end: float
+    #: Bytes served by / written to the page cache.
+    cache_bytes: float = 0.0
+    #: Bytes read from or written to storage synchronously.
+    storage_bytes: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Simulated duration of the operation."""
+        return self.end - self.start
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return the record as a plain dictionary (for reports)."""
+        return {
+            "app": self.app,
+            "task": self.task,
+            "kind": self.kind,
+            "filename": self.filename,
+            "size": self.size,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "cache_bytes": self.cache_bytes,
+            "storage_bytes": self.storage_bytes,
+        }
+
+
+@dataclass
+class CacheContentRecord:
+    """Per-file cache content observed right after an I/O operation (Fig 4c)."""
+
+    app: str
+    task: str
+    kind: str
+    filename: Optional[str]
+    time: float
+    contents: Dict[str, float] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects operation records, memory snapshots and cache contents."""
+
+    def __init__(self, env: Environment, sample_interval: Optional[float] = None):
+        self.env = env
+        self.sample_interval = sample_interval
+        self.operations: List[OperationRecord] = []
+        self.memory_trace: List[MemorySnapshot] = []
+        self.cache_contents: List[CacheContentRecord] = []
+        self._memory_managers: List[MemoryManager] = []
+        self._sampler_started = False
+
+    # ----------------------------------------------------------- registration
+    def attach_memory_manager(self, memory_manager: MemoryManager) -> None:
+        """Sample ``memory_manager`` (the first one attached) periodically."""
+        if memory_manager not in self._memory_managers:
+            self._memory_managers.append(memory_manager)
+        if self.sample_interval and not self._sampler_started:
+            self._sampler_started = True
+            self.env.process(self._sampler(), name="tracer-sampler")
+
+    def _sampler(self):
+        while True:
+            self.sample_now()
+            yield self.env.timeout(self.sample_interval)
+
+    def sample_now(self) -> Optional[MemorySnapshot]:
+        """Record a memory snapshot immediately (first attached manager)."""
+        if not self._memory_managers:
+            return None
+        snapshot = self._memory_managers[0].snapshot()
+        self.memory_trace.append(snapshot)
+        return snapshot
+
+    # --------------------------------------------------------------- recording
+    def record_operation(self, record: OperationRecord) -> None:
+        """Store an operation record and snapshot the cache contents."""
+        self.operations.append(record)
+        if self._memory_managers and record.kind in ("read", "write"):
+            self.cache_contents.append(
+                CacheContentRecord(
+                    app=record.app,
+                    task=record.task,
+                    kind=record.kind,
+                    filename=record.filename,
+                    time=record.end,
+                    contents=self._memory_managers[0].cache_content(),
+                )
+            )
+
+    # ----------------------------------------------------------------- queries
+    def operations_of_kind(self, kind: str) -> List[OperationRecord]:
+        """All records of a given kind ("read", "write" or "compute")."""
+        return [record for record in self.operations if record.kind == kind]
+
+    def operation(self, app: str, task: str, kind: str,
+                  index: int = 0) -> OperationRecord:
+        """Return the ``index``-th operation of ``kind`` for ``(app, task)``."""
+        matches = [
+            record
+            for record in self.operations
+            if record.app == app and record.task == task and record.kind == kind
+        ]
+        return matches[index]
+
+    def durations_by_operation(self) -> Dict[Tuple[str, str, str], float]:
+        """Mapping ``(app, task, kind) -> summed duration``."""
+        durations: Dict[Tuple[str, str, str], float] = {}
+        for record in self.operations:
+            key = (record.app, record.task, record.kind)
+            durations[key] = durations.get(key, 0.0) + record.duration
+        return durations
+
+    def total_duration(self, kind: str) -> float:
+        """Total simulated time spent in operations of ``kind``."""
+        return sum(record.duration for record in self.operations_of_kind(kind))
+
+    def makespan(self) -> float:
+        """Time of the last recorded operation end."""
+        if not self.operations:
+            return 0.0
+        return max(record.end for record in self.operations)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Tracer operations={len(self.operations)} "
+            f"samples={len(self.memory_trace)}>"
+        )

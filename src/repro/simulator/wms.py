@@ -1,0 +1,189 @@
+"""Workflow execution (the simulated workflow management system).
+
+The :class:`WorkflowExecutor` runs one workflow instance on one host:
+tasks start as soon as all their input files exist, each task reads its
+inputs, computes, writes its outputs and (optionally) releases its
+anonymous memory — the execution pattern of both the synthetic application
+and the Nighres workflow in the paper.  Independent tasks of the same
+workflow run concurrently, bounded by the host's CPU cores; independent
+workflow instances (Exp 2 and 3) are separate executors running in
+parallel in the same simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.des.environment import Environment
+from repro.errors import SchedulingError
+from repro.filesystem.file import File
+from repro.filesystem.registry import FileRegistry
+from repro.platform.host import Host
+from repro.simulator.compute_service import ComputeService
+from repro.simulator.storage_service import StorageService
+from repro.simulator.tracing import OperationRecord, Tracer
+from repro.simulator.workflow import Task, Workflow
+
+
+class WorkflowExecutor:
+    """Executes one workflow instance.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    workflow:
+        The workflow to execute.
+    host:
+        The host running the tasks (CPU and, for local I/O, page cache).
+    registry:
+        File registry used to locate input files and to record outputs.
+    output_storage:
+        Storage service receiving the files produced by the workflow.
+    tracer:
+        Receives one :class:`OperationRecord` per read/compute/write.
+    label:
+        Application label used in traces and as the anonymous-memory owner;
+        defaults to the workflow name.
+    chunk_size:
+        I/O granularity; ``None`` uses the storage service default.
+    """
+
+    def __init__(self, env: Environment, workflow: Workflow, host: Host,
+                 registry: FileRegistry, output_storage: StorageService,
+                 tracer: Tracer, label: Optional[str] = None,
+                 chunk_size: Optional[float] = None,
+                 compute_service: Optional[ComputeService] = None):
+        self.env = env
+        self.workflow = workflow
+        self.host = host
+        self.registry = registry
+        self.output_storage = output_storage
+        self.tracer = tracer
+        self.label = label or workflow.name
+        self.chunk_size = chunk_size
+        self.compute_service = compute_service or ComputeService(env, host)
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+
+    # ------------------------------------------------------------------- run
+    def run(self):
+        """Execute the workflow; simulation process returning the makespan."""
+        self.workflow.validate()
+        self.start_time = self.env.now
+        completed: set = set()
+        pending: Dict[str, Task] = {task.name: task for task in self.workflow.tasks}
+        running: Dict[str, object] = {}
+
+        while pending or running:
+            # Launch every task whose dependencies are satisfied.
+            for name, task in list(pending.items()):
+                deps = self.workflow.dependencies(task)
+                if all(dep.name in completed for dep in deps):
+                    process = self.env.process(
+                        self._execute_task(task), name=f"{self.label}:{name}"
+                    )
+                    running[name] = process
+                    del pending[name]
+
+            if not running:
+                raise SchedulingError(
+                    f"workflow {self.workflow.name!r} cannot make progress: "
+                    f"tasks {sorted(pending)} have unsatisfied dependencies"
+                )
+
+            yield self.env.any_of(list(running.values()))
+
+            for name, process in list(running.items()):
+                if process.is_alive:
+                    continue
+                if not process.ok:
+                    raise process.value
+                completed.add(name)
+                del running[name]
+
+        self.end_time = self.env.now
+        return self.end_time - self.start_time
+
+    # ------------------------------------------------------------------ tasks
+    def _execute_task(self, task: Task):
+        # Read inputs in declaration order.
+        for file in task.inputs:
+            service = self._locate(file)
+            result = yield from service.read_file(
+                file,
+                reader_host=self.host,
+                owner=self.label,
+                chunk_size=self.chunk_size,
+            )
+            self.tracer.record_operation(
+                OperationRecord(
+                    app=self.label,
+                    task=task.name,
+                    kind="read",
+                    filename=file.name,
+                    size=file.size,
+                    start=result.start_time,
+                    end=result.end_time,
+                    cache_bytes=result.cache_bytes,
+                    storage_bytes=result.storage_bytes,
+                )
+            )
+
+        # Compute.
+        if task.flops > 0:
+            compute_start = self.env.now
+            yield from self.compute_service.execute(task)
+            self.tracer.record_operation(
+                OperationRecord(
+                    app=self.label,
+                    task=task.name,
+                    kind="compute",
+                    filename=None,
+                    size=0.0,
+                    start=compute_start,
+                    end=self.env.now,
+                )
+            )
+
+        # Write outputs in declaration order.
+        for file in task.outputs:
+            result = yield from self.output_storage.write_file(
+                file,
+                writer_host=self.host,
+                owner=self.label,
+                chunk_size=self.chunk_size,
+            )
+            self.registry.add_entry(file, self.output_storage)
+            self.tracer.record_operation(
+                OperationRecord(
+                    app=self.label,
+                    task=task.name,
+                    kind="write",
+                    filename=file.name,
+                    size=file.size,
+                    start=result.start_time,
+                    end=result.end_time,
+                    cache_bytes=result.cache_bytes,
+                    storage_bytes=result.storage_bytes,
+                )
+            )
+
+        # Release the application's anonymous memory, as the paper's
+        # synthetic application does at the end of every task.
+        if task.release_memory and self.host.memory_manager is not None:
+            self.host.memory_manager.release_anonymous_memory(owner=self.label)
+
+    def _locate(self, file: File) -> StorageService:
+        if not self.registry.exists(file):
+            raise SchedulingError(
+                f"task input {file.name!r} does not exist on any storage service; "
+                "stage it with Simulation.stage_file or produce it with a task"
+            )
+        return self.registry.primary_location(file)
+
+    def __repr__(self) -> str:
+        return (
+            f"<WorkflowExecutor {self.label!r} workflow={self.workflow.name!r} "
+            f"host={self.host.name!r}>"
+        )

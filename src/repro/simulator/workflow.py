@@ -1,0 +1,247 @@
+"""Workflow and task abstractions.
+
+A :class:`Task` models one application step: it reads input files, performs
+an amount of computation (expressed either as flops or as a measured CPU
+time, which the paper injects into the simulators), and writes output
+files.  A :class:`Workflow` is a DAG of tasks whose dependencies are
+derived from file production/consumption (a task consuming a file produced
+by another task depends on it) or declared explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.errors import SchedulingError
+from repro.filesystem.file import File
+from repro.platform.cpu import CPU
+
+
+class Task:
+    """One step of an application.
+
+    Parameters
+    ----------
+    name:
+        Unique task name within its workflow.
+    flops:
+        Amount of computation.  Use :meth:`from_cpu_time` to create a task
+        from a measured CPU time, as the paper does.
+    inputs:
+        Files read by the task, in read order.
+    outputs:
+        Files written by the task, in write order.
+    release_memory:
+        Whether the task releases its anonymous memory when it completes
+        (the paper's synthetic application does this after every task).
+    """
+
+    def __init__(self, name: str, flops: float = 0.0,
+                 inputs: Optional[Sequence[File]] = None,
+                 outputs: Optional[Sequence[File]] = None,
+                 release_memory: bool = True):
+        if flops < 0:
+            raise ValueError(f"task {name!r}: flops must be >= 0")
+        self.name = name
+        self.flops = float(flops)
+        self.inputs: List[File] = list(inputs or [])
+        self.outputs: List[File] = list(outputs or [])
+        self.release_memory = release_memory
+
+    @classmethod
+    def from_cpu_time(cls, name: str, cpu_time: float,
+                      inputs: Optional[Sequence[File]] = None,
+                      outputs: Optional[Sequence[File]] = None,
+                      core_speed: float = CPU.DEFAULT_SPEED,
+                      release_memory: bool = True) -> "Task":
+        """Create a task from a measured CPU time on a core of ``core_speed``.
+
+        The paper measures task CPU times on the real cluster (Tables I and
+        II) and injects them as ``cpu_time x 1 Gflops`` of work.
+        """
+        return cls(
+            name,
+            flops=cpu_time * core_speed,
+            inputs=inputs,
+            outputs=outputs,
+            release_memory=release_memory,
+        )
+
+    def cpu_time(self, core_speed: float = CPU.DEFAULT_SPEED) -> float:
+        """Uncontended execution time of the task's computation."""
+        return self.flops / core_speed
+
+    @property
+    def input_size(self) -> float:
+        """Total bytes read by the task."""
+        return sum(f.size for f in self.inputs)
+
+    @property
+    def output_size(self) -> float:
+        """Total bytes written by the task."""
+        return sum(f.size for f in self.outputs)
+
+    def __repr__(self) -> str:
+        return (
+            f"Task({self.name!r}, flops={self.flops:.3g}, "
+            f"inputs={[f.name for f in self.inputs]}, "
+            f"outputs={[f.name for f in self.outputs]})"
+        )
+
+
+class Workflow:
+    """A DAG of tasks linked by data dependencies."""
+
+    def __init__(self, name: str = "workflow"):
+        self.name = name
+        self._tasks: Dict[str, Task] = {}
+        self._explicit_deps: Dict[str, Set[str]] = {}
+
+    # -------------------------------------------------------------- building
+    def add_task(self, task: Task) -> Task:
+        """Register a task; task names must be unique within the workflow."""
+        if task.name in self._tasks:
+            raise SchedulingError(
+                f"workflow {self.name!r} already has a task named {task.name!r}"
+            )
+        self._tasks[task.name] = task
+        return task
+
+    def add_dependency(self, before: Task, after: Task) -> None:
+        """Declare an explicit control dependency ``before -> after``."""
+        for task in (before, after):
+            if task.name not in self._tasks:
+                raise SchedulingError(
+                    f"task {task.name!r} is not part of workflow {self.name!r}"
+                )
+        self._explicit_deps.setdefault(after.name, set()).add(before.name)
+
+    # --------------------------------------------------------------- queries
+    @property
+    def tasks(self) -> List[Task]:
+        """All tasks, in insertion order."""
+        return list(self._tasks.values())
+
+    def task(self, name: str) -> Task:
+        """Return the task registered under ``name``."""
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise SchedulingError(
+                f"workflow {self.name!r} has no task named {name!r}"
+            ) from None
+
+    def input_files(self) -> List[File]:
+        """Files consumed by the workflow but produced by none of its tasks."""
+        produced = {f.name for task in self.tasks for f in task.outputs}
+        seen: Set[str] = set()
+        result: List[File] = []
+        for task in self.tasks:
+            for file in task.inputs:
+                if file.name not in produced and file.name not in seen:
+                    seen.add(file.name)
+                    result.append(file)
+        return result
+
+    def output_files(self) -> List[File]:
+        """Files produced by the workflow."""
+        seen: Set[str] = set()
+        result: List[File] = []
+        for task in self.tasks:
+            for file in task.outputs:
+                if file.name not in seen:
+                    seen.add(file.name)
+                    result.append(file)
+        return result
+
+    def all_files(self) -> List[File]:
+        """All files referenced by the workflow."""
+        seen: Set[str] = set()
+        result: List[File] = []
+        for task in self.tasks:
+            for file in list(task.inputs) + list(task.outputs):
+                if file.name not in seen:
+                    seen.add(file.name)
+                    result.append(file)
+        return result
+
+    def dependencies(self, task: Task) -> List[Task]:
+        """Tasks that must complete before ``task`` may start."""
+        producers: Dict[str, Task] = {}
+        for other in self.tasks:
+            for file in other.outputs:
+                producers[file.name] = other
+        deps: Dict[str, Task] = {}
+        for file in task.inputs:
+            producer = producers.get(file.name)
+            if producer is not None and producer.name != task.name:
+                deps[producer.name] = producer
+        for name in self._explicit_deps.get(task.name, ()):
+            deps[name] = self._tasks[name]
+        return list(deps.values())
+
+    def topological_order(self) -> List[Task]:
+        """Return the tasks in a dependency-respecting order.
+
+        Raises
+        ------
+        SchedulingError
+            If the workflow contains a dependency cycle.
+        """
+        order: List[Task] = []
+        visited: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(task: Task) -> None:
+            state = visited.get(task.name)
+            if state == 1:
+                return
+            if state == 0:
+                raise SchedulingError(
+                    f"workflow {self.name!r} contains a dependency cycle "
+                    f"involving task {task.name!r}"
+                )
+            visited[task.name] = 0
+            for dep in self.dependencies(task):
+                visit(dep)
+            visited[task.name] = 1
+            order.append(task)
+
+        for task in self.tasks:
+            visit(task)
+        return order
+
+    def validate(self) -> None:
+        """Check the workflow is executable (no cycles, consistent files)."""
+        self.topological_order()
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __repr__(self) -> str:
+        return f"<Workflow {self.name!r} tasks={len(self._tasks)}>"
+
+
+def chain_workflow(name: str, files: Sequence[File], cpu_times: Sequence[float],
+                   core_speed: float = CPU.DEFAULT_SPEED) -> Workflow:
+    """Build a linear pipeline: task *i* reads ``files[i]`` and writes ``files[i+1]``.
+
+    This is the shape of the paper's synthetic application: ``len(files)``
+    must be ``len(cpu_times) + 1``.
+    """
+    if len(files) != len(cpu_times) + 1:
+        raise SchedulingError(
+            "chain_workflow needs exactly one more file than tasks "
+            f"(got {len(files)} files for {len(cpu_times)} tasks)"
+        )
+    workflow = Workflow(name)
+    for index, cpu_time in enumerate(cpu_times):
+        workflow.add_task(
+            Task.from_cpu_time(
+                f"{name}_task{index + 1}",
+                cpu_time,
+                inputs=[files[index]],
+                outputs=[files[index + 1]],
+                core_speed=core_speed,
+            )
+        )
+    return workflow

@@ -1,0 +1,130 @@
+"""Unit constants and helpers.
+
+All sizes in the simulator are expressed in **bytes**, all durations in
+**seconds** and all bandwidths in **bytes per second**.  The constants below
+make call sites self-documenting (``20 * GB``, ``465 * MBps``).
+
+Decimal units (KB/MB/GB/TB) follow the SI convention (powers of 1000) which
+is what the paper uses for file sizes and bandwidths; binary units
+(KiB/MiB/GiB/TiB) are provided for memory sizes (the cluster nodes have
+250 GiB of RAM).
+"""
+
+from __future__ import annotations
+
+#: One byte.
+B = 1
+
+#: Decimal (SI) units.
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+#: Binary (IEC) units.
+KiB = 1024
+MiB = 1024**2
+GiB = 1024**3
+TiB = 1024**4
+
+#: Bandwidth helpers (bytes per second).
+Bps = 1
+KBps = KB
+MBps = MB
+GBps = GB
+
+#: Time helpers (seconds).
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+
+
+def format_size(num_bytes: float, *, binary: bool = False, precision: int = 2) -> str:
+    """Return a human readable string for a size in bytes.
+
+    Parameters
+    ----------
+    num_bytes:
+        The size to format, in bytes.  Negative sizes are formatted with a
+        leading minus sign.
+    binary:
+        If true, use IEC units (KiB/MiB/...); otherwise use SI units.
+    precision:
+        Number of decimal places.
+    """
+    sign = "-" if num_bytes < 0 else ""
+    value = abs(float(num_bytes))
+    if binary:
+        step = 1024.0
+        suffixes = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"]
+    else:
+        step = 1000.0
+        suffixes = ["B", "KB", "MB", "GB", "TB", "PB"]
+    for suffix in suffixes:
+        if value < step or suffix == suffixes[-1]:
+            if suffix == "B":
+                return f"{sign}{value:.0f} {suffix}"
+            return f"{sign}{value:.{precision}f} {suffix}"
+        value /= step
+    raise AssertionError("unreachable")
+
+
+def format_bandwidth(bytes_per_second: float, *, precision: int = 1) -> str:
+    """Return a human readable bandwidth string (SI units per second)."""
+    return f"{format_size(bytes_per_second, precision=precision)}/s"
+
+
+def format_time(seconds: float, *, precision: int = 2) -> str:
+    """Return a human readable duration string."""
+    if seconds < 0:
+        return f"-{format_time(-seconds, precision=precision)}"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.{precision}f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.{precision}f} ms"
+    if seconds < MINUTE:
+        return f"{seconds:.{precision}f} s"
+    if seconds < HOUR:
+        minutes, rest = divmod(seconds, MINUTE)
+        return f"{int(minutes)} min {rest:.{precision}f} s"
+    hours, rest = divmod(seconds, HOUR)
+    minutes = rest / MINUTE
+    return f"{int(hours)} h {minutes:.1f} min"
+
+
+def parse_size(text: str) -> float:
+    """Parse a human readable size string (``"20GB"``, ``"512 MiB"``) to bytes.
+
+    Raises
+    ------
+    ValueError
+        If the string cannot be interpreted as a size.
+    """
+    units = {
+        "b": B,
+        "kb": KB,
+        "mb": MB,
+        "gb": GB,
+        "tb": TB,
+        "pb": 1_000 * TB,
+        "kib": KiB,
+        "mib": MiB,
+        "gib": GiB,
+        "tib": TiB,
+        "pib": 1024 * TiB,
+    }
+    stripped = text.strip().lower().replace(" ", "")
+    number_part = ""
+    for char in stripped:
+        if char.isdigit() or char in ".+-e":
+            number_part += char
+        else:
+            break
+    unit_part = stripped[len(number_part) :] or "b"
+    if not number_part:
+        raise ValueError(f"cannot parse size from {text!r}")
+    if unit_part not in units:
+        raise ValueError(f"unknown size unit {unit_part!r} in {text!r}")
+    return float(number_part) * units[unit_part]

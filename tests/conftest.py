@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import Environment
+from repro.pagecache import IOController, MemoryManager, PageCacheConfig
+from repro.platform.memory import MemoryDevice
+from repro.platform.storage import Disk
+from repro.units import GiB, MBps
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def memory(env) -> MemoryDevice:
+    """A 16 GiB memory device at the paper's simulated bandwidth."""
+    return MemoryDevice.symmetric(env, "ram", 4812 * MBps, size=16 * GiB)
+
+
+@pytest.fixture
+def disk(env) -> Disk:
+    """A local SSD at the paper's simulated bandwidth."""
+    return Disk.symmetric(env, "ssd", 465 * MBps)
+
+
+@pytest.fixture
+def cache_config() -> PageCacheConfig:
+    """A page cache configuration with the background flusher disabled.
+
+    Most unit tests drive flushing explicitly; disabling the periodic
+    flusher keeps the event queue finite so ``env.run()`` terminates.
+    """
+    return PageCacheConfig(periodic_flushing=False)
+
+
+@pytest.fixture
+def memory_manager(env, memory, cache_config) -> MemoryManager:
+    """A memory manager over the ``memory`` fixture."""
+    return MemoryManager(env, memory, cache_config, name="test-mm")
+
+
+@pytest.fixture
+def io_controller(env, memory_manager) -> IOController:
+    """An I/O controller over the ``memory_manager`` fixture."""
+    return IOController(env, memory_manager)
+
+
+def run_process(env: Environment, generator):
+    """Run ``generator`` as a process to completion and return its value."""
+    process = env.process(generator)
+    return env.run(until=process)
+
+
+@pytest.fixture
+def runner():
+    """Callable running a generator-based process to completion."""
+    return run_process

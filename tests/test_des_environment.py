@@ -1,0 +1,118 @@
+"""Unit tests for the simulation environment and run loop."""
+
+import pytest
+
+from repro.des import Environment, EmptySchedule
+
+
+class TestClockAndQueue:
+    def test_initial_time(self):
+        assert Environment().now == 0.0
+        assert Environment(initial_time=10.0).now == 10.0
+
+    def test_peek_empty_queue(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self, env):
+        env.timeout(4.0)
+        env.timeout(2.0)
+        assert env.peek() == 2.0
+
+    def test_step_on_empty_queue_raises(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_queue_size(self, env):
+        env.timeout(1.0)
+        env.timeout(2.0)
+        assert env.queue_size == 2
+
+    def test_events_processed_in_time_order(self, env):
+        order = []
+
+        def proc(env, delay, label):
+            yield env.timeout(delay)
+            order.append(label)
+
+        env.process(proc(env, 3.0, "c"))
+        env.process(proc(env, 1.0, "a"))
+        env.process(proc(env, 2.0, "b"))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self, env):
+        order = []
+
+        def proc(env, label):
+            yield env.timeout(1.0)
+            order.append(label)
+
+        for label in "abc":
+            env.process(proc(env, label))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestRun:
+    def test_run_until_time(self, env):
+        ticks = []
+
+        def clock(env):
+            while True:
+                yield env.timeout(1.0)
+                ticks.append(env.now)
+
+        env.process(clock(env))
+        env.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert env.now == 3.5
+
+    def test_run_until_event_returns_value(self, env):
+        def proc(env):
+            yield env.timeout(2.0)
+            return "result"
+
+        process = env.process(proc(env))
+        assert env.run(until=process) == "result"
+        assert env.now == 2.0
+
+    def test_run_until_past_time_rejected(self, env):
+        env.timeout(1.0)
+        env.run(until=5.0)
+        with pytest.raises(ValueError):
+            env.run(until=1.0)
+
+    def test_run_without_until_drains_queue(self, env):
+        env.timeout(1.0)
+        env.timeout(2.0)
+        env.run()
+        assert env.now == 2.0
+        assert env.queue_size == 0
+
+    def test_run_until_never_triggered_event_raises(self, env):
+        pending = env.event()
+        env.timeout(1.0)
+        with pytest.raises(RuntimeError, match="before the awaited event"):
+            env.run(until=pending)
+
+    def test_run_until_already_processed_event(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+            return 13
+
+        process = env.process(proc(env))
+        env.run()
+        # The process already finished; running until it must return at once.
+        assert env.run(until=process) == 13
+
+    def test_active_process_outside_run_is_none(self, env):
+        assert env.active_process is None
+
+    def test_active_process_inside_process(self, env, runner):
+        def proc(env):
+            yield env.timeout(0.0)
+            return env.active_process
+
+        process = env.process(proc(env))
+        result = env.run(until=process)
+        assert result is process

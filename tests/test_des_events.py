@@ -1,0 +1,189 @@
+"""Unit tests for the core event types."""
+
+import pytest
+
+from repro.des import Environment
+from repro.des.events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+
+
+class TestEvent:
+    def test_new_event_is_pending(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_unavailable_before_trigger(self, env):
+        event = env.event()
+        with pytest.raises(AttributeError):
+            _ = event.value
+        with pytest.raises(AttributeError):
+            _ = event.ok
+
+    def test_succeed_sets_value(self, env):
+        event = env.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_succeed_twice_raises(self, env):
+        event = env.event()
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, env):
+        event = env.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_fail_sets_exception_value(self, env):
+        event = env.event()
+        error = ValueError("boom")
+        event.fail(error)
+        assert event.triggered
+        assert not event.ok
+        assert event.value is error
+
+    def test_unhandled_failure_propagates_from_run(self, env):
+        event = env.event()
+        event.fail(RuntimeError("nobody caught me"))
+        with pytest.raises(RuntimeError, match="nobody caught me"):
+            env.run()
+
+    def test_defused_failure_does_not_propagate(self, env):
+        event = env.event()
+        event.fail(RuntimeError("handled"))
+        event.defused = True
+        env.run()  # must not raise
+
+    def test_trigger_copies_outcome(self, env):
+        source = env.event()
+        source.succeed("payload")
+        target = env.event()
+        target.trigger(source)
+        assert target.ok
+        assert target.value == "payload"
+
+    def test_callbacks_invoked_on_processing(self, env):
+        event = env.event()
+        seen = []
+        event.callbacks.append(lambda ev: seen.append(ev.value))
+        event.succeed(7)
+        env.run()
+        assert seen == [7]
+        assert event.processed
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self, env):
+        env.timeout(5.0)
+        env.run()
+        assert env.now == 5.0
+
+    def test_timeout_value(self, env, runner):
+        def proc(env):
+            value = yield env.timeout(1.0, value="done")
+            return value
+
+        assert runner(env, proc(env)) == "done"
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_delay_property(self, env):
+        timeout = env.timeout(2.5)
+        assert timeout.delay == 2.5
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, env, runner):
+        def proc(env):
+            t1 = env.timeout(1.0, value="a")
+            t2 = env.timeout(3.0, value="b")
+            result = yield env.all_of([t1, t2])
+            return env.now, result.values()
+
+        now, values = runner(env, proc(env))
+        assert now == 3.0
+        assert values == ["a", "b"]
+
+    def test_any_of_returns_at_first(self, env, runner):
+        def proc(env):
+            t1 = env.timeout(1.0, value="fast")
+            t2 = env.timeout(3.0, value="slow")
+            result = yield env.any_of([t1, t2])
+            return env.now, list(result.values())
+
+        now, values = runner(env, proc(env))
+        assert now == 1.0
+        assert values == ["fast"]
+
+    def test_and_operator(self, env, runner):
+        def proc(env):
+            yield env.timeout(1.0) & env.timeout(2.0)
+            return env.now
+
+        assert runner(env, proc(env)) == 2.0
+
+    def test_or_operator(self, env, runner):
+        def proc(env):
+            yield env.timeout(1.0) | env.timeout(2.0)
+            return env.now
+
+        assert runner(env, proc(env)) == 1.0
+
+    def test_empty_all_of_triggers_immediately(self, env, runner):
+        def proc(env):
+            yield env.all_of([])
+            return env.now
+
+        assert runner(env, proc(env)) == 0.0
+
+    def test_condition_with_already_processed_event(self, env, runner):
+        def proc(env):
+            t1 = env.timeout(1.0)
+            yield t1
+            # t1 is already processed when the condition is built.
+            yield env.all_of([t1, env.timeout(1.0)])
+            return env.now
+
+        assert runner(env, proc(env)) == 2.0
+
+    def test_failed_subevent_fails_condition(self, env, runner):
+        def failing(env):
+            yield env.timeout(1.0)
+            raise ValueError("sub-process failure")
+
+        def proc(env):
+            bad = env.process(failing(env))
+            with pytest.raises(ValueError, match="sub-process failure"):
+                yield env.all_of([bad, env.timeout(5.0)])
+            return env.now
+
+        assert runner(env, proc(env)) == 1.0
+
+    def test_mixing_environments_rejected(self, env):
+        other = Environment()
+        with pytest.raises(ValueError):
+            AllOf(env, [env.timeout(1.0), other.timeout(1.0)])
+
+    def test_condition_value_mapping(self, env, runner):
+        def proc(env):
+            t1 = env.timeout(1.0, value="x")
+            t2 = env.timeout(2.0, value="y")
+            result = yield env.all_of([t1, t2])
+            return result, t1, t2
+
+        result, t1, t2 = runner(env, proc(env))
+        assert result[t1] == "x"
+        assert t2 in result
+        assert len(result) == 2
+        assert result.todict() == {t1: "x", t2: "y"}
+        assert result == {t1: "x", t2: "y"}
+
+    def test_condition_value_missing_key(self):
+        value = ConditionValue()
+        with pytest.raises(KeyError):
+            _ = value[object()]

@@ -1,0 +1,147 @@
+"""Unit tests for simulated processes (generators, interrupts, failures)."""
+
+import pytest
+
+from repro.des import Environment, Interrupt
+from repro.des.process import Process
+
+
+class TestProcessBasics:
+    def test_requires_generator(self, env):
+        with pytest.raises(TypeError):
+            Process(env, lambda: None)
+
+    def test_return_value_becomes_event_value(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+            return "value"
+
+        process = env.process(proc(env))
+        assert env.run(until=process) == "value"
+
+    def test_is_alive_lifecycle(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+
+        process = env.process(proc(env))
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+        assert process.ok
+
+    def test_process_name_defaults_to_generator_name(self, env):
+        def my_process(env):
+            yield env.timeout(0.0)
+
+        process = env.process(my_process(env))
+        assert process.name == "my_process"
+
+    def test_exception_propagates_to_run(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+            raise RuntimeError("task failed")
+
+        env.process(proc(env))
+        with pytest.raises(RuntimeError, match="task failed"):
+            env.run()
+
+    def test_exception_can_be_caught_by_waiter(self, env):
+        def failing(env):
+            yield env.timeout(1.0)
+            raise ValueError("inner")
+
+        def waiter(env):
+            try:
+                yield env.process(failing(env))
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        process = env.process(waiter(env))
+        assert env.run(until=process) == "caught inner"
+
+    def test_yielding_non_event_raises(self, env):
+        def proc(env):
+            yield 42
+
+        env.process(proc(env))
+        with pytest.raises(RuntimeError, match="non-event"):
+            env.run()
+
+    def test_waiting_on_already_processed_event(self, env):
+        def proc(env):
+            timeout = env.timeout(1.0)
+            yield env.timeout(2.0)
+            # `timeout` was processed while we were waiting on the longer one.
+            value = yield timeout
+            return value, env.now
+
+        timeout_value, now = env.run(until=env.process(proc(env)))
+        assert now == 2.0
+
+    def test_nested_processes(self, env):
+        def child(env, duration):
+            yield env.timeout(duration)
+            return duration * 2
+
+        def parent(env):
+            first = yield env.process(child(env, 1.0))
+            second = yield env.process(child(env, 2.0))
+            return first + second
+
+        assert env.run(until=env.process(parent(env))) == 6.0
+        assert env.now == 3.0
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, env):
+        def victim(env):
+            try:
+                yield env.timeout(10.0)
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, env.now)
+
+        def attacker(env, process):
+            yield env.timeout(1.0)
+            process.interrupt("enough waiting")
+
+        victim_process = env.process(victim(env))
+        env.process(attacker(env, victim_process))
+        result = env.run(until=victim_process)
+        assert result == ("interrupted", "enough waiting", 1.0)
+
+    def test_interrupting_finished_process_raises(self, env):
+        def quick(env):
+            yield env.timeout(0.5)
+
+        process = env.process(quick(env))
+        env.run()
+        with pytest.raises(RuntimeError):
+            process.interrupt()
+
+    def test_process_cannot_interrupt_itself(self, env):
+        def proc(env):
+            yield env.timeout(0.0)
+            env.active_process.interrupt()
+
+        env.process(proc(env))
+        with pytest.raises(RuntimeError, match="not allowed to interrupt itself"):
+            env.run()
+
+    def test_interrupted_process_can_resume_waiting(self, env):
+        def victim(env):
+            target = env.timeout(10.0)
+            try:
+                yield target
+            except Interrupt:
+                pass
+            # Wait for something else after the interrupt.
+            yield env.timeout(1.0)
+            return env.now
+
+        def attacker(env, process):
+            yield env.timeout(2.0)
+            process.interrupt()
+
+        victim_process = env.process(victim(env))
+        env.process(attacker(env, victim_process))
+        assert env.run(until=victim_process) == 3.0

@@ -1,0 +1,99 @@
+"""Unit tests for error metrics and calibration tables."""
+
+import pytest
+
+from repro.experiments.calibration import (
+    TABLE1_SYNTHETIC,
+    TABLE2_NIGHRES,
+    TABLE3_BANDWIDTHS,
+    real_bandwidths,
+    simulator_bandwidths,
+    table1_rows,
+    table2_rows,
+)
+from repro.experiments.metrics import (
+    absolute_relative_error,
+    error_reduction_factor,
+    mean_absolute_relative_error,
+    mean_error_percent,
+    per_operation_errors,
+    relative_error_percent,
+)
+from repro.units import MBps
+
+
+class TestMetrics:
+    def test_absolute_relative_error(self):
+        assert absolute_relative_error(150.0, 100.0) == pytest.approx(0.5)
+        assert absolute_relative_error(50.0, 100.0) == pytest.approx(0.5)
+        assert absolute_relative_error(0.0, 0.0) == 0.0
+        assert absolute_relative_error(1.0, 0.0) == float("inf")
+
+    def test_relative_error_percent(self):
+        assert relative_error_percent(200.0, 100.0) == pytest.approx(100.0)
+
+    def test_mean_absolute_relative_error(self):
+        assert mean_absolute_relative_error([110, 90], [100, 100]) == pytest.approx(0.1)
+
+    def test_mean_skips_zero_references(self):
+        assert mean_absolute_relative_error([110, 5], [100, 0]) == pytest.approx(0.1)
+
+    def test_mean_errors_on_bad_input(self):
+        with pytest.raises(ValueError):
+            mean_absolute_relative_error([1], [1, 2])
+        with pytest.raises(ValueError):
+            mean_absolute_relative_error([1], [0])
+
+    def test_per_operation_errors(self):
+        errors = per_operation_errors(
+            {"Read 1": 10.0, "Write 1": 30.0},
+            {"Read 1": 20.0, "Write 1": 20.0, "Read 2": 5.0},
+        )
+        assert errors == {
+            "Read 1": pytest.approx(50.0),
+            "Write 1": pytest.approx(50.0),
+        }
+
+    def test_mean_error_percent_ignores_inf(self):
+        assert mean_error_percent([10.0, float("inf"), 30.0]) == pytest.approx(20.0)
+        assert mean_error_percent([]) == 0.0
+
+    def test_error_reduction_factor(self):
+        assert error_reduction_factor([300.0], [30.0]) == pytest.approx(10.0)
+        assert error_reduction_factor([300.0], [0.0]) == float("inf")
+
+
+class TestCalibrationTables:
+    def test_table1_matches_paper(self):
+        assert TABLE1_SYNTHETIC[20.0] == 28.0
+        assert table1_rows()[0] == (3.0, 4.4)
+        assert len(table1_rows()) == 5
+
+    def test_table2_matches_paper(self):
+        assert len(TABLE2_NIGHRES) == 4
+        rows = table2_rows()
+        assert rows[1][0] == "tissue_classification"
+        assert rows[1][1] == pytest.approx(197.0)
+        assert rows[1][2] == pytest.approx(1376.0)
+        assert rows[1][3] == pytest.approx(614.0)
+
+    def test_table3_simulator_values_are_means(self):
+        table = TABLE3_BANDWIDTHS
+        assert table.memory.symmetric_mean == pytest.approx(4812 * MBps)
+        assert table.local_disk.symmetric_mean == pytest.approx(465 * MBps)
+        assert table.remote_disk.symmetric_mean == pytest.approx(445 * MBps)
+        # The simulator configuration column equals the symmetric means.
+        for device in table.devices():
+            assert device.simulated == pytest.approx(device.symmetric_mean)
+
+    def test_table3_rows_in_mbps(self):
+        rows = TABLE3_BANDWIDTHS.rows()
+        assert rows[0] == ("Memory", pytest.approx(6860), pytest.approx(2764),
+                           pytest.approx(4812))
+        assert len(rows) == 4
+
+    def test_bandwidth_accessors(self):
+        sim_bw = simulator_bandwidths()
+        assert sim_bw["local_disk"] == pytest.approx(465 * MBps)
+        real_bw = real_bandwidths()
+        assert real_bw["memory"] == (pytest.approx(6860 * MBps), pytest.approx(2764 * MBps))

@@ -1,0 +1,53 @@
+"""Unit tests for the page cache configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pagecache.config import PageCacheConfig
+
+
+class TestValidation:
+    def test_defaults_match_stock_linux(self):
+        config = PageCacheConfig()
+        assert config.dirty_ratio == pytest.approx(0.20)
+        assert config.dirty_background_ratio == pytest.approx(0.10)
+        assert config.dirty_expire == pytest.approx(30.0)
+        assert config.writeback_interval == pytest.approx(5.0)
+        assert config.active_to_inactive_ratio == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("field,value", [
+        ("dirty_ratio", 0.0),
+        ("dirty_ratio", 1.5),
+        ("dirty_background_ratio", -0.1),
+        ("dirty_background_ratio", 0.5),  # above dirty_ratio
+        ("dirty_expire", -1.0),
+        ("writeback_interval", 0.0),
+        ("chunk_size", 0.0),
+        ("dirty_threshold_base", "bogus"),
+        ("active_to_inactive_ratio", 0.0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            PageCacheConfig(**{field: value})
+
+    def test_with_updates_returns_validated_copy(self):
+        config = PageCacheConfig()
+        updated = config.with_updates(dirty_ratio=0.4)
+        assert updated.dirty_ratio == pytest.approx(0.4)
+        assert config.dirty_ratio == pytest.approx(0.2)
+        with pytest.raises(ConfigurationError):
+            config.with_updates(dirty_ratio=2.0)
+
+
+class TestPresets:
+    def test_linux_default(self):
+        assert PageCacheConfig.linux_default() == PageCacheConfig()
+
+    def test_reference_preset_enables_kernel_idiosyncrasies(self):
+        config = PageCacheConfig.reference()
+        assert config.protect_written_files is True
+        assert config.evict_from_active is True
+        assert config.dirty_threshold_base == "available"
+
+    def test_no_periodic_flush_preset(self):
+        assert PageCacheConfig.no_periodic_flush().periodic_flushing is False

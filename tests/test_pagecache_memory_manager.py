@@ -1,0 +1,410 @@
+"""Unit tests for the Memory Manager (flushing, eviction, accounting)."""
+
+import pytest
+
+from repro.des import Environment
+from repro.errors import ConfigurationError
+from repro.pagecache import MemoryManager, PageCacheConfig
+from repro.platform.memory import MemoryDevice
+from repro.platform.storage import Disk
+from repro.units import GB, GiB, MB, MBps
+
+
+GB_F = float(GB)
+
+
+@pytest.fixture
+def setup(env):
+    """Environment, 10 GB memory manager and a disk, flusher disabled."""
+    memory = MemoryDevice.symmetric(env, "ram", 1000 * MBps, size=10 * GB)
+    disk = Disk.symmetric(env, "ssd", 100 * MBps)
+    manager = MemoryManager(env, memory, PageCacheConfig(periodic_flushing=False))
+    return env, manager, disk
+
+
+class TestConstruction:
+    def test_requires_memory_device(self, env):
+        with pytest.raises(ConfigurationError):
+            MemoryManager(env, None)
+
+    def test_initial_state(self, setup):
+        _, mm, _ = setup
+        assert mm.free_mem == 10 * GB
+        assert mm.cached == 0
+        assert mm.dirty == 0
+        assert mm.anonymous == 0
+        assert mm.used_memory == 0
+        mm.assert_consistent()
+
+
+class TestAnonymousMemory:
+    def test_use_and_release(self, setup):
+        _, mm, _ = setup
+        mm.use_anonymous_memory(2 * GB, owner="app1")
+        assert mm.anonymous == 2 * GB
+        assert mm.free_mem == 8 * GB
+        assert mm.anonymous_of("app1") == 2 * GB
+        released = mm.release_anonymous_memory(owner="app1")
+        assert released == 2 * GB
+        assert mm.anonymous == 0
+        assert mm.free_mem == 10 * GB
+        mm.assert_consistent()
+
+    def test_partial_release(self, setup):
+        _, mm, _ = setup
+        mm.use_anonymous_memory(3 * GB, owner="app")
+        mm.release_anonymous_memory(1 * GB, owner="app")
+        assert mm.anonymous == 2 * GB
+        assert mm.anonymous_of("app") == 2 * GB
+
+    def test_release_without_owner_releases_all(self, setup):
+        _, mm, _ = setup
+        mm.use_anonymous_memory(1 * GB)
+        mm.use_anonymous_memory(2 * GB)
+        assert mm.release_anonymous_memory() == 3 * GB
+        assert mm.anonymous == 0
+
+    def test_release_is_capped_at_allocated(self, setup):
+        _, mm, _ = setup
+        mm.use_anonymous_memory(1 * GB)
+        assert mm.release_anonymous_memory(5 * GB) == 1 * GB
+
+    def test_negative_allocation_rejected(self, setup):
+        _, mm, _ = setup
+        with pytest.raises(ValueError):
+            mm.use_anonymous_memory(-1)
+
+    def test_zero_allocation_is_noop(self, setup):
+        _, mm, _ = setup
+        mm.use_anonymous_memory(0)
+        assert mm.free_mem == 10 * GB
+
+
+class TestCacheAccounting:
+    def test_add_to_cache_creates_inactive_clean_block(self, setup):
+        _, mm, disk = setup
+        block = mm.add_to_cache("f", 1 * GB, disk)
+        assert block in mm.lists.inactive
+        assert not block.dirty
+        assert mm.cached == 1 * GB
+        assert mm.free_mem == 9 * GB
+        assert mm.cached_amount("f") == 1 * GB
+        mm.assert_consistent()
+
+    def test_add_to_cache_zero_amount(self, setup):
+        _, mm, disk = setup
+        assert mm.add_to_cache("f", 0, disk) is None
+
+    def test_write_to_cache_creates_dirty_block(self, setup, runner):
+        env, mm, disk = setup
+        runner(env, mm.write_to_cache("f", 2 * GB, disk))
+        assert mm.dirty == 2 * GB
+        assert mm.cached == 2 * GB
+        assert mm.free_mem == 8 * GB
+        assert env.now == pytest.approx(2.0)  # 2 GB at 1000 MBps
+        mm.assert_consistent()
+
+    def test_cache_content_reports_per_file(self, setup):
+        _, mm, disk = setup
+        mm.add_to_cache("a", 1 * GB, disk)
+        mm.add_to_cache("b", 2 * GB, disk)
+        assert mm.cache_content() == {"a": 1 * GB, "b": 2 * GB}
+
+    def test_invalidate_file(self, setup):
+        _, mm, disk = setup
+        mm.add_to_cache("a", 1 * GB, disk)
+        mm.add_to_cache("b", 2 * GB, disk)
+        removed = mm.invalidate_file("a")
+        assert removed == 1 * GB
+        assert mm.cached == 2 * GB
+        assert mm.free_mem == 8 * GB
+        mm.assert_consistent()
+
+    def test_dirty_capacity_total_base(self, setup):
+        _, mm, _ = setup
+        assert mm.dirty_capacity == pytest.approx(0.2 * 10 * GB)
+
+    def test_dirty_capacity_available_base(self, env):
+        memory = MemoryDevice.symmetric(env, "ram", 1000 * MBps, size=10 * GB)
+        mm = MemoryManager(
+            env, memory,
+            PageCacheConfig(periodic_flushing=False, dirty_threshold_base="available"),
+        )
+        mm.use_anonymous_memory(5 * GB)
+        assert mm.dirty_capacity == pytest.approx(0.2 * 5 * GB)
+
+    def test_snapshot_fields(self, setup):
+        _, mm, disk = setup
+        mm.add_to_cache("f", 1 * GB, disk)
+        mm.use_anonymous_memory(2 * GB)
+        snap = mm.snapshot()
+        assert snap.total == 10 * GB
+        assert snap.cached == 1 * GB
+        assert snap.anonymous == 2 * GB
+        assert snap.used == 3 * GB
+        assert snap.free == 7 * GB
+        assert snap.as_dict()["dirty"] == 0
+
+
+class TestEviction:
+    def test_evicts_clean_inactive_blocks_lru_first(self, setup):
+        env, mm, disk = setup
+        first = mm.add_to_cache("a", 1 * GB, disk)
+        env.run(until=1.0)
+        mm.add_to_cache("b", 1 * GB, disk)
+        evicted = mm.evict(1 * GB)
+        assert evicted == 1 * GB
+        assert mm.cached_amount("a") == 0  # oldest evicted first
+        assert mm.cached_amount("b") == 1 * GB
+        assert first not in mm.lists.inactive
+        mm.assert_consistent()
+
+    def test_partial_eviction_splits_block(self, setup):
+        _, mm, disk = setup
+        mm.add_to_cache("a", 2 * GB, disk)
+        evicted = mm.evict(0.5 * GB)
+        assert evicted == pytest.approx(0.5 * GB)
+        assert mm.cached_amount("a") == pytest.approx(1.5 * GB)
+        assert mm.free_mem == pytest.approx(8.5 * GB)
+        mm.assert_consistent()
+
+    def test_dirty_blocks_are_not_evicted(self, setup, runner):
+        env, mm, disk = setup
+        runner(env, mm.write_to_cache("d", 1 * GB, disk))
+        assert mm.evict(1 * GB) == 0.0
+        assert mm.cached == 1 * GB
+
+    def test_excluded_file_is_skipped(self, setup):
+        _, mm, disk = setup
+        mm.add_to_cache("keep", 1 * GB, disk)
+        mm.add_to_cache("drop", 1 * GB, disk)
+        evicted = mm.evict(2 * GB, exclude_file="keep")
+        assert evicted == 1 * GB
+        assert mm.cached_amount("keep") == 1 * GB
+
+    def test_non_positive_amount_is_noop(self, setup):
+        _, mm, disk = setup
+        mm.add_to_cache("a", 1 * GB, disk)
+        assert mm.evict(0) == 0.0
+        assert mm.evict(-5) == 0.0
+        assert mm.evict(None) == 0.0
+
+    def test_active_list_not_evicted_by_default(self, setup, runner):
+        env, mm, disk = setup
+        mm.add_to_cache("a", 1 * GB, disk)
+        runner(env, mm.read_from_cache("a", 1 * GB))  # promote to active
+        # Balancing demotes exactly one third back to the inactive list;
+        # a single eviction pass may only reclaim that demoted part.
+        assert mm.lists.active.cached_of_file("a") == pytest.approx(2 * GB / 3)
+        assert mm.evict(1 * GB) == pytest.approx(1 * GB / 3)
+        # Two thirds of the file survive the eviction (rebalanced between
+        # the lists), and the structural invariant still holds.
+        assert mm.cached_amount("a") == pytest.approx(2 * GB / 3)
+        assert (
+            mm.lists.active.size <= 2 * mm.lists.inactive.size + 1e-6
+        )
+
+    def test_active_list_evicted_when_enabled(self, env, runner):
+        memory = MemoryDevice.symmetric(env, "ram", 1000 * MBps, size=10 * GB)
+        disk = Disk.symmetric(env, "ssd", 100 * MBps)
+        mm = MemoryManager(
+            env, memory,
+            PageCacheConfig(periodic_flushing=False, evict_from_active=True),
+        )
+        mm.add_to_cache("a", 1 * GB, disk)
+        runner(env, mm.read_from_cache("a", 1 * GB))
+        assert mm.evict(1 * GB) == pytest.approx(1 * GB)
+
+    def test_protected_written_files_not_evicted(self, env):
+        memory = MemoryDevice.symmetric(env, "ram", 1000 * MBps, size=10 * GB)
+        disk = Disk.symmetric(env, "ssd", 100 * MBps)
+        mm = MemoryManager(
+            env, memory,
+            PageCacheConfig(periodic_flushing=False, protect_written_files=True),
+        )
+        mm.add_to_cache("hot", 1 * GB, disk)
+        mm.mark_file_being_written("hot")
+        assert mm.evict(1 * GB) == 0.0
+        mm.unmark_file_being_written("hot")
+        assert mm.evict(1 * GB) == pytest.approx(1 * GB)
+
+    def test_evicted_bytes_statistic(self, setup):
+        _, mm, disk = setup
+        mm.add_to_cache("a", 1 * GB, disk)
+        mm.evict(0.5 * GB)
+        assert mm.stats.evicted_bytes == pytest.approx(0.5 * GB)
+        assert mm.stats.evict_ops == 1
+
+
+class TestFlushing:
+    def test_flush_writes_dirty_data_to_disk(self, setup, runner):
+        env, mm, disk = setup
+        runner(env, mm.write_to_cache("f", 1 * GB, disk))
+        start = env.now
+        flushed = runner(env, mm.flush(1 * GB))
+        assert flushed == pytest.approx(1 * GB)
+        assert mm.dirty == 0
+        assert mm.cached == 1 * GB  # data stays cached, now clean
+        # 1 GB at 100 MBps disk write.
+        assert env.now - start == pytest.approx(10.0)
+        assert disk.bytes_written == pytest.approx(1 * GB)
+        mm.assert_consistent()
+
+    def test_flush_is_bounded_by_dirty_data(self, setup, runner):
+        env, mm, disk = setup
+        runner(env, mm.write_to_cache("f", 1 * GB, disk))
+        flushed = runner(env, mm.flush(5 * GB))
+        assert flushed == pytest.approx(1 * GB)
+
+    def test_partial_flush_splits_block(self, setup, runner):
+        env, mm, disk = setup
+        runner(env, mm.write_to_cache("f", 2 * GB, disk))
+        flushed = runner(env, mm.flush(0.5 * GB))
+        assert flushed == pytest.approx(0.5 * GB)
+        assert mm.dirty == pytest.approx(1.5 * GB)
+        assert mm.cached == pytest.approx(2 * GB)
+        mm.assert_consistent()
+
+    def test_flush_excludes_file(self, setup, runner):
+        env, mm, disk = setup
+        runner(env, mm.write_to_cache("keep", 1 * GB, disk))
+        runner(env, mm.write_to_cache("flushme", 1 * GB, disk))
+        flushed = runner(env, mm.flush(2 * GB, exclude_file="keep"))
+        assert flushed == pytest.approx(1 * GB)
+        assert mm.dirty == pytest.approx(1 * GB)
+
+    def test_flush_lru_order(self, setup, runner):
+        env, mm, disk = setup
+        runner(env, mm.write_to_cache("old", 1 * GB, disk))
+        runner(env, mm.write_to_cache("new", 1 * GB, disk))
+        runner(env, mm.flush(1 * GB))
+        # The oldest dirty block must have been flushed first.
+        assert mm.lists.inactive.dirty_blocks()[0].filename == "new"
+
+    def test_flush_zero_or_negative_amount(self, setup, runner):
+        env, mm, _ = setup
+        assert runner(env, mm.flush(0)) == 0.0
+        assert runner(env, mm.flush(-1 * GB)) == 0.0
+
+    def test_flush_with_no_dirty_data(self, setup, runner):
+        env, mm, _ = setup
+        assert runner(env, mm.flush(1 * GB)) == 0.0
+
+    def test_flushed_bytes_statistic(self, setup, runner):
+        env, mm, disk = setup
+        runner(env, mm.write_to_cache("f", 1 * GB, disk))
+        runner(env, mm.flush(1 * GB))
+        assert mm.stats.flushed_bytes == pytest.approx(1 * GB)
+        assert mm.stats.flush_ops == 1
+
+
+class TestCacheReads:
+    def test_read_promotes_clean_block_to_active(self, setup, runner):
+        env, mm, disk = setup
+        mm.add_to_cache("f", 1 * GB, disk)
+        served = runner(env, mm.read_from_cache("f", 1 * GB))
+        assert served == pytest.approx(1 * GB)
+        # The whole file stays cached; balancing keeps two thirds active.
+        assert mm.cached_amount("f") == pytest.approx(1 * GB)
+        assert mm.lists.active.cached_of_file("f") == pytest.approx(2 * GB / 3)
+        assert mm.lists.inactive.cached_of_file("f") == pytest.approx(1 * GB / 3)
+        assert env.now == pytest.approx(1.0)  # 1 GB at 1000 MBps memory
+        assert mm.stats.cache_hit_bytes == pytest.approx(1 * GB)
+
+    def test_read_merges_clean_blocks(self, setup, runner):
+        env, mm, disk = setup
+        mm.add_to_cache("f", 0.5 * GB, disk)
+        mm.add_to_cache("f", 0.5 * GB, disk)
+        runner(env, mm.read_from_cache("f", 1 * GB))
+        # The two clean blocks are merged into a single re-accessed block
+        # (which balancing may split once between the two lists).
+        active_blocks = mm.lists.active.blocks_of_file("f")
+        inactive_blocks = mm.lists.inactive.blocks_of_file("f")
+        assert len(active_blocks) == 1
+        assert len(active_blocks) + len(inactive_blocks) <= 2
+        assert mm.cached_amount("f") == pytest.approx(1 * GB)
+
+    def test_read_moves_dirty_blocks_individually(self, setup, runner):
+        env, mm, disk = setup
+        runner(env, mm.write_to_cache("f", 0.5 * GB, disk))
+        runner(env, mm.write_to_cache("f", 0.5 * GB, disk))
+        runner(env, mm.read_from_cache("f", 1 * GB))
+        # Dirty blocks are not merged: they keep their identity (and entry
+        # time) when promoted, so the file still spans several dirty blocks.
+        all_blocks = (
+            mm.lists.active.blocks_of_file("f") + mm.lists.inactive.blocks_of_file("f")
+        )
+        assert len(all_blocks) >= 2
+        assert all(block.dirty for block in all_blocks)
+        assert mm.dirty == pytest.approx(1 * GB)
+
+    def test_partial_block_read_splits(self, setup, runner):
+        env, mm, disk = setup
+        mm.add_to_cache("f", 1 * GB, disk)
+        served = runner(env, mm.read_from_cache("f", 0.25 * GB))
+        assert served == pytest.approx(0.25 * GB)
+        assert mm.lists.active.cached_of_file("f") == pytest.approx(0.25 * GB)
+        assert mm.lists.inactive.cached_of_file("f") == pytest.approx(0.75 * GB)
+        assert mm.cached == pytest.approx(1 * GB)
+
+    def test_read_bounded_by_cached_amount(self, setup, runner):
+        env, mm, disk = setup
+        mm.add_to_cache("f", 0.5 * GB, disk)
+        served = runner(env, mm.read_from_cache("f", 2 * GB))
+        assert served == pytest.approx(0.5 * GB)
+
+    def test_read_of_uncached_file_serves_nothing(self, setup, runner):
+        env, mm, _ = setup
+        assert runner(env, mm.read_from_cache("missing", 1 * GB)) == 0.0
+
+    def test_zero_read(self, setup, runner):
+        env, mm, _ = setup
+        assert runner(env, mm.read_from_cache("f", 0)) == 0.0
+
+
+class TestPeriodicFlushing:
+    def test_expired_dirty_blocks_are_flushed_in_background(self, env, runner):
+        memory = MemoryDevice.symmetric(env, "ram", 1000 * MBps, size=10 * GB)
+        disk = Disk.symmetric(env, "ssd", 100 * MBps)
+        config = PageCacheConfig(dirty_expire=10.0, writeback_interval=2.0)
+        mm = MemoryManager(env, memory, config)
+
+        def scenario(env):
+            yield from mm.write_to_cache("f", 1 * GB, disk)
+            # Wait past the expiration time plus one flusher period.
+            yield env.timeout(20.0)
+            return mm.dirty
+
+        process = env.process(scenario(env))
+        dirty_after = env.run(until=process)
+        mm.stop()
+        assert dirty_after == 0.0
+        assert mm.stats.background_flushed_bytes == pytest.approx(1 * GB)
+        assert disk.bytes_written == pytest.approx(1 * GB)
+
+    def test_unexpired_blocks_stay_dirty(self, env):
+        memory = MemoryDevice.symmetric(env, "ram", 1000 * MBps, size=10 * GB)
+        disk = Disk.symmetric(env, "ssd", 100 * MBps)
+        config = PageCacheConfig(dirty_expire=1000.0, writeback_interval=2.0)
+        mm = MemoryManager(env, memory, config)
+
+        def scenario(env):
+            yield from mm.write_to_cache("f", 1 * GB, disk)
+            yield env.timeout(20.0)
+            return mm.dirty
+
+        process = env.process(scenario(env))
+        dirty_after = env.run(until=process)
+        mm.stop()
+        assert dirty_after == pytest.approx(1 * GB)
+
+    def test_expired_blocks_listing(self, env):
+        memory = MemoryDevice.symmetric(env, "ram", 1000 * MBps, size=10 * GB)
+        disk = Disk.symmetric(env, "ssd", 100 * MBps)
+        mm = MemoryManager(env, memory, PageCacheConfig(periodic_flushing=False,
+                                                        dirty_expire=5.0))
+        mm.add_to_cache("clean", 1 * GB, disk)
+        dirty_block = mm.add_to_cache("dirty", 1 * GB, disk, dirty=True)
+        env.timeout(10.0)
+        env.run()
+        assert mm.expired_blocks() == [dirty_block]

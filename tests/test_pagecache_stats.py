@@ -1,0 +1,52 @@
+"""Unit tests for cache statistics counters."""
+
+import pytest
+
+from repro.pagecache.stats import CacheStatistics
+
+
+class TestCacheStatistics:
+    def test_initial_state(self):
+        stats = CacheStatistics()
+        assert stats.total_read_bytes == 0
+        assert stats.total_write_bytes == 0
+        assert stats.hit_ratio == 0.0
+
+    def test_record_hit_and_miss(self):
+        stats = CacheStatistics()
+        stats.record_hit("a", 100.0)
+        stats.record_miss("a", 300.0)
+        stats.record_hit("b", 100.0)
+        assert stats.cache_hit_bytes == 200.0
+        assert stats.cache_miss_bytes == 300.0
+        assert stats.total_read_bytes == 500.0
+        assert stats.hit_ratio == pytest.approx(0.4)
+        assert stats.per_file_hits == {"a": 100.0, "b": 100.0}
+        assert stats.per_file_misses == {"a": 300.0}
+
+    def test_total_write_bytes(self):
+        stats = CacheStatistics()
+        stats.cache_write_bytes = 10.0
+        stats.direct_write_bytes = 5.0
+        assert stats.total_write_bytes == 15.0
+
+    def test_as_dict_contains_all_counters(self):
+        stats = CacheStatistics()
+        stats.record_hit("a", 1.0)
+        data = stats.as_dict()
+        for key in (
+            "cache_hit_bytes",
+            "cache_miss_bytes",
+            "cache_write_bytes",
+            "direct_write_bytes",
+            "flushed_bytes",
+            "background_flushed_bytes",
+            "evicted_bytes",
+            "read_ops",
+            "write_ops",
+            "flush_ops",
+            "evict_ops",
+            "hit_ratio",
+        ):
+            assert key in data
+        assert data["cache_hit_bytes"] == 1.0

@@ -1,0 +1,193 @@
+"""Unit tests for the fair-sharing flow model."""
+
+import pytest
+
+from repro.des import Environment
+from repro.errors import ConfigurationError
+from repro.platform.flows import FairShareChannel, Flow
+
+
+class TestBasics:
+    def test_bandwidth_must_be_positive(self, env):
+        with pytest.raises(ConfigurationError):
+            FairShareChannel(env, 0.0)
+
+    def test_single_transfer_time(self, env, runner):
+        channel = FairShareChannel(env, bandwidth=100.0)
+
+        def proc(env):
+            yield channel.transfer(1000.0)
+            return env.now
+
+        assert runner(env, proc(env)) == pytest.approx(10.0)
+
+    def test_zero_transfer_completes_immediately(self, env, runner):
+        channel = FairShareChannel(env, bandwidth=100.0)
+
+        def proc(env):
+            elapsed = yield channel.transfer(0.0)
+            return elapsed, env.now
+
+        assert runner(env, proc(env)) == (0.0, 0.0)
+
+    def test_negative_transfer_rejected(self, env):
+        channel = FairShareChannel(env, bandwidth=100.0)
+        with pytest.raises(ValueError):
+            channel.transfer(-1.0)
+
+    def test_transfer_event_value_is_elapsed_time(self, env, runner):
+        channel = FairShareChannel(env, bandwidth=50.0)
+
+        def proc(env):
+            elapsed = yield channel.transfer(100.0)
+            return elapsed
+
+        assert runner(env, proc(env)) == pytest.approx(2.0)
+
+
+class TestFairSharing:
+    def test_two_concurrent_flows_share_bandwidth(self, env):
+        channel = FairShareChannel(env, bandwidth=100.0)
+        finish = {}
+
+        def proc(env, label):
+            yield channel.transfer(1000.0)
+            finish[label] = env.now
+
+        env.process(proc(env, "a"))
+        env.process(proc(env, "b"))
+        env.run()
+        # Two equal flows on a shared channel take twice the solo time.
+        assert finish["a"] == pytest.approx(20.0)
+        assert finish["b"] == pytest.approx(20.0)
+
+    def test_late_arrival_slows_down_first_flow(self, env):
+        channel = FairShareChannel(env, bandwidth=100.0)
+        finish = {}
+
+        def first(env):
+            yield channel.transfer(1000.0)
+            finish["first"] = env.now
+
+        def second(env):
+            yield env.timeout(5.0)
+            yield channel.transfer(500.0)
+            finish["second"] = env.now
+
+        env.process(first(env))
+        env.process(second(env))
+        env.run()
+        # First flow: 500 bytes alone (5 s), then shares the channel.
+        # Remaining 500 vs 500: both at 50 B/s -> 10 more seconds.
+        assert finish["first"] == pytest.approx(15.0)
+        assert finish["second"] == pytest.approx(15.0)
+
+    def test_short_flow_departure_speeds_up_long_flow(self, env):
+        channel = FairShareChannel(env, bandwidth=100.0)
+        finish = {}
+
+        def proc(env, label, amount):
+            yield channel.transfer(amount)
+            finish[label] = env.now
+
+        env.process(proc(env, "short", 200.0))
+        env.process(proc(env, "long", 1000.0))
+        env.run()
+        # Shared until the short one ends at t=4 (200 B at 50 B/s); the long
+        # one then has 800 left at full bandwidth: 4 + 8 = 12 s.
+        assert finish["short"] == pytest.approx(4.0)
+        assert finish["long"] == pytest.approx(12.0)
+
+    def test_work_conservation_many_flows(self, env):
+        channel = FairShareChannel(env, bandwidth=250.0)
+        completions = []
+
+        def proc(env, amount):
+            yield channel.transfer(amount)
+            completions.append(env.now)
+
+        amounts = [100.0, 200.0, 300.0, 400.0]
+        for amount in amounts:
+            env.process(proc(env, amount))
+        env.run()
+        # The channel is busy the whole time, so the last completion equals
+        # the total work divided by the bandwidth.
+        assert max(completions) == pytest.approx(sum(amounts) / 250.0)
+        assert channel.total_transferred == pytest.approx(sum(amounts))
+
+    def test_rate_per_flow(self, env):
+        channel = FairShareChannel(env, bandwidth=90.0)
+        assert channel.rate_per_flow == 90.0
+        channel.transfer(1000.0)
+        channel.transfer(1000.0)
+        channel.transfer(1000.0)
+        assert channel.rate_per_flow == pytest.approx(30.0)
+        assert channel.active_flows == 3
+
+    def test_estimate_time_accounts_for_contention(self, env):
+        channel = FairShareChannel(env, bandwidth=100.0)
+        assert channel.estimate_time(100.0) == pytest.approx(1.0)
+        channel.transfer(1000.0)
+        assert channel.estimate_time(100.0) == pytest.approx(2.0)
+
+
+class TestNoSharingMode:
+    def test_flows_do_not_interfere(self, env):
+        channel = FairShareChannel(env, bandwidth=100.0, sharing=False)
+        finish = {}
+
+        def proc(env, label):
+            yield channel.transfer(1000.0)
+            finish[label] = env.now
+
+        env.process(proc(env, "a"))
+        env.process(proc(env, "b"))
+        env.run()
+        assert finish["a"] == pytest.approx(10.0)
+        assert finish["b"] == pytest.approx(10.0)
+
+
+class TestStatisticsAndEdgeCases:
+    def test_utilization(self, env, runner):
+        channel = FairShareChannel(env, bandwidth=100.0)
+
+        def proc(env):
+            yield channel.transfer(500.0)  # busy for 5 s
+            yield env.timeout(5.0)  # idle for 5 s
+            return channel.utilization()
+
+        assert runner(env, proc(env)) == pytest.approx(0.5)
+
+    def test_total_flows_counter(self, env):
+        channel = FairShareChannel(env, bandwidth=100.0)
+
+        def proc(env):
+            yield channel.transfer(10.0)
+            yield channel.transfer(10.0)
+
+        env.process(proc(env))
+        env.run()
+        assert channel.total_flows == 2
+
+    def test_tiny_residual_does_not_hang(self, env):
+        """Regression test: float underflow in remaining work must not spin."""
+        channel = FairShareChannel(env, bandwidth=4.812e9)
+        finish = {}
+
+        def proc(env, label, amount, delay):
+            yield env.timeout(delay)
+            yield channel.transfer(amount)
+            finish[label] = env.now
+
+        # Stagger many large flows so remainders become denormally small
+        # relative to the simulated clock.
+        for index in range(10):
+            env.process(proc(env, index, 3e9, index * 0.001))
+        env.run()
+        assert len(finish) == 10
+
+    def test_flow_progress_property(self, env):
+        flow = Flow(100.0, Environment().event(), 0.0)
+        assert flow.progress == 0.0
+        flow.remaining = 25.0
+        assert flow.progress == pytest.approx(0.75)

@@ -1,0 +1,190 @@
+"""Unit tests for CPU, Host and the platform builder."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platform.cpu import CPU
+from repro.platform.host import Host
+from repro.platform.memory import MemoryDevice
+from repro.platform.platform import Platform, PlatformBuilder, concordia_cluster
+from repro.platform.storage import Disk
+from repro.units import GB, GiB, MBps
+
+
+class TestCPU:
+    def test_invalid_parameters(self, env):
+        with pytest.raises(ConfigurationError):
+            CPU(env, cores=0)
+        with pytest.raises(ConfigurationError):
+            CPU(env, speed=0)
+
+    def test_execute_duration(self, env, runner):
+        cpu = CPU(env, cores=1, speed=1e9)
+
+        def proc(env):
+            yield cpu.execute(4.4e9)
+            return env.now
+
+        assert runner(env, proc(env)) == pytest.approx(4.4)
+
+    def test_compute_seconds_helper(self, env, runner):
+        cpu = CPU(env, cores=1, speed=1e9)
+
+        def proc(env):
+            yield cpu.compute_seconds(2.0)
+            return env.now
+
+        assert runner(env, proc(env)) == pytest.approx(2.0)
+
+    def test_tasks_queue_when_cores_busy(self, env):
+        cpu = CPU(env, cores=2, speed=1e9)
+        finish = []
+
+        def proc(env):
+            yield cpu.execute(1e9)
+            finish.append(env.now)
+
+        for _ in range(4):
+            env.process(proc(env))
+        env.run()
+        # Two run immediately, the two others wait for a free core.
+        assert sorted(finish) == [1.0, 1.0, 2.0, 2.0]
+
+    def test_parallel_tasks_on_enough_cores(self, env):
+        cpu = CPU(env, cores=4, speed=1e9)
+        finish = []
+
+        def proc(env):
+            yield cpu.execute(3e9)
+            finish.append(env.now)
+
+        for _ in range(4):
+            env.process(proc(env))
+        env.run()
+        assert finish == [3.0] * 4
+
+    def test_negative_flops_rejected(self, env):
+        cpu = CPU(env)
+        with pytest.raises(ValueError):
+            cpu.execute(-1)
+
+    def test_statistics(self, env, runner):
+        cpu = CPU(env, cores=1, speed=1e9)
+
+        def proc(env):
+            yield cpu.execute(5e8)
+            yield cpu.execute(5e8)
+
+        runner(env, proc(env))
+        assert cpu.total_flops == 1e9
+        assert cpu.tasks_executed == 2
+
+    def test_duration_of(self, env):
+        cpu = CPU(env, speed=2e9)
+        assert cpu.duration_of(4e9) == pytest.approx(2.0)
+
+
+class TestHost:
+    def test_disk_registration_and_lookup(self, env):
+        host = Host(env, "node1", cores=4)
+        disk = Disk.symmetric(env, "ssd", 465 * MBps)
+        host.add_disk(disk, mount_point="/local")
+        assert host.disk("/local") is disk
+        with pytest.raises(ConfigurationError):
+            host.disk("/missing")
+        with pytest.raises(ConfigurationError):
+            host.add_disk(disk, mount_point="/local")
+
+    def test_memory_size_without_memory(self, env):
+        host = Host(env, "node1")
+        assert host.memory_size == 0.0
+        host.set_memory(MemoryDevice.symmetric(env, "ram", 1000 * MBps, size=GiB))
+        assert host.memory_size == GiB
+
+    def test_core_and_speed_properties(self, env):
+        host = Host(env, "node1", cores=16, speed=2e9)
+        assert host.cores == 16
+        assert host.speed == 2e9
+
+
+class TestPlatformBuilder:
+    def test_duplicate_host_rejected(self, env):
+        builder = PlatformBuilder(env).host("node1")
+        with pytest.raises(ConfigurationError):
+            builder.host("node1")
+
+    def test_memory_requires_bandwidth(self, env):
+        with pytest.raises(ConfigurationError):
+            PlatformBuilder(env).host("node1", memory_size=GiB)
+
+    def test_disk_requires_bandwidth(self, env):
+        builder = PlatformBuilder(env).host("node1")
+        with pytest.raises(ConfigurationError):
+            builder.disk("node1", "ssd")
+
+    def test_route_requires_known_link(self, env):
+        builder = PlatformBuilder(env).host("a").host("b")
+        with pytest.raises(ConfigurationError):
+            builder.route("a", "b", ["missing"])
+
+    def test_full_platform(self, env):
+        platform = (
+            PlatformBuilder(env)
+            .host("node1", cores=32, memory_size=250 * GiB,
+                  memory_bandwidth=4812 * MBps)
+            .disk("node1", "ssd", bandwidth=465 * MBps, capacity=450 * GB,
+                  mount_point="/local")
+            .host("storage1", memory_size=250 * GiB, memory_bandwidth=4812 * MBps)
+            .disk("storage1", "nfs", bandwidth=445 * MBps, mount_point="/export")
+            .link("lan", 3000 * MBps)
+            .route("node1", "storage1", ["lan"])
+            .build()
+        )
+        assert isinstance(platform, Platform)
+        assert len(platform) == 2
+        assert platform.host("node1").disk("/local").read_bandwidth == 465 * MBps
+        assert platform.network.has_route("storage1", "node1")
+
+    def test_unknown_host_lookup(self, env):
+        platform = PlatformBuilder(env).host("node1").build()
+        with pytest.raises(ConfigurationError):
+            platform.host("node2")
+
+
+class TestConcordiaCluster:
+    def test_default_cluster_shape(self, env):
+        platform = concordia_cluster(env)
+        assert set(platform.host_names()) == {"node1", "storage1"}
+        node = platform.host("node1")
+        assert node.cores == 32
+        assert node.memory_size == pytest.approx(250 * GiB)
+        assert node.disk("/local").read_bandwidth == pytest.approx(465 * MBps)
+        storage = platform.host("storage1")
+        assert storage.disk("/export").read_bandwidth == pytest.approx(445 * MBps)
+        assert platform.network.has_route("node1", "storage1")
+
+    def test_cluster_without_nfs(self, env):
+        platform = concordia_cluster(env, with_nfs_server=False)
+        assert set(platform.host_names()) == {"node1"}
+
+    def test_multiple_compute_nodes(self, env):
+        platform = concordia_cluster(env, compute_nodes=3)
+        assert {"node1", "node2", "node3", "storage1"} == set(platform.host_names())
+        assert platform.network.has_route("node3", "storage1")
+
+    def test_asymmetric_bandwidths(self, env):
+        platform = concordia_cluster(
+            env,
+            with_nfs_server=False,
+            local_disk_read_bandwidth=510 * MBps,
+            local_disk_write_bandwidth=420 * MBps,
+        )
+        disk = platform.host("node1").disk("/local")
+        assert disk.read_bandwidth == pytest.approx(510 * MBps)
+        assert disk.write_bandwidth == pytest.approx(420 * MBps)
+        assert disk.read_channel is not disk.write_channel
+
+    def test_sharing_flag_propagates(self, env):
+        platform = concordia_cluster(env, with_nfs_server=False, sharing=False)
+        disk = platform.host("node1").disk("/local")
+        assert disk.read_channel.sharing is False

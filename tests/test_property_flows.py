@@ -1,0 +1,91 @@
+"""Property-based tests for the fair-sharing flow model and units."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.des import Environment
+from repro.platform.flows import FairShareChannel
+from repro.units import format_size, parse_size
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    bandwidth=st.floats(min_value=1.0, max_value=1e10),
+    amounts=st.lists(st.floats(min_value=1.0, max_value=1e10), min_size=1, max_size=8),
+)
+def test_simultaneous_flows_complete_at_total_work_over_bandwidth(bandwidth, amounts):
+    """With all flows starting at t=0, the channel is always busy, so the
+    last completion happens exactly at total_work / bandwidth."""
+    env = Environment()
+    channel = FairShareChannel(env, bandwidth)
+    completions = []
+
+    def flow(amount):
+        yield channel.transfer(amount)
+        completions.append(env.now)
+
+    for amount in amounts:
+        env.process(flow(amount))
+    env.run()
+
+    assert len(completions) == len(amounts)
+    expected_last = sum(amounts) / bandwidth
+    assert max(completions) == pytest.approx(expected_last, rel=1e-6)
+    assert channel.total_transferred == pytest.approx(sum(amounts), rel=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    bandwidth=st.floats(min_value=1.0, max_value=1e9),
+    amounts=st.lists(st.floats(min_value=1.0, max_value=1e9), min_size=1, max_size=6),
+    delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=6),
+)
+def test_fair_sharing_bounds(bandwidth, amounts, delays):
+    """Every flow takes at least its solo time and at most the time it would
+    take if the channel processed all flows one after the other."""
+    env = Environment()
+    channel = FairShareChannel(env, bandwidth)
+    durations = {}
+    pairs = list(zip(amounts, delays[: len(amounts)] + [0.0] * len(amounts)))
+
+    def flow(index, amount, delay):
+        yield env.timeout(delay)
+        elapsed = yield channel.transfer(amount)
+        durations[index] = elapsed
+
+    for index, (amount, delay) in enumerate(pairs):
+        env.process(flow(index, amount, delay))
+    env.run()
+
+    total_work_time = sum(amount for amount, _ in pairs) / bandwidth
+    for index, (amount, _) in enumerate(pairs):
+        solo_time = amount / bandwidth
+        assert durations[index] >= solo_time - 1e-6
+        assert durations[index] <= total_work_time + 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(amount=st.floats(min_value=0.0, max_value=1e12))
+def test_no_sharing_mode_is_always_solo_time(amount):
+    env = Environment()
+    channel = FairShareChannel(env, 1e6, sharing=False)
+
+    def flow():
+        elapsed = yield channel.transfer(amount)
+        return elapsed
+
+    other = env.process(flow())
+    process = env.process(flow())
+    env.run()
+    assert process.value == pytest.approx(amount / 1e6, abs=1e-9)
+    assert other.value == pytest.approx(amount / 1e6, abs=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(value=st.floats(min_value=0.0, max_value=1e15))
+def test_format_parse_size_roundtrip(value):
+    formatted = format_size(value, precision=6)
+    parsed = parse_size(formatted)
+    assert parsed == pytest.approx(value, rel=1e-3, abs=1.0)

@@ -1,0 +1,126 @@
+"""Unit tests for tasks, workflows and the chain-workflow helper."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.filesystem import File
+from repro.simulator.workflow import Task, Workflow, chain_workflow
+from repro.units import GB
+
+
+class TestTask:
+    def test_from_cpu_time_converts_to_flops(self):
+        task = Task.from_cpu_time("t", 28.0)
+        assert task.flops == pytest.approx(28.0 * 1e9)
+        assert task.cpu_time() == pytest.approx(28.0)
+
+    def test_from_cpu_time_with_custom_core_speed(self):
+        task = Task.from_cpu_time("t", 10.0, core_speed=2e9)
+        assert task.flops == pytest.approx(2e10)
+        assert task.cpu_time(core_speed=2e9) == pytest.approx(10.0)
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            Task("t", flops=-1)
+
+    def test_input_output_sizes(self):
+        task = Task("t", inputs=[File("a", 1 * GB), File("b", 2 * GB)],
+                    outputs=[File("c", 3 * GB)])
+        assert task.input_size == 3 * GB
+        assert task.output_size == 3 * GB
+
+
+class TestWorkflow:
+    def _diamond(self):
+        """A diamond-shaped workflow: src -> (left, right) -> sink."""
+        f_in = File("in", GB)
+        f_l = File("left_out", GB)
+        f_r = File("right_out", GB)
+        f_out = File("out", GB)
+        workflow = Workflow("diamond")
+        src = workflow.add_task(Task("src", inputs=[f_in], outputs=[f_l, f_r]))
+        left = workflow.add_task(Task("left", inputs=[f_l], outputs=[File("l2", GB)]))
+        right = workflow.add_task(Task("right", inputs=[f_r], outputs=[File("r2", GB)]))
+        sink = workflow.add_task(
+            Task("sink", inputs=[File("l2", GB), File("r2", GB)], outputs=[f_out])
+        )
+        return workflow, (src, left, right, sink)
+
+    def test_duplicate_task_name_rejected(self):
+        workflow = Workflow()
+        workflow.add_task(Task("t"))
+        with pytest.raises(SchedulingError):
+            workflow.add_task(Task("t"))
+
+    def test_task_lookup(self):
+        workflow = Workflow()
+        task = workflow.add_task(Task("t"))
+        assert workflow.task("t") is task
+        with pytest.raises(SchedulingError):
+            workflow.task("missing")
+
+    def test_dependencies_follow_data_flow(self):
+        workflow, (src, left, right, sink) = self._diamond()
+        assert workflow.dependencies(src) == []
+        assert workflow.dependencies(left) == [src]
+        assert set(t.name for t in workflow.dependencies(sink)) == {"left", "right"}
+
+    def test_explicit_dependency(self):
+        workflow = Workflow()
+        a = workflow.add_task(Task("a"))
+        b = workflow.add_task(Task("b"))
+        workflow.add_dependency(a, b)
+        assert workflow.dependencies(b) == [a]
+
+    def test_explicit_dependency_requires_registered_tasks(self):
+        workflow = Workflow()
+        a = workflow.add_task(Task("a"))
+        with pytest.raises(SchedulingError):
+            workflow.add_dependency(a, Task("ghost"))
+
+    def test_topological_order_respects_dependencies(self):
+        workflow, _ = self._diamond()
+        order = [task.name for task in workflow.topological_order()]
+        assert order.index("src") < order.index("left")
+        assert order.index("src") < order.index("right")
+        assert order.index("left") < order.index("sink")
+        assert order.index("right") < order.index("sink")
+
+    def test_cycle_detection(self):
+        workflow = Workflow()
+        a = workflow.add_task(Task("a", inputs=[File("fb", 1)], outputs=[File("fa", 1)]))
+        b = workflow.add_task(Task("b", inputs=[File("fa", 1)], outputs=[File("fb", 1)]))
+        with pytest.raises(SchedulingError):
+            workflow.topological_order()
+        with pytest.raises(SchedulingError):
+            workflow.validate()
+
+    def test_input_and_output_files(self):
+        workflow, _ = self._diamond()
+        assert [f.name for f in workflow.input_files()] == ["in"]
+        produced = {f.name for f in workflow.output_files()}
+        assert {"left_out", "right_out", "l2", "r2", "out"} == produced
+        assert len(workflow.all_files()) == 6
+
+    def test_len(self):
+        workflow, _ = self._diamond()
+        assert len(workflow) == 4
+
+
+class TestChainWorkflow:
+    def test_builds_linear_pipeline(self):
+        files = [File(f"f{i}", GB) for i in range(4)]
+        workflow = chain_workflow("chain", files, [1.0, 2.0, 3.0])
+        assert len(workflow) == 3
+        order = [task.name for task in workflow.topological_order()]
+        assert order == ["chain_task1", "chain_task2", "chain_task3"]
+        assert workflow.input_files() == [files[0]]
+        task2 = workflow.task("chain_task2")
+        assert task2.inputs == [files[1]]
+        assert task2.outputs == [files[2]]
+        assert task2.cpu_time() == pytest.approx(2.0)
+
+    def test_file_count_must_match(self):
+        files = [File(f"f{i}", GB) for i in range(3)]
+        with pytest.raises(SchedulingError):
+            chain_workflow("chain", files, [1.0, 2.0, 3.0])

@@ -1,0 +1,83 @@
+"""Unit tests for unit constants and formatting helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_decimal_units(self):
+        assert units.KB == 1_000
+        assert units.MB == 1_000_000
+        assert units.GB == 1_000_000_000
+        assert units.TB == 1_000_000_000_000
+
+    def test_binary_units(self):
+        assert units.KiB == 1024
+        assert units.MiB == 1024**2
+        assert units.GiB == 1024**3
+
+    def test_bandwidth_aliases(self):
+        assert units.MBps == units.MB
+        assert units.GBps == units.GB
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize("value,expected", [
+        (0, "0 B"),
+        (999, "999 B"),
+        (1_500, "1.50 KB"),
+        (20 * units.GB, "20.00 GB"),
+        (2.5 * units.TB, "2.50 TB"),
+    ])
+    def test_decimal_formatting(self, value, expected):
+        assert units.format_size(value) == expected
+
+    def test_binary_formatting(self):
+        assert units.format_size(250 * units.GiB, binary=True) == "250.00 GiB"
+
+    def test_negative_size(self):
+        assert units.format_size(-1500) == "-1.50 KB"
+
+    def test_precision(self):
+        assert units.format_size(1_234_567, precision=1) == "1.2 MB"
+
+
+class TestFormatBandwidthAndTime:
+    def test_format_bandwidth(self):
+        assert units.format_bandwidth(465 * units.MBps) == "465.0 MB/s"
+
+    @pytest.mark.parametrize("value,expected", [
+        (5e-7, "0.50 us"),
+        (0.005, "5.00 ms"),
+        (42.0, "42.00 s"),
+        (90.0, "1 min 30.00 s"),
+        (7200.0, "2 h 0.0 min"),
+    ])
+    def test_format_time(self, value, expected):
+        assert units.format_time(value) == expected
+
+    def test_format_negative_time(self):
+        assert units.format_time(-3.0) == "-3.00 s"
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        ("20GB", 20 * units.GB),
+        ("512 MiB", 512 * units.MiB),
+        ("1.5 kb", 1.5 * units.KB),
+        ("42", 42.0),
+        ("100 b", 100.0),
+    ])
+    def test_valid_inputs(self, text, expected):
+        assert units.parse_size(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("text", ["", "GB", "12 parsecs"])
+    def test_invalid_inputs(self, text):
+        with pytest.raises(ValueError):
+            units.parse_size(text)
+
+    def test_roundtrip_with_format(self):
+        assert units.parse_size(units.format_size(20 * units.GB)) == pytest.approx(
+            20 * units.GB
+        )
