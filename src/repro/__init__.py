@@ -23,6 +23,11 @@ The package is organised in layers:
 ``repro.simulator``
     A WRENCH-like workflow simulation facade: storage services, compute
     services, workflows, a workflow management system and execution tracing.
+``repro.scheduler``
+    A cluster batch-scheduler subsystem: job queues with seeded arrival
+    generators, pluggable scheduling policies (FIFO, SJF, EASY
+    backfilling) and placement strategies (round-robin, least-loaded,
+    cache-locality-aware).
 ``repro.apps``
     The applications evaluated in the paper (synthetic pipeline, Nighres).
 ``repro.experiments``
@@ -47,6 +52,12 @@ from repro.pagecache import (
     MemoryManager,
     IOController,
 )
+from repro.rng import DeterministicRNG
+from repro.scheduler import (
+    ClusterScheduler,
+    Job,
+    SchedulerMetrics,
+)
 
 __all__ = [
     "__version__",
@@ -68,4 +79,8 @@ __all__ = [
     "PageCacheConfig",
     "MemoryManager",
     "IOController",
+    "DeterministicRNG",
+    "ClusterScheduler",
+    "Job",
+    "SchedulerMetrics",
 ]

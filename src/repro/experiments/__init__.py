@@ -17,6 +17,7 @@ Figure 5     Exp 2 concurrent local I/O                   ``exp2_concurrent``
 Figure 6     Exp 4 Nighres errors                         ``exp4_nighres``
 Figure 7     Exp 3 concurrent NFS I/O                     ``exp3_nfs``
 Figure 8     simulation-time scaling                      ``exp5_scaling``
+(beyond)     Exp 6 cluster batch scheduling               ``exp6_cluster``
 ===========  ==========================================  =========================
 
 The "real execution" columns are produced by a calibrated reference
@@ -45,6 +46,12 @@ from repro.experiments.exp2_concurrent import run_exp2, sweep_exp2
 from repro.experiments.exp3_nfs import run_exp3, sweep_exp3
 from repro.experiments.exp4_nighres import run_exp4, exp4_errors
 from repro.experiments.exp5_scaling import run_scaling, ScalingPoint
+from repro.experiments.exp6_cluster import (
+    ClusterPoint,
+    exp6_report,
+    exp6_series,
+    run_exp6,
+)
 
 __all__ = [
     "BandwidthCalibration",
@@ -67,4 +74,8 @@ __all__ = [
     "exp4_errors",
     "run_scaling",
     "ScalingPoint",
+    "ClusterPoint",
+    "run_exp6",
+    "exp6_series",
+    "exp6_report",
 ]

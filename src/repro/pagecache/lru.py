@@ -22,6 +22,13 @@ from repro.pagecache.block import Block
 #: Accounting tolerance in bytes.
 _EPSILON = 1e-6
 
+#: Tolerance of the negative-accounting guard.  Sizes are bytes, so totals
+#: reach 1e9-1e12; one float64 ulp at that magnitude is ~1e-6-1e-4 bytes
+#: and add/remove cycles accumulate a few of them.  1e-3 bytes matches the
+#: drift tolerance of :meth:`LRUList.assert_consistent` while still being
+#: vastly below any real block size.
+_NEGATIVE_TOLERANCE = 1e-3
+
 
 class LRUList:
     """An LRU-ordered list of data blocks.
@@ -87,7 +94,7 @@ class LRUList:
             self._per_file.pop(block.filename, None)
         else:
             self._per_file[block.filename] = remaining
-        if self._size < -_EPSILON or self._dirty < -_EPSILON:
+        if self._size < -_NEGATIVE_TOLERANCE or self._dirty < -_NEGATIVE_TOLERANCE:
             raise CacheConsistencyError(
                 f"negative accounting in LRU list {self.name!r}: "
                 f"size={self._size}, dirty={self._dirty}"

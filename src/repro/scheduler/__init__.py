@@ -1,0 +1,64 @@
+"""Cluster batch-scheduler subsystem.
+
+Turns the one-workflow-per-host simulator into a multi-node batch system:
+
+* :class:`~repro.scheduler.job.Job` — a workflow plus batch metadata
+  (cores, arrival time, runtime estimate);
+* arrival generators (:mod:`repro.scheduler.arrivals`) — seeded Poisson
+  and trace replay;
+* scheduling policies (:mod:`repro.scheduler.policies`) — FIFO, shortest
+  job first, EASY backfilling;
+* placement strategies (:mod:`repro.scheduler.placement`) — round-robin,
+  least-loaded, and cache-locality-aware (scores nodes by how many of a
+  job's input bytes sit in the node's page cache);
+* the :class:`~repro.scheduler.cluster.ClusterScheduler` DES process and
+  per-node state (:mod:`repro.scheduler.cluster`);
+* metrics (:mod:`repro.scheduler.metrics`) — wait time, bounded slowdown,
+  utilization and throughput.
+"""
+
+from repro.scheduler.arrivals import (
+    ArrivalProcess,
+    PoissonArrivalProcess,
+    TraceArrivalProcess,
+)
+from repro.scheduler.cluster import ClusterScheduler, NodeState
+from repro.scheduler.job import Job
+from repro.scheduler.metrics import JobRecord, SchedulerMetrics
+from repro.scheduler.placement import (
+    CacheLocalityPlacement,
+    LeastLoadedPlacement,
+    PlacementStrategy,
+    RoundRobinPlacement,
+    make_placement,
+)
+from repro.scheduler.policies import (
+    Decision,
+    EasyBackfillPolicy,
+    FIFOPolicy,
+    SchedulingPolicy,
+    ShortestJobFirstPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivalProcess",
+    "TraceArrivalProcess",
+    "ClusterScheduler",
+    "NodeState",
+    "Job",
+    "JobRecord",
+    "SchedulerMetrics",
+    "PlacementStrategy",
+    "RoundRobinPlacement",
+    "LeastLoadedPlacement",
+    "CacheLocalityPlacement",
+    "make_placement",
+    "SchedulingPolicy",
+    "FIFOPolicy",
+    "ShortestJobFirstPolicy",
+    "EasyBackfillPolicy",
+    "Decision",
+    "make_policy",
+]

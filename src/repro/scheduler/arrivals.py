@@ -1,0 +1,88 @@
+"""Job arrival processes.
+
+Batch workloads are usually modelled either as a Poisson process (open
+queueing model) or replayed from a recorded trace.  Both generators produce
+a plain list of non-decreasing arrival times; the experiment code then
+attaches a workflow to each arrival.  Every generator is deterministic: the
+Poisson process draws from a :class:`~repro.rng.DeterministicRNG`, and a
+trace replays verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.rng import DeterministicRNG
+
+
+class ArrivalProcess:
+    """Base class of arrival-time generators."""
+
+    def generate(self, n_jobs: int) -> List[float]:
+        """Return ``n_jobs`` non-decreasing arrival times (seconds)."""
+        raise NotImplementedError
+
+
+class PoissonArrivalProcess(ArrivalProcess):
+    """Poisson arrivals: i.i.d. exponential inter-arrival gaps.
+
+    Parameters
+    ----------
+    rate:
+        Mean number of arrivals per simulated second.
+    rng:
+        Seeded random source; pass a :meth:`~repro.rng.DeterministicRNG.spawn`
+        child so arrival draws are isolated from other random choices.
+    start:
+        Time of the first possible arrival (gaps accumulate from here).
+    """
+
+    def __init__(self, rate: float, rng: DeterministicRNG, start: float = 0.0):
+        if rate <= 0:
+            raise ConfigurationError(f"arrival rate must be positive, got {rate}")
+        if start < 0:
+            raise ConfigurationError(f"start must be >= 0, got {start}")
+        self.rate = float(rate)
+        self.rng = rng
+        self.start = float(start)
+
+    def generate(self, n_jobs: int) -> List[float]:
+        if n_jobs < 0:
+            raise ConfigurationError("n_jobs must be >= 0")
+        times: List[float] = []
+        now = self.start
+        for _ in range(n_jobs):
+            now += self.rng.exponential(self.rate)
+            times.append(now)
+        return times
+
+    def __repr__(self) -> str:
+        return f"<PoissonArrivalProcess rate={self.rate:.3g}/s rng={self.rng!r}>"
+
+
+class TraceArrivalProcess(ArrivalProcess):
+    """Replay of recorded arrival times.
+
+    Parameters
+    ----------
+    times:
+        The recorded arrival times.  They are sorted defensively; negative
+        times are rejected.
+    """
+
+    def __init__(self, times: Sequence[float]):
+        values = sorted(float(t) for t in times)
+        if values and values[0] < 0:
+            raise ConfigurationError("trace arrival times must be >= 0")
+        self.times = values
+
+    def generate(self, n_jobs: int) -> List[float]:
+        if n_jobs > len(self.times):
+            raise ConfigurationError(
+                f"trace holds {len(self.times)} arrivals, {n_jobs} requested"
+            )
+        return list(self.times[:n_jobs])
+
+    def __repr__(self) -> str:
+        return f"<TraceArrivalProcess n={len(self.times)}>"

@@ -1,0 +1,358 @@
+"""The cluster batch scheduler.
+
+:class:`ClusterScheduler` is a discrete-event process that turns the
+one-workflow-per-host simulator into a multi-node batch system: jobs arrive
+over time into a queue, a pluggable policy picks the next job to start, a
+pluggable placement strategy picks the node, and a
+:class:`~repro.simulator.wms.WorkflowExecutor` runs the job's workflow on
+that node, bounded by the node's core count.  Completed jobs free their
+cores and are summarised into :class:`~repro.scheduler.metrics.SchedulerMetrics`.
+
+:class:`NodeState` tracks the scheduler-visible state of one node: its
+host, its local storage service, its free cores and its running jobs — plus
+the page-cache residency queries the cache-locality placement relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.des.environment import Environment
+from repro.errors import SchedulingError
+from repro.filesystem.file import File
+from repro.filesystem.registry import FileRegistry
+from repro.scheduler.job import Job
+from repro.scheduler.metrics import JobRecord, SchedulerMetrics
+from repro.scheduler.placement import PlacementStrategy, make_placement
+from repro.scheduler.policies import SchedulingPolicy, fitting_nodes, make_policy
+from repro.simulator.storage_service import StorageService
+from repro.simulator.tracing import Tracer
+from repro.simulator.wms import WorkflowExecutor
+
+#: Scheduling tolerance in seconds.
+_EPSILON = 1e-9
+
+
+class NodeState:
+    """Scheduler-visible state of one compute node.
+
+    Parameters
+    ----------
+    host:
+        The node's host (cores, memory, page cache).
+    storage:
+        The node-local storage service jobs placed here read from and
+        write to.
+    """
+
+    def __init__(self, host, storage: StorageService):
+        self.host = host
+        self.storage = storage
+        self.free_cores = int(host.cores)
+        #: Running jobs, keyed by job id.
+        self.running: Dict[int, Job] = {}
+
+    # --------------------------------------------------------------- queries
+    @property
+    def name(self) -> str:
+        """The node's host name."""
+        return self.host.name
+
+    @property
+    def total_cores(self) -> int:
+        """Total cores of the node."""
+        return int(self.host.cores)
+
+    @property
+    def used_cores(self) -> int:
+        """Cores currently reserved by running jobs."""
+        return self.total_cores - self.free_cores
+
+    @property
+    def n_running(self) -> int:
+        """Number of jobs currently running on the node."""
+        return len(self.running)
+
+    def cached_bytes_of(self, files: Iterable[File]) -> float:
+        """Bytes of ``files`` resident in this node's page cache.
+
+        Returns 0 when the node has no page cache (cacheless services).
+        """
+        manager = self.host.memory_manager
+        if manager is None:
+            return 0.0
+        return sum(manager.cached_amount(f.name) for f in files)
+
+    def earliest_fit_time(self, cores: int, now: float) -> float:
+        """Earliest time this node is expected to have ``cores`` free.
+
+        Walks the running jobs in order of their *estimated* completion
+        (``start + estimated_runtime``, clamped to ``now`` for overrunning
+        jobs) and returns the time at which enough cores accumulate;
+        ``inf`` when the node can never fit the request.
+        """
+        if cores > self.total_cores:
+            return float("inf")
+        free = self.free_cores
+        if free >= cores:
+            return now
+        releases = sorted(
+            (
+                max(
+                    now,
+                    (job.start_time if job.start_time is not None else now)
+                    + job.estimated_runtime,
+                ),
+                job.cores,
+            )
+            for job in self.running.values()
+        )
+        for time, released in releases:
+            free += released
+            if free >= cores:
+                return time
+        return float("inf")
+
+    # ------------------------------------------------------------ accounting
+    def allocate(self, job: Job) -> None:
+        """Reserve the job's cores on this node."""
+        if job.cores > self.free_cores:
+            raise SchedulingError(
+                f"node {self.name!r} has {self.free_cores} free cores, "
+                f"job {job.label!r} needs {job.cores}"
+            )
+        self.free_cores -= job.cores
+        self.running[job.id] = job
+
+    def release(self, job: Job) -> None:
+        """Release the job's cores."""
+        if job.id in self.running:
+            del self.running[job.id]
+            self.free_cores += job.cores
+
+    def __repr__(self) -> str:
+        return (
+            f"<NodeState {self.name!r} free={self.free_cores}/{self.total_cores} "
+            f"running={sorted(job.label for job in self.running.values())}>"
+        )
+
+
+class ClusterScheduler:
+    """Dispatches queued batch jobs onto the nodes of a cluster.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    nodes:
+        The compute nodes (with their node-local storage services).
+    registry:
+        File registry shared with the rest of the simulation.
+    tracer:
+        Receives the operation records of every executed workflow.
+    policy:
+        Scheduling policy (name or instance); decides *which* job is next.
+    placement:
+        Placement strategy (name or instance); decides *where* it runs.
+    chunk_size:
+        I/O granularity forwarded to the workflow executors.
+    """
+
+    def __init__(self, env: Environment, nodes: List[NodeState],
+                 registry: FileRegistry, tracer: Tracer, *,
+                 policy: Union[str, SchedulingPolicy] = "fifo",
+                 placement: Union[str, PlacementStrategy] = "round-robin",
+                 chunk_size: Optional[float] = None,
+                 name: str = "cluster-scheduler"):
+        if not nodes:
+            raise SchedulingError("a cluster scheduler needs at least one node")
+        self.env = env
+        self.nodes = list(nodes)
+        self.registry = registry
+        self.tracer = tracer
+        self.policy = make_policy(policy)
+        self.placement = make_placement(placement)
+        self.chunk_size = chunk_size
+        self.name = name
+
+        #: All submitted jobs, in submission order.
+        self.jobs: List[Job] = []
+        #: Jobs that have arrived but not yet been dispatched.
+        self.queue: List[Job] = []
+        #: Records of completed jobs.
+        self.records: List[JobRecord] = []
+        #: Executors created for dispatched jobs (for per-app makespans).
+        self.executors: List[WorkflowExecutor] = []
+        self._running_procs: Dict[int, object] = {}
+        self._labels: set = set()
+        self._next_id = 0
+        self._started = False
+
+    # ------------------------------------------------------------ submission
+    def submit(self, job: Job) -> Job:
+        """Register a job for execution; must be called before :meth:`run`."""
+        if self._started:
+            raise SchedulingError(
+                "jobs must be submitted before the simulation starts"
+            )
+        max_cores = max(node.total_cores for node in self.nodes)
+        if job.cores > max_cores:
+            raise SchedulingError(
+                f"job {job.label!r} needs {job.cores} cores but the largest "
+                f"node has only {max_cores}"
+            )
+        # Labels key the traces and per-app makespans; duplicates would
+        # silently merge two jobs' results.
+        if job.label in self._labels:
+            raise SchedulingError(
+                f"a job labelled {job.label!r} was already submitted; "
+                "give each job a unique label"
+            )
+        self._labels.add(job.label)
+        job.id = self._next_id
+        self._next_id += 1
+        self.jobs.append(job)
+        return job
+
+    @property
+    def total_cores(self) -> int:
+        """Total cores over all nodes."""
+        return sum(node.total_cores for node in self.nodes)
+
+    def node(self, name: str) -> NodeState:
+        """Return the node named ``name``."""
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise SchedulingError(
+            f"unknown node {name!r}; known nodes: {[n.name for n in self.nodes]}"
+        )
+
+    # -------------------------------------------------------------- main loop
+    def run(self):
+        """Scheduler main loop; simulation process.
+
+        Event-driven: the loop wakes up on the next job arrival or on any
+        job completion, moves newly arrived jobs into the queue, and asks
+        the policy/placement pair for dispatch decisions until no further
+        job can start.
+        """
+        self._started = True
+        pending = sorted(self.jobs, key=lambda job: (job.arrival_time, job.id))
+        index = 0
+        # The timeout to the next arrival is reused across wake-ups (a
+        # job completion must not schedule a duplicate timeout for the
+        # same arrival); processed conditions ignore late callbacks, so
+        # sharing the event across any_of calls is safe.
+        arrival_timeout = None
+        arrival_index = -1
+
+        while index < len(pending) or self.queue or self._running_procs:
+            now = self.env.now
+            while index < len(pending) and pending[index].arrival_time <= now + _EPSILON:
+                self.queue.append(pending[index])
+                index += 1
+
+            self._dispatch()
+
+            waits = list(self._running_procs.values())
+            if index < len(pending):
+                if arrival_index != index:
+                    arrival_timeout = self.env.timeout(
+                        max(0.0, pending[index].arrival_time - now)
+                    )
+                    arrival_index = index
+                waits.append(arrival_timeout)
+            if not waits:
+                # Jobs are validated to fit on some node at submission, so
+                # an empty cluster with a non-empty queue is a logic error.
+                raise SchedulingError(
+                    f"scheduler stalled with {len(self.queue)} queued job(s)"
+                )
+            yield self.env.any_of(waits)
+
+            for job_id, process in list(self._running_procs.items()):
+                if process.is_alive:
+                    continue
+                if not process.ok:
+                    raise process.value
+                del self._running_procs[job_id]
+
+    def _dispatch(self) -> None:
+        """Start every job the policy allows right now."""
+        while self.queue:
+            decision = self.policy.select(self.queue, self.nodes, self.env.now)
+            if decision is None:
+                return
+            job = decision.job
+            candidates = decision.allowed_nodes
+            if candidates is None:
+                candidates = fitting_nodes(job, self.nodes)
+            if not candidates:
+                raise SchedulingError(
+                    f"policy {self.policy.name!r} selected job {job.label!r} "
+                    "but no node can fit it"
+                )
+            node = self.placement.select_node(job, candidates, self.env.now)
+            self.queue.remove(job)
+            node.allocate(job)
+            process = self.env.process(
+                self._run_job(job, node), name=f"{self.name}:{job.label}"
+            )
+            self._running_procs[job.id] = process
+
+    def _run_job(self, job: Job, node: NodeState):
+        """Execute one dispatched job on ``node``; simulation process."""
+        executor = WorkflowExecutor(
+            self.env,
+            job.workflow,
+            node.host,
+            self.registry,
+            node.storage,
+            self.tracer,
+            label=job.label,
+            chunk_size=self.chunk_size,
+            # The reservation is an execution bound: a job never runs more
+            # concurrent tasks than the cores it reserved on the node.
+            max_concurrent_tasks=job.cores,
+        )
+        self.executors.append(executor)
+        job.node_name = node.name
+        job.start_time = self.env.now
+        try:
+            yield from executor.run()
+        finally:
+            job.end_time = self.env.now
+            node.release(job)
+        self.records.append(
+            JobRecord(
+                job_id=job.id,
+                label=job.label,
+                node=node.name,
+                cores=job.cores,
+                arrival_time=job.arrival_time,
+                start_time=job.start_time,
+                end_time=job.end_time,
+                estimated_runtime=job.estimated_runtime,
+            )
+        )
+
+    # --------------------------------------------------------------- results
+    def metrics(self) -> SchedulerMetrics:
+        """Aggregate metrics over the completed jobs."""
+        records = sorted(self.records, key=lambda r: r.job_id)
+        first_arrival = min((r.arrival_time for r in records), default=0.0)
+        last_completion = max((r.end_time for r in records), default=0.0)
+        return SchedulerMetrics(
+            records=records,
+            total_cores=self.total_cores,
+            first_arrival=first_arrival,
+            last_completion=last_completion,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClusterScheduler nodes={len(self.nodes)} "
+            f"policy={self.policy.name!r} placement={self.placement.name!r} "
+            f"jobs={len(self.jobs)}>"
+        )

@@ -1,0 +1,154 @@
+"""Scheduler metrics.
+
+The classic batch-scheduling metrics, computed from the per-job records the
+:class:`~repro.scheduler.cluster.ClusterScheduler` collects:
+
+* **wait time** — time spent in the queue before dispatch;
+* **bounded slowdown** — turnaround over runtime, bounded for short jobs;
+* **utilization** — reserved core-seconds over available core-seconds;
+* **throughput** — completed jobs per simulated second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+#: Default reference runtime (seconds) of the bounded-slowdown metric:
+#: ``max(1, turnaround / max(runtime, tau))`` bounds the slowdown of very
+#: short jobs so they do not dominate the mean.
+BOUNDED_SLOWDOWN_TAU = 10.0
+
+
+@dataclass
+class JobRecord:
+    """Immutable record of one completed job."""
+
+    job_id: int
+    label: str
+    node: str
+    cores: int
+    arrival_time: float
+    start_time: float
+    end_time: float
+    estimated_runtime: float
+
+    @property
+    def wait_time(self) -> float:
+        """Queueing delay before dispatch."""
+        return self.start_time - self.arrival_time
+
+    @property
+    def runtime(self) -> float:
+        """Execution time on the node."""
+        return self.end_time - self.start_time
+
+    @property
+    def turnaround(self) -> float:
+        """Arrival-to-completion time."""
+        return self.end_time - self.arrival_time
+
+    def bounded_slowdown(self, tau: float = BOUNDED_SLOWDOWN_TAU) -> float:
+        """Bounded slowdown ``max(1, turnaround / max(runtime, tau))``."""
+        return max(1.0, self.turnaround / max(self.runtime, tau))
+
+
+@dataclass
+class SchedulerMetrics:
+    """Aggregate scheduling metrics of one cluster simulation."""
+
+    #: One record per completed job.
+    records: List[JobRecord] = field(default_factory=list)
+    #: Total cores of the cluster (sum over nodes).
+    total_cores: int = 0
+    #: First job arrival (0 when no jobs completed).
+    first_arrival: float = 0.0
+    #: Last job completion (0 when no jobs completed).
+    last_completion: float = 0.0
+
+    # ------------------------------------------------------------------- api
+    @property
+    def n_jobs(self) -> int:
+        """Number of completed jobs."""
+        return len(self.records)
+
+    @property
+    def makespan(self) -> float:
+        """Span from the first arrival to the last completion."""
+        return max(0.0, self.last_completion - self.first_arrival)
+
+    @property
+    def mean_wait_time(self) -> float:
+        """Mean queueing delay over all jobs."""
+        if not self.records:
+            return 0.0
+        return sum(r.wait_time for r in self.records) / len(self.records)
+
+    @property
+    def max_wait_time(self) -> float:
+        """Worst queueing delay."""
+        if not self.records:
+            return 0.0
+        return max(r.wait_time for r in self.records)
+
+    @property
+    def mean_turnaround(self) -> float:
+        """Mean arrival-to-completion time."""
+        if not self.records:
+            return 0.0
+        return sum(r.turnaround for r in self.records) / len(self.records)
+
+    def mean_bounded_slowdown(self, tau: float = BOUNDED_SLOWDOWN_TAU) -> float:
+        """Mean bounded slowdown over all jobs."""
+        if not self.records:
+            return 0.0
+        return sum(r.bounded_slowdown(tau) for r in self.records) / len(self.records)
+
+    @property
+    def utilization(self) -> float:
+        """Reserved core-seconds over available core-seconds.
+
+        Computed against the scheduler makespan; 0 when no job completed.
+        """
+        span = self.makespan
+        if span <= 0 or self.total_cores <= 0:
+            return 0.0
+        used = sum(r.cores * r.runtime for r in self.records)
+        return used / (self.total_cores * span)
+
+    @property
+    def throughput(self) -> float:
+        """Completed jobs per simulated second of makespan."""
+        span = self.makespan
+        if span <= 0:
+            return 0.0
+        return len(self.records) / span
+
+    @property
+    def jobs_per_node(self) -> Dict[str, int]:
+        """Number of jobs each node executed."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.node] = counts.get(record.node, 0) + 1
+        return counts
+
+    def as_dict(self) -> Dict[str, float]:
+        """Scalar summary used by the experiment reports."""
+        return {
+            "n_jobs": self.n_jobs,
+            "makespan": self.makespan,
+            "mean_wait_time": self.mean_wait_time,
+            "max_wait_time": self.max_wait_time,
+            "mean_turnaround": self.mean_turnaround,
+            "mean_bounded_slowdown": self.mean_bounded_slowdown(),
+            "utilization": self.utilization,
+            "throughput": self.throughput,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<SchedulerMetrics jobs={self.n_jobs} "
+            f"makespan={self.makespan:.3g}s "
+            f"wait={self.mean_wait_time:.3g}s "
+            f"util={self.utilization:.1%}>"
+        )

@@ -1,0 +1,133 @@
+"""Pluggable placement strategies.
+
+Once a policy has picked a job, the placement strategy picks the node it
+runs on, among the nodes with enough free cores:
+
+* :class:`RoundRobinPlacement` — cycle through the nodes;
+* :class:`LeastLoadedPlacement` — most free cores first;
+* :class:`CacheLocalityPlacement` — the paper-specific strategy: score each
+  node by how many bytes of the job's input files are already resident in
+  that node's page cache (via the node's
+  :class:`~repro.pagecache.memory_manager.MemoryManager`), and send the job
+  where its data is hot.  Cold datasets are spread by a stable hash of the
+  input-file names, which doubles as dataset/node affinity: the second job
+  over a dataset lands on the node the first one warmed.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Optional, Sequence, TYPE_CHECKING, Union
+
+from repro.errors import ConfigurationError
+from repro.scheduler.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.scheduler.cluster import NodeState
+
+
+class PlacementStrategy:
+    """Base class of placement strategies."""
+
+    #: Registry name of the strategy.
+    name = "placement"
+
+    def select_node(self, job: Job, candidates: Sequence["NodeState"],
+                    now: float = 0.0) -> "NodeState":
+        """Choose one of ``candidates`` (non-empty, all fit the job)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class RoundRobinPlacement(PlacementStrategy):
+    """Cycle through the eligible nodes in order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def select_node(self, job: Job, candidates: Sequence["NodeState"],
+                    now: float = 0.0) -> "NodeState":
+        node = candidates[self._cursor % len(candidates)]
+        self._cursor += 1
+        return node
+
+
+class LeastLoadedPlacement(PlacementStrategy):
+    """Most free cores first (ties: fewest running jobs, then node name)."""
+
+    name = "least-loaded"
+
+    def select_node(self, job: Job, candidates: Sequence["NodeState"],
+                    now: float = 0.0) -> "NodeState":
+        return min(
+            candidates,
+            key=lambda node: (-node.free_cores, node.n_running, node.name),
+        )
+
+
+def _stable_hash(key: str) -> int:
+    """Deterministic string hash (Python's ``hash`` is salted per process)."""
+    return zlib.crc32(key.encode("utf-8"))
+
+
+class CacheLocalityPlacement(PlacementStrategy):
+    """Place jobs where their input bytes are already in the page cache.
+
+    Each candidate node is scored by the number of bytes of the job's
+    input files currently resident in the node's page cache; the job goes
+    to the highest-scoring node (ties broken by load, then name).  When no
+    candidate holds any input byte (cold dataset, or the warm node is
+    full), the node is chosen by rendezvous (highest-random-weight)
+    hashing of ``(dataset, node)``: every node has a fixed per-dataset
+    weight, and the heaviest *available* node wins.  Jobs over the same
+    dataset therefore keep landing on the same node whenever it has room —
+    regardless of which other nodes happen to be busy — so hash affinity
+    bootstraps cache affinity.
+    """
+
+    name = "cache"
+
+    def score(self, job: Job, node: "NodeState") -> float:
+        """Bytes of the job's input files cached on ``node``."""
+        return node.cached_bytes_of(job.input_files())
+
+    def select_node(self, job: Job, candidates: Sequence["NodeState"],
+                    now: float = 0.0) -> "NodeState":
+        scored = [(self.score(job, node), node) for node in candidates]
+        best_score = max(score for score, _ in scored)
+        if best_score > 0:
+            return min(
+                (pair for pair in scored if pair[0] == best_score),
+                key=lambda pair: (-pair[1].free_cores, pair[1].n_running, pair[1].name),
+            )[1]
+        dataset_key = "|".join(sorted(f.name for f in job.input_files()))
+        return max(
+            candidates,
+            key=lambda node: (_stable_hash(f"{dataset_key}|{node.name}"), node.name),
+        )
+
+
+#: Strategies constructible by name.
+PLACEMENTS = {
+    RoundRobinPlacement.name: RoundRobinPlacement,
+    LeastLoadedPlacement.name: LeastLoadedPlacement,
+    CacheLocalityPlacement.name: CacheLocalityPlacement,
+    "cache-aware": CacheLocalityPlacement,
+}
+
+
+def make_placement(placement: Union[str, PlacementStrategy]) -> PlacementStrategy:
+    """Resolve a placement name (or pass an instance through)."""
+    if isinstance(placement, PlacementStrategy):
+        return placement
+    try:
+        return PLACEMENTS[placement]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown placement strategy {placement!r}; "
+            f"known strategies: {sorted(set(PLACEMENTS))}"
+        ) from None

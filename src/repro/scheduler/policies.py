@@ -1,0 +1,184 @@
+"""Pluggable scheduling policies.
+
+A scheduling policy decides *which* queued job starts next; the placement
+strategy (:mod:`repro.scheduler.placement`) then decides *where*.  Policies
+see the queue and the per-node free cores and return at most one job per
+call; the scheduler calls them repeatedly until no further job can start.
+
+Three classic batch policies are provided:
+
+* :class:`FIFOPolicy` — strict arrival order; the head of the queue blocks
+  everything behind it until it fits;
+* :class:`ShortestJobFirstPolicy` — jobs ordered by estimated runtime;
+* :class:`EasyBackfillPolicy` — FIFO with EASY backfilling: the head job
+  gets a reservation at the earliest time a node can fit it, and shorter
+  jobs may jump ahead if starting them now cannot delay that reservation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, TYPE_CHECKING, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.scheduler.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.scheduler.cluster import NodeState
+
+#: Scheduling tolerance in seconds.
+_EPSILON = 1e-9
+
+
+class Decision:
+    """One dispatch decision: a job plus the nodes it may be placed on.
+
+    ``allowed_nodes`` is ``None`` when any node with enough free cores is
+    acceptable; backfilling restricts it to protect the head reservation.
+    """
+
+    __slots__ = ("job", "allowed_nodes")
+
+    def __init__(self, job: Job, allowed_nodes: Optional[List["NodeState"]] = None):
+        self.job = job
+        self.allowed_nodes = allowed_nodes
+
+    def __repr__(self) -> str:
+        nodes = (
+            "any" if self.allowed_nodes is None
+            else [n.name for n in self.allowed_nodes]
+        )
+        return f"<Decision job={self.job.label!r} nodes={nodes}>"
+
+
+def fitting_nodes(job: Job, nodes: Sequence["NodeState"]) -> List["NodeState"]:
+    """Nodes that can start ``job`` right now."""
+    return [node for node in nodes if node.free_cores >= job.cores]
+
+
+class SchedulingPolicy:
+    """Base class: strict head-of-line scheduling over :meth:`order`."""
+
+    #: Registry name of the policy.
+    name = "policy"
+
+    def order(self, queue: Sequence[Job]) -> List[Job]:
+        """Priority order of the queue (head first)."""
+        raise NotImplementedError
+
+    def select(self, queue: Sequence[Job], nodes: Sequence["NodeState"],
+               now: float) -> Optional[Decision]:
+        """Pick the next job to start, or ``None`` if none may start now.
+
+        The default behaviour is strict: only the head of :meth:`order` is
+        considered, so a large job at the head blocks the queue (no
+        starvation of wide jobs).
+        """
+        if not queue:
+            return None
+        head = self.order(queue)[0]
+        if fitting_nodes(head, nodes):
+            return Decision(head)
+        return None
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class FIFOPolicy(SchedulingPolicy):
+    """First-in-first-out: jobs start strictly in arrival order."""
+
+    name = "fifo"
+
+    def order(self, queue: Sequence[Job]) -> List[Job]:
+        return sorted(queue, key=lambda job: (job.arrival_time, job.id or 0))
+
+
+class ShortestJobFirstPolicy(SchedulingPolicy):
+    """Shortest estimated runtime first (ties broken by arrival order)."""
+
+    name = "sjf"
+
+    def order(self, queue: Sequence[Job]) -> List[Job]:
+        return sorted(
+            queue,
+            key=lambda job: (job.estimated_runtime, job.arrival_time, job.id or 0),
+        )
+
+
+class EasyBackfillPolicy(FIFOPolicy):
+    """FIFO with EASY backfilling (per-node reservation variant).
+
+    When the head job does not fit, it receives a reservation on the
+    *shadow node* — the node that, according to the estimated runtimes of
+    its running jobs, can first accumulate enough free cores.  A queued job
+    may then backfill if it fits on some node right now and either
+
+    * its estimated completion is no later than the reservation time
+      (it will be gone before the head needs the cores), or
+    * it can be placed on a node other than the shadow node (it cannot
+      touch the reserved cores at all).
+
+    Both conditions preserve the head job's reservation, the defining
+    guarantee of EASY backfilling.  Estimates are taken at face value, as
+    in real EASY schedulers; jobs overrunning their estimate simply push
+    the reservation later at the next scheduling pass.
+    """
+
+    name = "easy"
+
+    def select(self, queue: Sequence[Job], nodes: Sequence["NodeState"],
+               now: float) -> Optional[Decision]:
+        if not queue:
+            return None
+        ordered = self.order(queue)
+        head = ordered[0]
+        if fitting_nodes(head, nodes):
+            return Decision(head)
+
+        shadow_time, shadow_node = self._reservation(head, nodes, now)
+        for job in ordered[1:]:
+            candidates = fitting_nodes(job, nodes)
+            if not candidates:
+                continue
+            if now + job.estimated_runtime <= shadow_time + _EPSILON:
+                return Decision(job, candidates)
+            off_shadow = [n for n in candidates if n is not shadow_node]
+            if off_shadow:
+                return Decision(job, off_shadow)
+        return None
+
+    @staticmethod
+    def _reservation(job: Job, nodes: Sequence["NodeState"],
+                     now: float) -> Tuple[float, Optional["NodeState"]]:
+        """Earliest (time, node) at which some node can fit ``job``."""
+        best_time = float("inf")
+        best_node: Optional["NodeState"] = None
+        for node in nodes:
+            available = node.earliest_fit_time(job.cores, now)
+            if available < best_time:
+                best_time = available
+                best_node = node
+        return best_time, best_node
+
+
+#: Policies constructible by name.
+POLICIES = {
+    FIFOPolicy.name: FIFOPolicy,
+    ShortestJobFirstPolicy.name: ShortestJobFirstPolicy,
+    "shortest-job-first": ShortestJobFirstPolicy,
+    EasyBackfillPolicy.name: EasyBackfillPolicy,
+    "easy-backfill": EasyBackfillPolicy,
+}
+
+
+def make_policy(policy: Union[str, SchedulingPolicy]) -> SchedulingPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    try:
+        return POLICIES[policy]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheduling policy {policy!r}; "
+            f"known policies: {sorted(set(POLICIES))}"
+        ) from None

@@ -24,7 +24,15 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover - the scheduler imports simulator
+    # modules, so the runtime imports live inside the methods below.
+    from repro.scheduler.cluster import ClusterScheduler
+    from repro.scheduler.job import Job
+    from repro.scheduler.metrics import SchedulerMetrics
+    from repro.scheduler.placement import PlacementStrategy
+    from repro.scheduler.policies import SchedulingPolicy
 
 from repro.des.environment import Environment
 from repro.errors import ConfigurationError
@@ -104,6 +112,9 @@ class SimulationResult:
     cache_stats: Dict[str, CacheStatistics]
     #: Per-workflow-instance makespan, keyed by label.
     app_makespans: Dict[str, float]
+    #: Batch-scheduler metrics (``None`` unless a cluster scheduler ran):
+    #: wait times, bounded slowdown, utilization, throughput.
+    scheduler: Optional[SchedulerMetrics] = None
 
     # ------------------------------------------------------------------- api
     def operations_of(self, kind: str, app: Optional[str] = None) -> List[OperationRecord]:
@@ -146,6 +157,18 @@ class SimulationResult:
             return 0.0
         return sum(self.total_write_time(app) for app in apps) / len(apps)
 
+    def read_cache_hit_ratio(self, app: Optional[str] = None) -> float:
+        """Fraction of read bytes served by page caches (0 if no reads).
+
+        Aggregated over the traced read operations, so it covers every
+        host's cache in multi-node simulations.
+        """
+        reads = self.operations_of("read", app)
+        total = sum(record.size for record in reads)
+        if total <= 0:
+            return 0.0
+        return sum(record.cache_bytes for record in reads) / total
+
 
 class Simulation:
     """Builds and runs one simulated execution."""
@@ -159,6 +182,7 @@ class Simulation:
         self.tracer = Tracer(self.env, sample_interval=self.config.trace_interval)
         self.storage_services: List[StorageService] = []
         self._executors: List[WorkflowExecutor] = []
+        self._scheduler: Optional[ClusterScheduler] = None
         self._has_run = False
 
     # --------------------------------------------------------------- platform
@@ -186,8 +210,20 @@ class Simulation:
         )
         return self.set_platform(platform)
 
-    def create_cluster_platform(self, **kwargs) -> Platform:
-        """Create the full cluster platform (compute nodes + NFS server)."""
+    def create_cluster_platform(self, n_nodes: Optional[int] = None,
+                                **kwargs) -> Platform:
+        """Create the cluster platform (compute nodes, optional NFS server).
+
+        ``n_nodes`` is a convenience alias for ``compute_nodes``; all other
+        keyword arguments are forwarded to
+        :func:`~repro.platform.platform.concordia_cluster`.
+        """
+        if n_nodes is not None:
+            if "compute_nodes" in kwargs:
+                raise ConfigurationError(
+                    "pass either n_nodes or compute_nodes, not both"
+                )
+            kwargs["compute_nodes"] = n_nodes
         return self.set_platform(concordia_cluster(self.env, **kwargs))
 
     def host(self, name: str) -> Host:
@@ -275,6 +311,23 @@ class Simulation:
         for file in files:
             self.stage_file(file, service)
 
+    def stage_file_replicated(self, file: File) -> None:
+        """Stage ``file`` on the local storage of every scheduler node.
+
+        Mirrors a fully replicated dataset (or a pre-staged distributed
+        file system): any node can read the file from its own disk, and
+        workflow executors prefer the replica local to their host, so each
+        node's page cache warms up independently — the situation
+        cache-locality-aware placement exploits.
+        """
+        if self._scheduler is None:
+            raise ConfigurationError(
+                "stage_file_replicated requires a cluster scheduler; "
+                "call create_cluster_scheduler first"
+            )
+        for node in self._scheduler.nodes:
+            self.stage_file(file, node.storage)
+
     # -------------------------------------------------------------- workflows
     def submit_workflow(self, workflow: Workflow, *, host: str,
                         storage: StorageService, label: Optional[str] = None,
@@ -285,6 +338,14 @@ class Simulation:
         files must have been staged (or be produced by another submitted
         workflow) before :meth:`run` is called.
         """
+        effective_label = label or workflow.name
+        if self._scheduler is not None and any(
+            job.label == effective_label for job in self._scheduler.jobs
+        ):
+            raise ConfigurationError(
+                f"label {effective_label!r} is already used by a submitted "
+                "job; labels key the traces and per-app makespans"
+            )
         executor = WorkflowExecutor(
             self.env,
             workflow,
@@ -298,6 +359,94 @@ class Simulation:
         self._executors.append(executor)
         return executor
 
+    # -------------------------------------------------------------- batch jobs
+    def create_cluster_scheduler(self, *,
+                                 policy: Union[str, SchedulingPolicy] = "fifo",
+                                 placement: Union[str, PlacementStrategy] = "round-robin",
+                                 node_names: Optional[List[str]] = None,
+                                 mount_point: str = "/local",
+                                 cache_mode: Optional[str] = None,
+                                 chunk_size: Optional[float] = None,
+                                 ) -> ClusterScheduler:
+        """Create the batch scheduler managing the platform's compute nodes.
+
+        One storage service is created on ``mount_point`` of every node
+        (``node_names`` defaults to all hosts with a disk mounted there,
+        which excludes the NFS server and its ``/export`` disk).  Jobs are
+        then submitted with :meth:`submit_job` and executed when
+        :meth:`run` is called.
+        """
+        from repro.scheduler.cluster import ClusterScheduler, NodeState
+
+        if self._scheduler is not None:
+            raise ConfigurationError("a cluster scheduler has already been created")
+        if self.platform is None:
+            raise ConfigurationError("create a platform before the scheduler")
+        if node_names is None:
+            node_names = [
+                name
+                for name, host in self.platform.hosts.items()
+                if mount_point in host.disks
+            ]
+        if not node_names:
+            raise ConfigurationError(
+                f"no host has a disk mounted at {mount_point!r}"
+            )
+        nodes = [
+            NodeState(
+                self.host(name),
+                self.create_storage_service(name, mount_point,
+                                            cache_mode=cache_mode),
+            )
+            for name in node_names
+        ]
+        self._scheduler = ClusterScheduler(
+            self.env,
+            nodes,
+            self.registry,
+            self.tracer,
+            policy=policy,
+            placement=placement,
+            chunk_size=chunk_size or self.config.chunk_size,
+        )
+        return self._scheduler
+
+    @property
+    def scheduler(self) -> Optional[ClusterScheduler]:
+        """The cluster scheduler, if one was created."""
+        return self._scheduler
+
+    def submit_job(self, workflow: Workflow, *, cores: int = 1,
+                   arrival_time: float = 0.0,
+                   estimated_runtime: Optional[float] = None,
+                   label: Optional[str] = None) -> Job:
+        """Submit a batch job to the cluster scheduler.
+
+        Unlike :meth:`submit_workflow`, the execution host is not chosen by
+        the caller: the job queues from ``arrival_time`` on and the
+        scheduler's policy/placement pair decides when and where it runs.
+        """
+        from repro.scheduler.job import Job
+
+        if self._scheduler is None:
+            raise ConfigurationError(
+                "submit_job requires a cluster scheduler; "
+                "call create_cluster_scheduler first"
+            )
+        job = Job(
+            workflow,
+            cores=cores,
+            arrival_time=arrival_time,
+            estimated_runtime=estimated_runtime,
+            label=label,
+        )
+        if any(executor.label == job.label for executor in self._executors):
+            raise ConfigurationError(
+                f"label {job.label!r} is already used by a submitted "
+                "workflow; labels key the traces and per-app makespans"
+            )
+        return self._scheduler.submit(job)
+
     # -------------------------------------------------------------------- run
     def run(self, until: Optional[float] = None) -> SimulationResult:
         """Run the simulation until all submitted workflows complete."""
@@ -305,14 +454,19 @@ class Simulation:
 
         if self._has_run:
             raise ConfigurationError("a Simulation object can only be run once")
-        if not self._executors:
-            raise ConfigurationError("no workflow was submitted")
+        scheduled_jobs = self._scheduler.jobs if self._scheduler else []
+        if not self._executors and not scheduled_jobs:
+            raise ConfigurationError("no workflow or job was submitted")
         self._has_run = True
 
         processes = [
             self.env.process(executor.run(), name=f"executor:{executor.label}")
             for executor in self._executors
         ]
+        if self._scheduler is not None and scheduled_jobs:
+            processes.append(
+                self.env.process(self._scheduler.run(), name="cluster-scheduler")
+            )
         completion = self.env.all_of(processes)
 
         wall_start = _time.perf_counter()
@@ -333,9 +487,12 @@ class Simulation:
             if host.memory_manager is not None:
                 cache_stats[host.name] = host.memory_manager.stats
 
+        executors = list(self._executors)
+        if self._scheduler is not None:
+            executors.extend(self._scheduler.executors)
         app_makespans = {
             executor.label: (executor.end_time - executor.start_time)
-            for executor in self._executors
+            for executor in executors
             if executor.start_time is not None and executor.end_time is not None
         }
 
@@ -347,4 +504,7 @@ class Simulation:
             cache_contents=list(self.tracer.cache_contents),
             cache_stats=cache_stats,
             app_makespans=app_makespans,
+            scheduler=(
+                self._scheduler.metrics() if self._scheduler is not None else None
+            ),
         )

@@ -115,9 +115,23 @@ class PageCachedStorageService(StorageService):
     def cache_mode(self) -> str:  # type: ignore[override]
         return "writethrough" if self.writethrough else "writeback"
 
+    def _require_local(self, accessor: Optional[Host], verb: str) -> None:
+        # This service models *local* I/O only: it has no network path and
+        # charges the service host's disk, memory and page cache.  A remote
+        # accessor would get a silently free (and wrongly attributed)
+        # transfer; multi-node setups must replicate files on every node
+        # (Simulation.stage_file_replicated) or use an NFS service.
+        if accessor is not None and accessor.name != self.host.name:
+            raise ConfigurationError(
+                f"host {accessor.name!r} cannot {verb} on the local storage "
+                f"service of {self.host.name!r}; replicate the file on "
+                f"{accessor.name!r} or use an NFS storage service"
+            )
+
     def read_file(self, file: File, *, reader_host: Optional[Host] = None,
                   owner: Optional[str] = None, chunk_size: Optional[float] = None,
                   use_anonymous_memory: bool = True):
+        self._require_local(reader_host, "read")
         result = yield from self.io_controller.read_file(
             file.name,
             file.size,
@@ -130,6 +144,7 @@ class PageCachedStorageService(StorageService):
 
     def write_file(self, file: File, *, writer_host: Optional[Host] = None,
                    owner: Optional[str] = None, chunk_size: Optional[float] = None):
+        self._require_local(writer_host, "write")
         self.disk.allocate(file.size)
         result = yield from self.io_controller.write_file(
             file.name,

@@ -47,13 +47,19 @@ class WorkflowExecutor:
         defaults to the workflow name.
     chunk_size:
         I/O granularity; ``None`` uses the storage service default.
+    max_concurrent_tasks:
+        Upper bound on simultaneously running tasks of this workflow
+        (``None`` = bounded only by dependencies and the host CPU).  The
+        batch scheduler sets this to the job's reserved core count so a
+        reservation is an actual execution bound, not just bookkeeping.
     """
 
     def __init__(self, env: Environment, workflow: Workflow, host: Host,
                  registry: FileRegistry, output_storage: StorageService,
                  tracer: Tracer, label: Optional[str] = None,
                  chunk_size: Optional[float] = None,
-                 compute_service: Optional[ComputeService] = None):
+                 compute_service: Optional[ComputeService] = None,
+                 max_concurrent_tasks: Optional[int] = None):
         self.env = env
         self.workflow = workflow
         self.host = host
@@ -62,6 +68,11 @@ class WorkflowExecutor:
         self.tracer = tracer
         self.label = label or workflow.name
         self.chunk_size = chunk_size
+        if max_concurrent_tasks is not None and max_concurrent_tasks < 1:
+            raise SchedulingError(
+                f"executor {self.label!r}: max_concurrent_tasks must be >= 1"
+            )
+        self.max_concurrent_tasks = max_concurrent_tasks
         self.compute_service = compute_service or ComputeService(env, host)
         self.start_time: Optional[float] = None
         self.end_time: Optional[float] = None
@@ -76,8 +87,12 @@ class WorkflowExecutor:
         running: Dict[str, object] = {}
 
         while pending or running:
-            # Launch every task whose dependencies are satisfied.
+            # Launch every task whose dependencies are satisfied, up to the
+            # concurrency bound.
             for name, task in list(pending.items()):
+                if (self.max_concurrent_tasks is not None
+                        and len(running) >= self.max_concurrent_tasks):
+                    break
                 deps = self.workflow.dependencies(task)
                 if all(dep.name in completed for dep in deps):
                     process = self.env.process(
@@ -180,6 +195,13 @@ class WorkflowExecutor:
                 f"task input {file.name!r} does not exist on any storage service; "
                 "stage it with Simulation.stage_file or produce it with a task"
             )
+        # When the file is replicated on several services (e.g. a dataset
+        # staged on every node of a cluster), prefer the replica local to
+        # the executing host: its reads hit this host's disk and page
+        # cache, which is what cache-locality-aware placement exploits.
+        for service in self.registry.lookup(file):
+            if getattr(service, "host", None) is self.host:
+                return service
         return self.registry.primary_location(file)
 
     def __repr__(self) -> str:

@@ -1,0 +1,121 @@
+"""Tests of the deterministic RNG and the job arrival generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import DeterministicRNG
+from repro.scheduler.arrivals import PoissonArrivalProcess, TraceArrivalProcess
+
+
+class TestDeterministicRNG:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRNG(123)
+        b = DeterministicRNG(123)
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRNG(1)
+        b = DeterministicRNG(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_seed_must_be_int(self):
+        with pytest.raises(TypeError):
+            DeterministicRNG("42")  # type: ignore[arg-type]
+
+    def test_spawn_is_independent_of_parent_draws(self):
+        parent1 = DeterministicRNG(7)
+        parent2 = DeterministicRNG(7)
+        parent2.random()  # extra draw must not perturb the child stream
+        child1 = parent1.spawn("stream")
+        child2 = parent2.spawn("stream")
+        assert [child1.random() for _ in range(10)] == [
+            child2.random() for _ in range(10)
+        ]
+
+    def test_spawn_keys_give_distinct_streams(self):
+        parent = DeterministicRNG(7)
+        a = parent.spawn("a")
+        b = parent.spawn("b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_exponential_is_positive(self):
+        rng = DeterministicRNG(0)
+        draws = [rng.exponential(2.0) for _ in range(100)]
+        assert all(value > 0 for value in draws)
+
+    def test_exponential_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(0).exponential(0.0)
+
+    def test_integer_bounds_inclusive(self):
+        rng = DeterministicRNG(3)
+        draws = {rng.integer(1, 4) for _ in range(200)}
+        assert draws == {1, 2, 3, 4}
+
+    def test_uniform_bounds(self):
+        rng = DeterministicRNG(3)
+        assert all(2.0 <= rng.uniform(2.0, 5.0) <= 5.0 for _ in range(100))
+
+    def test_choice(self):
+        rng = DeterministicRNG(3)
+        items = ["a", "b", "c"]
+        assert all(rng.choice(items) in items for _ in range(20))
+        with pytest.raises(ValueError):
+            rng.choice([])
+
+    def test_shuffled_is_a_permutation_and_keeps_input(self):
+        rng = DeterministicRNG(3)
+        items = list(range(10))
+        shuffled = rng.shuffled(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(10))
+
+
+class TestPoissonArrivals:
+    def test_deterministic_given_seed(self):
+        times1 = PoissonArrivalProcess(2.0, DeterministicRNG(5)).generate(50)
+        times2 = PoissonArrivalProcess(2.0, DeterministicRNG(5)).generate(50)
+        assert times1 == times2
+
+    def test_non_decreasing_and_positive(self):
+        times = PoissonArrivalProcess(2.0, DeterministicRNG(5)).generate(100)
+        assert len(times) == 100
+        assert all(t > 0 for t in times)
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_mean_gap_tracks_rate(self):
+        rate = 4.0
+        times = PoissonArrivalProcess(rate, DeterministicRNG(11)).generate(4000)
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(1.0 / rate, rel=0.1)
+
+    def test_start_offsets_first_arrival(self):
+        times = PoissonArrivalProcess(
+            2.0, DeterministicRNG(5), start=100.0
+        ).generate(10)
+        assert times[0] > 100.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivalProcess(0.0, DeterministicRNG(0))
+        with pytest.raises(ConfigurationError):
+            PoissonArrivalProcess(1.0, DeterministicRNG(0), start=-1.0)
+        with pytest.raises(ConfigurationError):
+            PoissonArrivalProcess(1.0, DeterministicRNG(0)).generate(-1)
+
+
+class TestTraceArrivals:
+    def test_replays_sorted_prefix(self):
+        trace = TraceArrivalProcess([3.0, 1.0, 2.0])
+        assert trace.generate(2) == [1.0, 2.0]
+        assert trace.generate(3) == [1.0, 2.0, 3.0]
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ConfigurationError):
+            TraceArrivalProcess([-1.0, 2.0])
+
+    def test_rejects_overlong_request(self):
+        with pytest.raises(ConfigurationError):
+            TraceArrivalProcess([1.0]).generate(2)

@@ -1,0 +1,129 @@
+"""Unit tests of the placement strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.filesystem.file import File
+from repro.pagecache.config import PageCacheConfig
+from repro.pagecache.memory_manager import MemoryManager
+from repro.platform.host import Host
+from repro.platform.memory import MemoryDevice
+from repro.scheduler.cluster import NodeState
+from repro.scheduler.job import Job
+from repro.scheduler.placement import (
+    CacheLocalityPlacement,
+    LeastLoadedPlacement,
+    RoundRobinPlacement,
+    make_placement,
+)
+from repro.simulator.workflow import Task, Workflow
+from repro.units import GiB, MB, MBps
+
+
+def cached_node(env, name: str, cores: int = 4) -> NodeState:
+    """A node with a page cache the tests can populate directly."""
+    host = Host(env, name, cores=cores)
+    memory = MemoryDevice.symmetric(env, f"{name}.ram", 4812 * MBps, size=16 * GiB)
+    host.set_memory(memory)
+    host.memory_manager = MemoryManager(
+        env, memory, PageCacheConfig(periodic_flushing=False), name=f"{name}.mm"
+    )
+    return NodeState(host, storage=None)
+
+
+def reading_job(name: str, *files: File, cores: int = 1, job_id: int = 0) -> Job:
+    workflow = Workflow(name)
+    workflow.add_task(Task(f"{name}_t", flops=1e9, inputs=list(files)))
+    job = Job(workflow, cores=cores, label=name)
+    job.id = job_id
+    return job
+
+
+class TestRoundRobin:
+    def test_cycles_through_candidates(self, env):
+        nodes = [cached_node(env, f"n{i}") for i in range(3)]
+        placement = RoundRobinPlacement()
+        job = reading_job("job", File("f", 1 * MB))
+        picked = [placement.select_node(job, nodes).name for _ in range(6)]
+        assert picked == ["n0", "n1", "n2", "n0", "n1", "n2"]
+
+
+class TestLeastLoaded:
+    def test_prefers_most_free_cores(self, env):
+        busy = cached_node(env, "busy")
+        idle = cached_node(env, "idle")
+        filler = reading_job("filler", File("x", 1 * MB), cores=3, job_id=9)
+        filler.start_time = 0.0
+        busy.allocate(filler)
+        job = reading_job("job", File("f", 1 * MB))
+        assert LeastLoadedPlacement().select_node(job, [busy, idle]).name == "idle"
+
+    def test_breaks_ties_by_name(self, env):
+        nodes = [cached_node(env, "b"), cached_node(env, "a")]
+        job = reading_job("job", File("f", 1 * MB))
+        assert LeastLoadedPlacement().select_node(job, nodes).name == "a"
+
+
+class TestCacheLocality:
+    def test_scores_cached_input_bytes(self, env):
+        cold = cached_node(env, "cold")
+        warm = cached_node(env, "warm")
+        dataset = File("dataset", 100 * MB)
+        warm.host.memory_manager.add_to_cache(dataset.name, 60 * MB, storage=None)
+        job = reading_job("job", dataset)
+
+        placement = CacheLocalityPlacement()
+        assert placement.score(job, warm) == pytest.approx(60 * MB)
+        assert placement.score(job, cold) == 0.0
+        assert placement.select_node(job, [cold, warm]).name == "warm"
+
+    def test_prefers_largest_residency(self, env):
+        lukewarm = cached_node(env, "lukewarm")
+        hot = cached_node(env, "hot")
+        dataset = File("dataset", 100 * MB)
+        lukewarm.host.memory_manager.add_to_cache(dataset.name, 10 * MB, storage=None)
+        hot.host.memory_manager.add_to_cache(dataset.name, 90 * MB, storage=None)
+        job = reading_job("job", dataset)
+        assert CacheLocalityPlacement().select_node(job, [lukewarm, hot]).name == "hot"
+
+    def test_cold_datasets_hash_to_a_stable_node(self, env):
+        nodes = [cached_node(env, f"n{i}") for i in range(4)]
+        placement = CacheLocalityPlacement()
+        job = reading_job("job", File("dataset7", 100 * MB))
+        first = placement.select_node(job, nodes)
+        # Same dataset, same candidates: always the same node (affinity).
+        assert all(
+            placement.select_node(job, nodes) is first for _ in range(5)
+        )
+
+    def test_cold_datasets_spread_over_nodes(self, env):
+        nodes = [cached_node(env, f"n{i}") for i in range(4)]
+        placement = CacheLocalityPlacement()
+        picked = {
+            placement.select_node(
+                reading_job(f"job{i}", File(f"dataset{i}", 100 * MB)), nodes
+            ).name
+            for i in range(16)
+        }
+        assert len(picked) > 1
+
+    def test_nodes_without_page_cache_score_zero(self, env):
+        bare = NodeState(Host(env, "bare", cores=4), storage=None)
+        job = reading_job("job", File("dataset", 100 * MB))
+        assert CacheLocalityPlacement().score(job, bare) == 0.0
+
+
+class TestRegistry:
+    def test_make_placement_by_name(self):
+        assert isinstance(make_placement("round-robin"), RoundRobinPlacement)
+        assert isinstance(make_placement("least-loaded"), LeastLoadedPlacement)
+        assert isinstance(make_placement("cache"), CacheLocalityPlacement)
+        assert isinstance(make_placement("cache-aware"), CacheLocalityPlacement)
+
+    def test_make_placement_passthrough_and_unknown(self):
+        placement = RoundRobinPlacement()
+        assert make_placement(placement) is placement
+        with pytest.raises(ConfigurationError):
+            make_placement("random")

@@ -1,0 +1,157 @@
+"""Unit tests of the scheduling policies (FIFO, SJF, EASY backfilling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platform.host import Host
+from repro.scheduler.cluster import NodeState
+from repro.scheduler.job import Job
+from repro.scheduler.policies import (
+    EasyBackfillPolicy,
+    FIFOPolicy,
+    ShortestJobFirstPolicy,
+    make_policy,
+)
+from repro.simulator.workflow import Task, Workflow
+
+
+def compute_job(name: str, cpu_time: float, *, cores: int = 1,
+                arrival: float = 0.0, job_id: int = 0) -> Job:
+    """A compute-only job (no files) with a known runtime estimate."""
+    workflow = Workflow(name)
+    workflow.add_task(Task(f"{name}_t", flops=cpu_time * 1e9))
+    job = Job(workflow, cores=cores, arrival_time=arrival,
+              estimated_runtime=cpu_time, label=name)
+    job.id = job_id
+    return job
+
+
+def make_node(env, name: str = "n1", cores: int = 4) -> NodeState:
+    return NodeState(Host(env, name, cores=cores), storage=None)
+
+
+class TestJobValidation:
+    def test_rejects_bad_cores(self):
+        workflow = Workflow("w")
+        workflow.add_task(Task("t", flops=1e9))
+        with pytest.raises(ConfigurationError):
+            Job(workflow, cores=0)
+        with pytest.raises(ConfigurationError):
+            Job(workflow, arrival_time=-1.0)
+        with pytest.raises(ConfigurationError):
+            Job(workflow, estimated_runtime=0.0)
+
+    def test_estimate_defaults_to_workflow_cpu_time(self):
+        workflow = Workflow("w")
+        workflow.add_task(Task("t1", flops=3e9))
+        workflow.add_task(Task("t2", flops=2e9))
+        assert Job(workflow).estimated_runtime == pytest.approx(5.0)
+
+
+class TestFIFO:
+    def test_orders_by_arrival(self):
+        jobs = [
+            compute_job("b", 1.0, arrival=2.0, job_id=1),
+            compute_job("a", 1.0, arrival=1.0, job_id=0),
+            compute_job("c", 1.0, arrival=3.0, job_id=2),
+        ]
+        ordered = FIFOPolicy().order(jobs)
+        assert [job.label for job in ordered] == ["a", "b", "c"]
+
+    def test_head_of_line_blocks(self, env):
+        node = make_node(env, cores=4)
+        wide = compute_job("wide", 1.0, cores=4, arrival=0.0, job_id=0)
+        narrow = compute_job("narrow", 1.0, cores=1, arrival=1.0, job_id=1)
+        running = compute_job("running", 10.0, cores=2, job_id=9)
+        running.start_time = 0.0
+        node.allocate(running)
+        # Head needs 4 cores, only 2 free: FIFO must not skip to "narrow".
+        assert FIFOPolicy().select([wide, narrow], [node], now=0.0) is None
+
+    def test_selects_fitting_head(self, env):
+        node = make_node(env, cores=4)
+        job = compute_job("a", 1.0, cores=2, job_id=0)
+        decision = FIFOPolicy().select([job], [node], now=0.0)
+        assert decision is not None
+        assert decision.job is job
+        assert decision.allowed_nodes is None
+
+
+class TestSJF:
+    def test_orders_by_estimate_then_arrival(self):
+        jobs = [
+            compute_job("slow", 9.0, arrival=0.0, job_id=0),
+            compute_job("fast", 1.0, arrival=5.0, job_id=1),
+            compute_job("fast_early", 1.0, arrival=2.0, job_id=2),
+        ]
+        ordered = ShortestJobFirstPolicy().order(jobs)
+        assert [job.label for job in ordered] == ["fast_early", "fast", "slow"]
+
+
+class TestEasyBackfill:
+    def test_backfills_short_job_under_reservation(self, env):
+        node = make_node(env, cores=4)
+        running = compute_job("running", 10.0, cores=2, job_id=9)
+        running.start_time = 0.0
+        node.allocate(running)
+
+        head = compute_job("head", 5.0, cores=4, job_id=0)
+        short = compute_job("short", 5.0, cores=2, arrival=1.0, job_id=1)
+        long = compute_job("long", 20.0, cores=2, arrival=2.0, job_id=2)
+
+        policy = EasyBackfillPolicy()
+        # Head does not fit (2 free), shadow time is 10 (running releases 2).
+        # "short" finishes by then and backfills; "long" would overrun the
+        # reservation and there is no off-shadow node.
+        decision = policy.select([head, short, long], [node], now=0.0)
+        assert decision is not None
+        assert decision.job is short
+
+        node.allocate(short)
+        short.start_time = 0.0
+        assert policy.select([head, long], [node], now=0.0) is None
+
+    def test_long_job_may_run_off_the_shadow_node(self, env):
+        shadow = make_node(env, "n1", cores=4)
+        other = make_node(env, "n2", cores=2)
+        running = compute_job("running", 10.0, cores=2, job_id=9)
+        running.start_time = 0.0
+        shadow.allocate(running)
+
+        head = compute_job("head", 5.0, cores=4, job_id=0)
+        long = compute_job("long", 50.0, cores=2, arrival=1.0, job_id=1)
+
+        decision = EasyBackfillPolicy().select([head, long], [shadow, other], now=0.0)
+        assert decision is not None
+        assert decision.job is long
+        assert decision.allowed_nodes == [other]
+
+    def test_earliest_fit_time_accumulates_releases(self, env):
+        node = make_node(env, cores=4)
+        first = compute_job("first", 5.0, cores=2, job_id=0)
+        second = compute_job("second", 8.0, cores=2, job_id=1)
+        for job in (first, second):
+            job.start_time = 0.0
+            node.allocate(job)
+        assert node.earliest_fit_time(1, now=2.0) == pytest.approx(5.0)
+        assert node.earliest_fit_time(4, now=2.0) == pytest.approx(8.0)
+        assert node.earliest_fit_time(8, now=2.0) == float("inf")
+        node.release(first)
+        node.release(second)
+        assert node.earliest_fit_time(3, now=2.0) == pytest.approx(2.0)
+
+
+class TestRegistry:
+    def test_make_policy_by_name(self):
+        assert isinstance(make_policy("fifo"), FIFOPolicy)
+        assert isinstance(make_policy("sjf"), ShortestJobFirstPolicy)
+        assert isinstance(make_policy("easy"), EasyBackfillPolicy)
+        assert isinstance(make_policy("easy-backfill"), EasyBackfillPolicy)
+
+    def test_make_policy_passthrough_and_unknown(self):
+        policy = FIFOPolicy()
+        assert make_policy(policy) is policy
+        with pytest.raises(ConfigurationError):
+            make_policy("priority")
