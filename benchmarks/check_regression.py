@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate.
+
+Compares a ``pytest-benchmark`` JSON results file against the committed
+baseline (``benchmarks/baseline.json``) and fails when any benchmark's
+median time regressed by more than the allowed slowdown.
+
+Raw benchmark times depend on the machine running them, so both sides are
+normalized by the ``test_reference_workload`` calibration benchmark (a
+fixed pure-Python spin) before comparison: what is gated is each
+benchmark's median *relative to the reference* — a machine-independent
+measure of how much simulation the machine does per unit of its own
+compute speed.
+
+Usage
+-----
+Run the gate (exit code 1 on regression)::
+
+    PYTHONPATH=src python -m pytest benchmarks/ --benchmark-json=results.json
+    python benchmarks/check_regression.py results.json
+
+Regenerate the committed baseline after an intentional performance
+change::
+
+    python benchmarks/check_regression.py results.json --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Name of the calibration benchmark used for normalization.
+REFERENCE_NAME = "test_reference_workload"
+
+#: Default maximum allowed slowdown of the normalized median (1.25 = 25%).
+DEFAULT_MAX_SLOWDOWN = 1.25
+
+#: Default location of the committed baseline.
+DEFAULT_BASELINE = Path(__file__).parent / "baseline.json"
+
+#: Added to both sides of the ratio so that benchmarks much shorter than
+#: the reference workload (the table formatters, the sub-100ms ablations)
+#: cannot trip the gate on run-to-run timer noise: a delta only counts
+#: against the budget in proportion to how much of the reference
+#: workload's runtime it represents.
+NOISE_FLOOR = 0.1
+
+
+def normalized_medians(results: dict) -> dict:
+    """Map benchmark name -> median time / reference median."""
+    medians = {
+        bench["name"]: bench["stats"]["median"]
+        for bench in results.get("benchmarks", [])
+    }
+    reference = medians.get(REFERENCE_NAME)
+    if not reference or reference <= 0:
+        raise SystemExit(
+            f"calibration benchmark {REFERENCE_NAME!r} missing from the "
+            "results; run the full benchmarks/ suite"
+        )
+    return {
+        name: median / reference
+        for name, median in medians.items()
+        if name != REFERENCE_NAME
+    }
+
+
+def update_baseline(results: dict, baseline_path: Path) -> int:
+    normalized = normalized_medians(results)
+    baseline_path.write_text(
+        json.dumps(
+            {
+                "reference": REFERENCE_NAME,
+                "normalized_medians": dict(sorted(normalized.items())),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"baseline updated: {baseline_path} ({len(normalized)} benchmarks)")
+    return 0
+
+
+def check(results: dict, baseline_path: Path, max_slowdown: float) -> int:
+    baseline = json.loads(baseline_path.read_text())["normalized_medians"]
+    normalized = normalized_medians(results)
+
+    failures = []
+    added = []
+    for name, value in sorted(normalized.items()):
+        reference = baseline.get(name)
+        if reference is None:
+            print(f"NEW      {name}: {value:.3f} (no baseline; add with --update)")
+            added.append(name)
+            continue
+        ratio = (value + NOISE_FLOOR) / (reference + NOISE_FLOOR)
+        status = "OK" if ratio <= max_slowdown else "REGRESSED"
+        print(
+            f"{status:<8} {name}: {value:.3f} vs baseline {reference:.3f} "
+            f"({ratio:.2f}x)"
+        )
+        if ratio > max_slowdown:
+            failures.append((name, ratio))
+    # A benchmark that vanished from the results loses its regression
+    # protection; intentional removals/renames go through --update.
+    removed = sorted(set(baseline) - set(normalized))
+    for name in removed:
+        print(f"MISSING  {name}: in the baseline but not in the results")
+
+    if failures or removed or added:
+        if failures:
+            print(
+                f"\n{len(failures)} benchmark(s) regressed beyond "
+                f"{(max_slowdown - 1) * 100:.0f}% of the normalized baseline:"
+            )
+            for name, ratio in failures:
+                print(f"  {name}: {ratio:.2f}x")
+        if removed:
+            print(
+                f"\n{len(removed)} baseline benchmark(s) missing from the "
+                f"results: {', '.join(removed)}"
+            )
+        if added:
+            # An ungated benchmark would stay ungated forever; force the
+            # baseline entry into the same change that adds it.
+            print(
+                f"\n{len(added)} benchmark(s) have no baseline entry: "
+                f"{', '.join(added)}"
+            )
+        print("If intentional, regenerate the baseline with --update.")
+        return 1
+    print(f"\nall {len(normalized)} benchmark(s) within the regression budget")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.strip().splitlines()[0]
+    )
+    parser.add_argument("results", type=Path,
+                        help="pytest-benchmark JSON results file")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="committed baseline JSON (default: %(default)s)")
+    parser.add_argument("--max-slowdown", type=float,
+                        default=DEFAULT_MAX_SLOWDOWN,
+                        help="maximum allowed normalized-median ratio "
+                             "(default: %(default)s)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the results instead "
+                             "of checking against it")
+    args = parser.parse_args(argv)
+
+    results = json.loads(args.results.read_text())
+    if args.update:
+        return update_baseline(results, args.baseline)
+    if not args.baseline.exists():
+        raise SystemExit(
+            f"baseline {args.baseline} not found; create it with --update"
+        )
+    return check(results, args.baseline, args.max_slowdown)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

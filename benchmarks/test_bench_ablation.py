@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.analysis.tables import format_table
 from repro.experiments.exp1_single import run_exp1

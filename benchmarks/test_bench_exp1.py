@@ -21,7 +21,6 @@ import pytest
 from conftest import paper_scale
 from repro.analysis.tables import format_table
 from repro.experiments.exp1_single import (
-    EXP1_OPERATIONS,
     exp1_errors,
     exp1_mean_errors,
     run_exp1,

@@ -7,7 +7,6 @@ the calibrated reference ("real execution"), WRENCH and WRENCH-cache.
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import paper_scale
 from repro.experiments.exp2_concurrent import exp2_series

@@ -8,7 +8,6 @@ errors of 337 % (WRENCH) vs 47 % (WRENCH-cache).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.tables import format_table
 from repro.experiments.exp4_nighres import exp4_errors, exp4_mean_errors, run_exp4

@@ -1,0 +1,26 @@
+"""Calibration reference for the benchmark-regression gate.
+
+A fixed, pure-Python workload whose runtime tracks the machine's
+single-core speed.  ``check_regression.py`` divides every benchmark's
+median time by this reference median before comparing against the
+committed baseline, so the regression gate measures *relative* slowdowns
+of the simulator rather than the speed of the CI runner du jour.
+"""
+
+from __future__ import annotations
+
+#: Loop length tuned to take a few hundred milliseconds on a laptop core.
+REFERENCE_ITERATIONS = 2_000_000
+
+
+def reference_workload(n: int = REFERENCE_ITERATIONS) -> float:
+    """A deterministic arithmetic spin (kept free of allocations)."""
+    total = 0.0
+    for i in range(1, n + 1):
+        total += (i % 7) * 0.5 - (i % 3)
+    return total
+
+
+def test_reference_workload(benchmark):
+    result = benchmark.pedantic(reference_workload, rounds=3, iterations=1)
+    assert result != 0.0

@@ -8,7 +8,6 @@ local and NFS I/O, and fits a linear regression to each curve (the
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import paper_scale
 from repro.experiments.exp5_scaling import run_scaling, scaling_regressions

@@ -15,7 +15,6 @@ Provides the classic SimPy-style primitives used throughout the simulator:
 
 from __future__ import annotations
 
-import heapq
 from itertools import count
 from typing import Any, List, Optional
 

@@ -10,7 +10,7 @@ for the real execution, WRENCH and WRENCH-cache.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.apps.concurrent import make_instances, stage_and_submit_instances
 from repro.experiments.harness import ScenarioConfig, build_simulation

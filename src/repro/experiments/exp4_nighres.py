@@ -9,7 +9,7 @@ average of 337 % (WRENCH) to 47 % (WRENCH-cache).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.nighres import NIGHRES_STEPS, nighres_input_files, nighres_workflow

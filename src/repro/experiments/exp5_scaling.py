@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.regression import LinearFit, linear_fit
 from repro.experiments.exp2_concurrent import DEFAULT_INPUT_SIZE, run_exp2

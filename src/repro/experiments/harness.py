@@ -26,16 +26,15 @@ for any of these simulators, for local-disk or NFS scenarios.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.calibration import TABLE3_BANDWIDTHS
 from repro.pagecache.config import PageCacheConfig
-from repro.platform.platform import concordia_cluster
 from repro.simulator.simulation import Simulation, SimulationConfig
 from repro.simulator.storage_service import StorageService
-from repro.units import GB, GiB, MB
+from repro.units import GiB, MB
 
 #: Simulator kinds accepted by the harness.
 SIMULATORS = ("wrench", "wrench-cache", "pysim", "real")

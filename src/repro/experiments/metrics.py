@@ -8,7 +8,7 @@ reference duration is zero).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, Mapping, Sequence
 
 
 def absolute_relative_error(simulated: float, reference: float) -> float:

@@ -16,7 +16,6 @@ stock Linux kernel (the values used on the paper's CentOS 8.1 cluster):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.units import MB

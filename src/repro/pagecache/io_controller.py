@@ -18,8 +18,8 @@ All public methods are simulation processes: ``yield`` them from a process
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.des.environment import Environment
 from repro.errors import ConfigurationError

@@ -14,7 +14,7 @@ promotion, demotion and balancing.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.errors import CacheConsistencyError
 from repro.pagecache.block import Block

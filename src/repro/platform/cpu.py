@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.des.environment import Environment
-from repro.des.events import Event
+from repro.des.events import Event, Interrupt
 from repro.des.resources import Resource
 from repro.errors import ConfigurationError
 
@@ -62,10 +62,20 @@ class CPU:
         return len(self._core_pool.queue)
 
     def execute(self, flops: float, label: Optional[str] = None) -> Event:
-        """Execute ``flops`` on one core; returns a completion event."""
+        """Execute ``flops`` on one core; returns a completion event.
+
+        The returned process carries a ``compute_info`` dict whose
+        ``granted_at`` key is set the moment a core is granted, so a
+        canceller can tell executed time apart from core-queueing time.
+        """
         if flops < 0:
             raise ValueError("flops must be >= 0")
-        return self.env.process(self._execute(flops), name=label or "compute")
+        info: dict = {}
+        process = self.env.process(
+            self._execute(flops, info), name=label or "compute"
+        )
+        process.compute_info = info
+        return process
 
     def compute_seconds(self, seconds: float, label: Optional[str] = None) -> Event:
         """Execute work lasting ``seconds`` of CPU time on one core."""
@@ -75,16 +85,32 @@ class CPU:
         """Uncontended duration of ``flops`` on one core."""
         return flops / self.speed
 
-    def _execute(self, flops: float):
+    def _execute(self, flops: float, info: Optional[dict] = None):
+        # The request is released in the finally block whether it was
+        # granted or still queued, so an interrupt (preemption) can never
+        # leak a core or a queue slot.
         request = self._core_pool.request()
-        yield request
         try:
+            yield request
             duration = flops / self.speed
+            started = self.env.now
+            if info is not None:
+                info["granted_at"] = started
             if duration > 0:
-                yield self.env.timeout(duration)
+                try:
+                    yield self.env.timeout(duration)
+                except Interrupt:
+                    # Preempted mid-computation: account the flops actually
+                    # executed and end cleanly (the core frees right away).
+                    elapsed = self.env.now - started
+                    self.total_flops += min(flops, elapsed * self.speed)
+                    return elapsed
             self.total_flops += flops
             self.tasks_executed += 1
             return duration
+        except Interrupt:
+            # Cancelled while still waiting for a core: nothing executed.
+            return 0.0
         finally:
             request.release()
 

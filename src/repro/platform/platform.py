@@ -16,7 +16,7 @@ from repro.des.environment import Environment
 from repro.errors import ConfigurationError
 from repro.platform.host import Host
 from repro.platform.memory import MemoryDevice
-from repro.platform.network import Link, Network, Route
+from repro.platform.network import Link, Network
 from repro.platform.storage import Disk
 from repro.units import GiB, GB, MBps
 

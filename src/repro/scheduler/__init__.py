@@ -3,18 +3,22 @@
 Turns the one-workflow-per-host simulator into a multi-node batch system:
 
 * :class:`~repro.scheduler.job.Job` — a workflow plus batch metadata
-  (cores, arrival time, runtime estimate);
+  (cores, arrival time, runtime estimate, priority);
 * arrival generators (:mod:`repro.scheduler.arrivals`) — seeded Poisson
   and trace replay;
+* SWF traces (:mod:`repro.scheduler.swf`) — parser/writer for the
+  Standard Workload Format with load/runtime/core scaling knobs, feeding
+  real-workload replay;
 * scheduling policies (:mod:`repro.scheduler.policies`) — FIFO, shortest
-  job first, EASY backfilling;
+  job first, EASY backfilling, and preemptive priority
+  (checkpoint-and-requeue suspension of lower-priority jobs);
 * placement strategies (:mod:`repro.scheduler.placement`) — round-robin,
   least-loaded, and cache-locality-aware (scores nodes by how many of a
   job's input bytes sit in the node's page cache);
 * the :class:`~repro.scheduler.cluster.ClusterScheduler` DES process and
   per-node state (:mod:`repro.scheduler.cluster`);
 * metrics (:mod:`repro.scheduler.metrics`) — wait time, bounded slowdown,
-  utilization and throughput.
+  utilization, throughput, and per-priority-class summaries.
 """
 
 from repro.scheduler.arrivals import (
@@ -24,7 +28,11 @@ from repro.scheduler.arrivals import (
 )
 from repro.scheduler.cluster import ClusterScheduler, NodeState
 from repro.scheduler.job import Job
-from repro.scheduler.metrics import JobRecord, SchedulerMetrics
+from repro.scheduler.metrics import (
+    JobRecord,
+    PriorityClassMetrics,
+    SchedulerMetrics,
+)
 from repro.scheduler.placement import (
     CacheLocalityPlacement,
     LeastLoadedPlacement,
@@ -36,9 +44,20 @@ from repro.scheduler.policies import (
     Decision,
     EasyBackfillPolicy,
     FIFOPolicy,
+    PreemptionPlan,
+    PreemptivePriorityPolicy,
     SchedulingPolicy,
     ShortestJobFirstPolicy,
     make_policy,
+)
+from repro.scheduler.swf import (
+    SWFRecord,
+    SWFTrace,
+    TraceJobSpec,
+    dump_swf,
+    load_swf,
+    parse_swf,
+    save_swf,
 )
 
 __all__ = [
@@ -49,6 +68,7 @@ __all__ = [
     "NodeState",
     "Job",
     "JobRecord",
+    "PriorityClassMetrics",
     "SchedulerMetrics",
     "PlacementStrategy",
     "RoundRobinPlacement",
@@ -59,6 +79,15 @@ __all__ = [
     "FIFOPolicy",
     "ShortestJobFirstPolicy",
     "EasyBackfillPolicy",
+    "PreemptivePriorityPolicy",
+    "PreemptionPlan",
     "Decision",
     "make_policy",
+    "SWFRecord",
+    "SWFTrace",
+    "TraceJobSpec",
+    "parse_swf",
+    "load_swf",
+    "dump_swf",
+    "save_swf",
 ]

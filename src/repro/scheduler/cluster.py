@@ -156,6 +156,10 @@ class ClusterScheduler:
         Placement strategy (name or instance); decides *where* it runs.
     chunk_size:
         I/O granularity forwarded to the workflow executors.
+    lost_work_penalty:
+        Seconds of compute progress a job loses each time it is preempted
+        (checkpoint-and-requeue redoes the work since the last
+        checkpoint); forwarded to the workflow executors.
     """
 
     def __init__(self, env: Environment, nodes: List[NodeState],
@@ -163,9 +167,12 @@ class ClusterScheduler:
                  policy: Union[str, SchedulingPolicy] = "fifo",
                  placement: Union[str, PlacementStrategy] = "round-robin",
                  chunk_size: Optional[float] = None,
+                 lost_work_penalty: float = 0.0,
                  name: str = "cluster-scheduler"):
         if not nodes:
             raise SchedulingError("a cluster scheduler needs at least one node")
+        if lost_work_penalty < 0:
+            raise SchedulingError("lost_work_penalty must be >= 0")
         self.env = env
         self.nodes = list(nodes)
         self.registry = registry
@@ -173,6 +180,7 @@ class ClusterScheduler:
         self.policy = make_policy(policy)
         self.placement = make_placement(placement)
         self.chunk_size = chunk_size
+        self.lost_work_penalty = float(lost_work_penalty)
         self.name = name
 
         #: All submitted jobs, in submission order.
@@ -184,6 +192,12 @@ class ClusterScheduler:
         #: Executors created for dispatched jobs (for per-app makespans).
         self.executors: List[WorkflowExecutor] = []
         self._running_procs: Dict[int, object] = {}
+        #: Executor of each dispatched job, reused across preemptions so
+        #: the checkpoint (completed tasks, compute credit) carries over.
+        self._executors_by_job: Dict[int, WorkflowExecutor] = {}
+        #: Jobs whose suspension is in flight (interrupted, not yet
+        #: requeued); no new preemption is planned until this drains.
+        self._suspending: Dict[int, Job] = {}
         self._labels: set = set()
         self._next_id = 0
         self._started = False
@@ -283,7 +297,7 @@ class ClusterScheduler:
         while self.queue:
             decision = self.policy.select(self.queue, self.nodes, self.env.now)
             if decision is None:
-                return
+                break
             job = decision.job
             candidates = decision.allowed_nodes
             if candidates is None:
@@ -300,30 +314,71 @@ class ClusterScheduler:
                 self._run_job(job, node), name=f"{self.name}:{job.label}"
             )
             self._running_procs[job.id] = process
+        self._try_preempt()
+
+    def _try_preempt(self) -> None:
+        """Suspend lower-priority running jobs if the policy asks for it.
+
+        Only preemptive policies expose ``plan_preemption``.  While a
+        suspension is in flight (victims interrupted but not yet
+        requeued), no further plan is made: the preemptor dispatches
+        naturally once the victims' cores are released, and planning
+        against half-suspended node state would double-count victims.
+        """
+        planner = getattr(self.policy, "plan_preemption", None)
+        if planner is None or not self.queue or self._suspending:
+            return
+        plan = planner(self.queue, self.nodes, self.env.now)
+        if plan is None:
+            return
+        for victim in plan.victims:
+            self._suspending[victim.id] = victim
+            self._executors_by_job[victim.id].preempt()
 
     def _run_job(self, job: Job, node: NodeState):
-        """Execute one dispatched job on ``node``; simulation process."""
-        executor = WorkflowExecutor(
-            self.env,
-            job.workflow,
-            node.host,
-            self.registry,
-            node.storage,
-            self.tracer,
-            label=job.label,
-            chunk_size=self.chunk_size,
-            # The reservation is an execution bound: a job never runs more
-            # concurrent tasks than the cores it reserved on the node.
-            max_concurrent_tasks=job.cores,
-        )
-        self.executors.append(executor)
+        """Execute (or resume) one dispatched job on ``node``; simulation
+        process.
+
+        A preempted job keeps its executor: the checkpoint — completed
+        tasks, partial compute credit, and the node's page-cache residency
+        of its input files — carries over to the resume.
+        """
+        executor = self._executors_by_job.get(job.id)
+        if executor is None:
+            executor = WorkflowExecutor(
+                self.env,
+                job.workflow,
+                node.host,
+                self.registry,
+                node.storage,
+                self.tracer,
+                label=job.label,
+                chunk_size=self.chunk_size,
+                # The reservation is an execution bound: a job never runs
+                # more concurrent tasks than the cores it reserved.
+                max_concurrent_tasks=job.cores,
+                lost_work_penalty=self.lost_work_penalty,
+            )
+            self._executors_by_job[job.id] = executor
+            self.executors.append(executor)
         job.node_name = node.name
-        job.start_time = self.env.now
+        if job.start_time is None:
+            job.start_time = self.env.now
+        job.last_start_time = self.env.now
+        preempted = False
         try:
-            yield from executor.run()
+            outcome = yield from executor.run()
+            preempted = outcome == WorkflowExecutor.PREEMPTED
         finally:
-            job.end_time = self.env.now
+            job.run_seconds += self.env.now - job.last_start_time
             node.release(job)
+            self._suspending.pop(job.id, None)
+        if preempted:
+            job.preemptions += 1
+            job.pinned_node = node.name
+            self.queue.append(job)
+            return
+        job.end_time = self.env.now
         self.records.append(
             JobRecord(
                 job_id=job.id,
@@ -334,6 +389,9 @@ class ClusterScheduler:
                 start_time=job.start_time,
                 end_time=job.end_time,
                 estimated_runtime=job.estimated_runtime,
+                priority=job.priority,
+                preemptions=job.preemptions,
+                run_seconds=job.run_seconds,
             )
         )
 

@@ -32,6 +32,10 @@ class Job:
         Runtime estimate in seconds, used by SJF ordering and backfilling
         reservations.  Defaults to the workflow's total CPU time (a crude
         but deterministic stand-in for user-provided walltime requests).
+    priority:
+        Priority class of the job (higher runs first under the priority
+        policies; the preemptive policy may suspend strictly lower
+        priority jobs to start this one).
     label:
         Application label used in traces; defaults to the workflow name.
     """
@@ -39,6 +43,7 @@ class Job:
     def __init__(self, workflow: Workflow, *, cores: int = 1,
                  arrival_time: float = 0.0,
                  estimated_runtime: Optional[float] = None,
+                 priority: int = 0,
                  label: Optional[str] = None):
         if cores < 1 or int(cores) != cores:
             raise ConfigurationError(
@@ -53,9 +58,14 @@ class Job:
             raise ConfigurationError(
                 f"job {label or workflow.name!r}: estimated_runtime must be positive"
             )
+        if int(priority) != priority:
+            raise ConfigurationError(
+                f"job {label or workflow.name!r}: priority must be an integer"
+            )
         self.workflow = workflow
         self.cores = int(cores)
         self.arrival_time = float(arrival_time)
+        self.priority = int(priority)
         self.label = label or workflow.name
         if estimated_runtime is None:
             estimated_runtime = sum(task.cpu_time() for task in workflow.tasks)
@@ -65,10 +75,19 @@ class Job:
         self.id: Optional[int] = None
         #: Name of the node the job was dispatched to.
         self.node_name: Optional[str] = None
-        #: Simulated time the job started executing.
+        #: Simulated time the job first started executing.
         self.start_time: Optional[float] = None
+        #: Simulated time the current (or last) run segment started.
+        self.last_start_time: Optional[float] = None
         #: Simulated time the job completed.
         self.end_time: Optional[float] = None
+        #: Seconds actually spent running (excludes suspended time).
+        self.run_seconds: float = 0.0
+        #: Number of times the job was preempted.
+        self.preemptions: int = 0
+        #: After a preemption the job resumes on the node holding its
+        #: checkpoint (and its warm page cache); ``None`` = any node.
+        self.pinned_node: Optional[str] = None
 
     # -------------------------------------------------------------- queries
     def input_files(self) -> List[File]:
@@ -83,6 +102,7 @@ class Job:
     def __repr__(self) -> str:
         return (
             f"<Job {self.label!r} cores={self.cores} "
+            f"prio={self.priority} "
             f"arrival={self.arrival_time:.3g} "
             f"est={self.estimated_runtime:.3g}s>"
         )

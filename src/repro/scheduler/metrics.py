@@ -6,13 +6,16 @@ The classic batch-scheduling metrics, computed from the per-job records the
 * **wait time** — time spent in the queue before dispatch;
 * **bounded slowdown** — turnaround over runtime, bounded for short jobs;
 * **utilization** — reserved core-seconds over available core-seconds;
-* **throughput** — completed jobs per simulated second.
+* **throughput** — completed jobs per simulated second;
+* **per-priority-class summaries** — wait time and bounded slowdown per
+  priority class (:meth:`SchedulerMetrics.priority_class_metrics`), the
+  quantities a preemptive priority policy trades between classes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 #: Default reference runtime (seconds) of the bounded-slowdown metric:
 #: ``max(1, turnaround / max(runtime, tau))`` bounds the slowdown of very
@@ -32,15 +35,29 @@ class JobRecord:
     start_time: float
     end_time: float
     estimated_runtime: float
+    #: Priority class of the job (higher = more urgent).
+    priority: int = 0
+    #: Number of times the job was preempted before completing.
+    preemptions: int = 0
+    #: Seconds actually spent running; ``None`` means the job ran in one
+    #: uninterrupted segment (``end - start``).
+    run_seconds: Optional[float] = None
 
     @property
     def wait_time(self) -> float:
-        """Queueing delay before dispatch."""
-        return self.start_time - self.arrival_time
+        """Queueing delay before the first dispatch.
+
+        Clamped to 0: a replayed trace can submit jobs "in the past"
+        (arrival marginally after the dispatch tick within the
+        scheduler's epsilon), and a wait must never be negative.
+        """
+        return max(0.0, self.start_time - self.arrival_time)
 
     @property
     def runtime(self) -> float:
-        """Execution time on the node."""
+        """Execution time on the node (excluding suspended time)."""
+        if self.run_seconds is not None:
+            return self.run_seconds
         return self.end_time - self.start_time
 
     @property
@@ -132,6 +149,42 @@ class SchedulerMetrics:
             counts[record.node] = counts.get(record.node, 0) + 1
         return counts
 
+    @property
+    def n_preemptions(self) -> int:
+        """Total preemptions suffered over all completed jobs."""
+        return sum(record.preemptions for record in self.records)
+
+    @property
+    def priority_classes(self) -> List[int]:
+        """Distinct priority classes among the records, descending."""
+        return sorted({record.priority for record in self.records}, reverse=True)
+
+    def records_of_class(self, priority: int) -> List[JobRecord]:
+        """Records of the jobs in one priority class."""
+        return [record for record in self.records if record.priority == priority]
+
+    def priority_class_metrics(self, tau: float = BOUNDED_SLOWDOWN_TAU,
+                               ) -> Dict[int, "PriorityClassMetrics"]:
+        """Per-priority-class summaries, keyed by priority (descending)."""
+        summaries: Dict[int, PriorityClassMetrics] = {}
+        for priority in self.priority_classes:
+            records = self.records_of_class(priority)
+            waits = [record.wait_time for record in records]
+            slowdowns = [record.bounded_slowdown(tau) for record in records]
+            summaries[priority] = PriorityClassMetrics(
+                priority=priority,
+                n_jobs=len(records),
+                mean_wait_time=sum(waits) / len(waits),
+                max_wait_time=max(waits),
+                mean_turnaround=(
+                    sum(record.turnaround for record in records) / len(records)
+                ),
+                mean_bounded_slowdown=sum(slowdowns) / len(slowdowns),
+                max_bounded_slowdown=max(slowdowns),
+                preemptions=sum(record.preemptions for record in records),
+            )
+        return summaries
+
     def as_dict(self) -> Dict[str, float]:
         """Scalar summary used by the experiment reports."""
         return {
@@ -143,6 +196,7 @@ class SchedulerMetrics:
             "mean_bounded_slowdown": self.mean_bounded_slowdown(),
             "utilization": self.utilization,
             "throughput": self.throughput,
+            "n_preemptions": self.n_preemptions,
         }
 
     def __repr__(self) -> str:
@@ -152,3 +206,18 @@ class SchedulerMetrics:
             f"wait={self.mean_wait_time:.3g}s "
             f"util={self.utilization:.1%}>"
         )
+
+
+@dataclass
+class PriorityClassMetrics:
+    """Summary of one priority class of completed jobs."""
+
+    priority: int
+    n_jobs: int
+    mean_wait_time: float
+    max_wait_time: float
+    mean_turnaround: float
+    mean_bounded_slowdown: float
+    max_bounded_slowdown: float
+    #: Preemptions suffered by the class (victims, not beneficiaries).
+    preemptions: int

@@ -17,7 +17,7 @@ runs on, among the nodes with enough free cores:
 from __future__ import annotations
 
 import zlib
-from typing import List, Optional, Sequence, TYPE_CHECKING, Union
+from typing import Sequence, TYPE_CHECKING, Union
 
 from repro.errors import ConfigurationError
 from repro.scheduler.job import Job

@@ -12,7 +12,11 @@ Three classic batch policies are provided:
 * :class:`ShortestJobFirstPolicy` — jobs ordered by estimated runtime;
 * :class:`EasyBackfillPolicy` — FIFO with EASY backfilling: the head job
   gets a reservation at the earliest time a node can fit it, and shorter
-  jobs may jump ahead if starting them now cannot delay that reservation.
+  jobs may jump ahead if starting them now cannot delay that reservation;
+* :class:`PreemptivePriorityPolicy` — strict priority order, plus
+  preemption: when the highest-priority queued job cannot start, the
+  policy proposes a :class:`PreemptionPlan` suspending strictly lower
+  priority running jobs (checkpoint-and-requeue) to make room.
 """
 
 from __future__ import annotations
@@ -51,8 +55,17 @@ class Decision:
 
 
 def fitting_nodes(job: Job, nodes: Sequence["NodeState"]) -> List["NodeState"]:
-    """Nodes that can start ``job`` right now."""
-    return [node for node in nodes if node.free_cores >= job.cores]
+    """Nodes that can start ``job`` right now.
+
+    A previously preempted job is pinned to the node holding its
+    checkpoint (``job.pinned_node``); only that node qualifies for it.
+    """
+    return [
+        node
+        for node in nodes
+        if node.free_cores >= job.cores
+        and (job.pinned_node is None or node.name == job.pinned_node)
+    ]
 
 
 class SchedulingPolicy:
@@ -161,6 +174,94 @@ class EasyBackfillPolicy(FIFOPolicy):
         return best_time, best_node
 
 
+class PreemptionPlan:
+    """A preemption proposal: start ``job`` on ``node`` after suspending
+    ``victims`` (running jobs of strictly lower priority on that node)."""
+
+    __slots__ = ("job", "node", "victims")
+
+    def __init__(self, job: Job, node: "NodeState", victims: List[Job]):
+        self.job = job
+        self.node = node
+        self.victims = victims
+
+    def __repr__(self) -> str:
+        return (
+            f"<PreemptionPlan job={self.job.label!r} node={self.node.name!r} "
+            f"victims={[victim.label for victim in self.victims]}>"
+        )
+
+
+class PreemptivePriorityPolicy(SchedulingPolicy):
+    """Strict priority scheduling with preemption.
+
+    Queued jobs are ordered by descending priority (ties: arrival order).
+    When the head job cannot start anywhere, :meth:`plan_preemption`
+    proposes suspending strictly lower priority running jobs on one node
+    until the head fits.  The scheduler checkpoints the victims
+    (checkpoint-and-requeue: completed tasks and compute progress are
+    kept, minus a configurable lost-work penalty) and starts the head once
+    their cores are released.
+
+    Victim selection loses as little work as possible: the lowest
+    priority jobs go first, and among equals the most recently started
+    (least progress to checkpoint).  Among candidate nodes, the plan with
+    the fewest victims wins, then the least total elapsed runtime lost.
+    """
+
+    name = "preemptive-priority"
+
+    def order(self, queue: Sequence[Job]) -> List[Job]:
+        return sorted(
+            queue,
+            key=lambda job: (-job.priority, job.arrival_time, job.id or 0),
+        )
+
+    def plan_preemption(self, queue: Sequence[Job],
+                        nodes: Sequence["NodeState"],
+                        now: float) -> Optional["PreemptionPlan"]:
+        """Propose victims for the head job, or ``None`` if hopeless."""
+        if not queue:
+            return None
+        head = self.order(queue)[0]
+        best_key: Optional[Tuple[int, float, str]] = None
+        best_plan: Optional[PreemptionPlan] = None
+        for node in nodes:
+            if head.pinned_node is not None and node.name != head.pinned_node:
+                continue
+            if head.cores > node.total_cores:
+                continue
+            lower = sorted(
+                (
+                    job for job in node.running.values()
+                    if job.priority < head.priority
+                ),
+                key=lambda job: (
+                    job.priority,
+                    now - (job.last_start_time if job.last_start_time is not None else now),
+                    job.id or 0,
+                ),
+            )
+            freed = node.free_cores
+            victims: List[Job] = []
+            for victim in lower:
+                if freed >= head.cores:
+                    break
+                victims.append(victim)
+                freed += victim.cores
+            if freed < head.cores or not victims:
+                continue
+            lost = sum(
+                now - (victim.last_start_time if victim.last_start_time is not None else now)
+                for victim in victims
+            )
+            key = (len(victims), lost, node.name)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_plan = PreemptionPlan(head, node, victims)
+        return best_plan
+
+
 #: Policies constructible by name.
 POLICIES = {
     FIFOPolicy.name: FIFOPolicy,
@@ -168,6 +269,8 @@ POLICIES = {
     "shortest-job-first": ShortestJobFirstPolicy,
     EasyBackfillPolicy.name: EasyBackfillPolicy,
     "easy-backfill": EasyBackfillPolicy,
+    PreemptivePriorityPolicy.name: PreemptivePriorityPolicy,
+    "priority": PreemptivePriorityPolicy,
 }
 
 

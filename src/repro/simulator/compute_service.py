@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.des.environment import Environment
+from repro.des.events import Interrupt
 from repro.platform.host import Host
 from repro.simulator.workflow import Task
 
@@ -25,16 +26,36 @@ class ComputeService:
         self.name = name or f"compute:{host.name}"
         self.tasks_completed = 0
 
-    def execute(self, task: Task):
+    def execute(self, task: Task, flops: Optional[float] = None):
         """Run the computation of ``task``; simulation process.
 
         Returns the simulated duration of the computation (which may exceed
         the task's CPU time if all cores were busy and the task had to
-        queue).
+        queue).  ``flops`` overrides the task's own flop count — the
+        workflow executor passes the *remaining* work when resuming a
+        checkpointed task after a preemption.
+
+        If the calling process is interrupted while the computation is in
+        flight, the computation itself is cancelled too (releasing its
+        core immediately) and the interrupt propagates to the caller.
         """
         start = self.env.now
-        if task.flops > 0:
-            yield self.host.cpu.execute(task.flops, label=f"compute:{task.name}")
+        amount = task.flops if flops is None else flops
+        if amount > 0:
+            work = self.host.cpu.execute(amount, label=f"compute:{task.name}")
+            try:
+                yield work
+            except Interrupt as interrupt:
+                # Tell the caller how long the work actually held a core
+                # (queueing for a busy core executes nothing), so a
+                # checkpoint credits only flops that really ran.
+                granted_at = getattr(work, "compute_info", {}).get("granted_at")
+                interrupt.executed_seconds = (
+                    0.0 if granted_at is None else self.env.now - granted_at
+                )
+                if work.is_alive:
+                    work.interrupt("preempted")
+                raise
         self.tasks_completed += 1
         return self.env.now - start
 

@@ -52,8 +52,8 @@ from repro.simulator.storage_service import (
 )
 from repro.simulator.tracing import CacheContentRecord, OperationRecord, Tracer
 from repro.simulator.wms import WorkflowExecutor
-from repro.simulator.workflow import Workflow
-from repro.units import GiB, MBps, GB
+from repro.simulator.workflow import Task, Workflow
+from repro.units import GiB, MBps, GB, MB
 
 #: Valid cache modes for storage services.
 CACHE_MODES = ("none", "writeback", "writethrough")
@@ -367,6 +367,7 @@ class Simulation:
                                  mount_point: str = "/local",
                                  cache_mode: Optional[str] = None,
                                  chunk_size: Optional[float] = None,
+                                 lost_work_penalty: float = 0.0,
                                  ) -> ClusterScheduler:
         """Create the batch scheduler managing the platform's compute nodes.
 
@@ -408,6 +409,7 @@ class Simulation:
             policy=policy,
             placement=placement,
             chunk_size=chunk_size or self.config.chunk_size,
+            lost_work_penalty=lost_work_penalty,
         )
         return self._scheduler
 
@@ -419,12 +421,15 @@ class Simulation:
     def submit_job(self, workflow: Workflow, *, cores: int = 1,
                    arrival_time: float = 0.0,
                    estimated_runtime: Optional[float] = None,
+                   priority: int = 0,
                    label: Optional[str] = None) -> Job:
         """Submit a batch job to the cluster scheduler.
 
         Unlike :meth:`submit_workflow`, the execution host is not chosen by
         the caller: the job queues from ``arrival_time`` on and the
         scheduler's policy/placement pair decides when and where it runs.
+        Higher ``priority`` runs first under the priority policies; the
+        preemptive policy may suspend lower-priority jobs for it.
         """
         from repro.scheduler.job import Job
 
@@ -438,6 +443,7 @@ class Simulation:
             cores=cores,
             arrival_time=arrival_time,
             estimated_runtime=estimated_runtime,
+            priority=priority,
             label=label,
         )
         if any(executor.label == job.label for executor in self._executors):
@@ -446,6 +452,92 @@ class Simulation:
                 "workflow; labels key the traces and per-app makespans"
             )
         return self._scheduler.submit(job)
+
+    def submit_trace(self, trace, *, max_jobs: Optional[int] = None,
+                     load_factor: float = 1.0,
+                     runtime_scale: float = 1.0,
+                     cores_per_job_cap: Optional[int] = None,
+                     dataset_size: float = 1 * GB,
+                     output_size: float = 128 * MB,
+                     priority_of=None,
+                     label_prefix: str = "swf") -> List[Job]:
+        """Replay an SWF workload trace as batch jobs.
+
+        ``trace`` is an :class:`~repro.scheduler.swf.SWFTrace` or a path
+        to an SWF file.  Each trace job becomes a single-task batch job
+        that reads a shared input dataset (one dataset per SWF
+        application/"executable number", replicated on every node's local
+        storage), computes for its recorded runtime, and writes a private
+        output file.  Priorities default to the SWF queue number.
+
+        Scaling knobs (``max_jobs``, ``load_factor``, ``runtime_scale``)
+        are forwarded to :meth:`~repro.scheduler.swf.SWFTrace.job_specs`;
+        core requests are rescaled so the widest trace job exactly fits
+        the largest scheduler node (override with ``cores_per_job_cap``).
+
+        Returns the submitted :class:`~repro.scheduler.job.Job` list.
+        """
+        from repro.scheduler.swf import SWFTrace, load_swf
+
+        if self._scheduler is None:
+            raise ConfigurationError(
+                "submit_trace requires a cluster scheduler; "
+                "call create_cluster_scheduler first"
+            )
+        if not isinstance(trace, SWFTrace):
+            trace = load_swf(trace)
+        if trace.skipped:
+            import warnings
+
+            first_line, first_reason = trace.skipped[0]
+            warnings.warn(
+                f"SWF trace: tolerated {len(trace.skipped)} malformed "
+                f"line(s) (first: line {first_line}, {first_reason}); the "
+                "replay runs on the remaining "
+                f"{trace.n_jobs} record(s)",
+                stacklevel=2,
+            )
+        max_cores = cores_per_job_cap or max(
+            node.total_cores for node in self._scheduler.nodes
+        )
+        specs = trace.job_specs(
+            max_jobs=max_jobs,
+            load_factor=load_factor,
+            runtime_scale=runtime_scale,
+            max_cores=max_cores,
+            priority_of=priority_of,
+        )
+
+        datasets: Dict[int, File] = {}
+        for spec in specs:
+            if spec.app not in datasets:
+                dataset = File(f"{label_prefix}_app{spec.app}", dataset_size)
+                self.stage_file_replicated(dataset)
+                datasets[spec.app] = dataset
+
+        jobs: List[Job] = []
+        for spec in specs:
+            label = f"{label_prefix}{spec.job_id}"
+            workflow = Workflow(label)
+            workflow.add_task(
+                Task.from_cpu_time(
+                    "process",
+                    spec.runtime,
+                    inputs=[datasets[spec.app]],
+                    outputs=[File(f"{label}_out", output_size)],
+                )
+            )
+            jobs.append(
+                self.submit_job(
+                    workflow,
+                    cores=spec.cores,
+                    arrival_time=spec.arrival_time,
+                    estimated_runtime=spec.estimated_runtime,
+                    priority=spec.priority,
+                    label=label,
+                )
+            )
+        return jobs
 
     # -------------------------------------------------------------------- run
     def run(self, until: Optional[float] = None) -> SimulationResult:

@@ -8,6 +8,15 @@ and the Nighres workflow in the paper.  Independent tasks of the same
 workflow run concurrently, bounded by the host's CPU cores; independent
 workflow instances (Exp 2 and 3) are separate executors running in
 parallel in the same simulation.
+
+The executor also supports *suspension* for preemptive batch scheduling
+(:meth:`WorkflowExecutor.preempt`): running tasks are interrupted, their
+partial outputs and anonymous memory are rolled back, compute progress is
+checkpointed (minus a configurable lost-work penalty), and
+:meth:`WorkflowExecutor.run` returns :data:`WorkflowExecutor.PREEMPTED`.
+Calling :meth:`run` again resumes from the checkpoint: completed tasks
+are not re-run, interrupted tasks re-read their inputs (cheap when the
+node's page cache is still warm) and compute only their remaining work.
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.des.environment import Environment
+from repro.des.events import Interrupt
 from repro.errors import SchedulingError
 from repro.filesystem.file import File
 from repro.filesystem.registry import FileRegistry
@@ -52,14 +62,22 @@ class WorkflowExecutor:
         (``None`` = bounded only by dependencies and the host CPU).  The
         batch scheduler sets this to the job's reserved core count so a
         reservation is an actual execution bound, not just bookkeeping.
+    lost_work_penalty:
+        Seconds of in-flight compute progress lost at each preemption
+        (work done since the last checkpoint, redone on resume).
     """
+
+    #: Sentinel returned by :meth:`run` (and internally by task processes)
+    #: when the execution was suspended by :meth:`preempt`.
+    PREEMPTED = "preempted"
 
     def __init__(self, env: Environment, workflow: Workflow, host: Host,
                  registry: FileRegistry, output_storage: StorageService,
                  tracer: Tracer, label: Optional[str] = None,
                  chunk_size: Optional[float] = None,
                  compute_service: Optional[ComputeService] = None,
-                 max_concurrent_tasks: Optional[int] = None):
+                 max_concurrent_tasks: Optional[int] = None,
+                 lost_work_penalty: float = 0.0):
         self.env = env
         self.workflow = workflow
         self.host = host
@@ -72,36 +90,69 @@ class WorkflowExecutor:
             raise SchedulingError(
                 f"executor {self.label!r}: max_concurrent_tasks must be >= 1"
             )
+        if lost_work_penalty < 0:
+            raise SchedulingError(
+                f"executor {self.label!r}: lost_work_penalty must be >= 0"
+            )
         self.max_concurrent_tasks = max_concurrent_tasks
+        self.lost_work_penalty = float(lost_work_penalty)
         self.compute_service = compute_service or ComputeService(env, host)
         self.start_time: Optional[float] = None
         self.end_time: Optional[float] = None
+        #: Checkpoint state surviving across suspensions: task objects by
+        #: name, tasks not yet started, names of completed tasks, and the
+        #: flops already credited to partially computed tasks.
+        self._tasks: Dict[str, Task] = {}
+        self._pending: Optional[Dict[str, Task]] = None
+        self._completed: set = set()
+        self._compute_done: Dict[str, float] = {}
+        self._running: Dict[str, object] = {}
+        self._preempting = False
+        self._suspended = False
+
+    @property
+    def suspended(self) -> bool:
+        """True while the execution sits preempted, awaiting a resume."""
+        return self._suspended
 
     # ------------------------------------------------------------------- run
     def run(self):
-        """Execute the workflow; simulation process returning the makespan."""
-        self.workflow.validate()
-        self.start_time = self.env.now
-        completed: set = set()
-        pending: Dict[str, Task] = {task.name: task for task in self.workflow.tasks}
-        running: Dict[str, object] = {}
+        """Execute the workflow; simulation process returning the makespan.
+
+        Returns :data:`PREEMPTED` instead when the execution was suspended
+        by :meth:`preempt`; calling :meth:`run` again later resumes from
+        the checkpoint.
+        """
+        if self._pending is None:
+            self.workflow.validate()
+            self._tasks = {task.name: task for task in self.workflow.tasks}
+            self._pending = dict(self._tasks)
+        if self.start_time is None:
+            self.start_time = self.env.now
+        self._preempting = False
+        self._suspended = False
+        pending, running = self._pending, self._running
 
         while pending or running:
             # Launch every task whose dependencies are satisfied, up to the
-            # concurrency bound.
-            for name, task in list(pending.items()):
-                if (self.max_concurrent_tasks is not None
-                        and len(running) >= self.max_concurrent_tasks):
-                    break
-                deps = self.workflow.dependencies(task)
-                if all(dep.name in completed for dep in deps):
-                    process = self.env.process(
-                        self._execute_task(task), name=f"{self.label}:{name}"
-                    )
-                    running[name] = process
-                    del pending[name]
+            # concurrency bound (suspended executors stop launching).
+            if not self._preempting:
+                for name, task in list(pending.items()):
+                    if (self.max_concurrent_tasks is not None
+                            and len(running) >= self.max_concurrent_tasks):
+                        break
+                    deps = self.workflow.dependencies(task)
+                    if all(dep.name in self._completed for dep in deps):
+                        process = self.env.process(
+                            self._execute_task(task), name=f"{self.label}:{name}"
+                        )
+                        running[name] = process
+                        del pending[name]
 
             if not running:
+                if self._preempting:
+                    self._suspended = True
+                    return self.PREEMPTED
                 raise SchedulingError(
                     f"workflow {self.workflow.name!r} cannot make progress: "
                     f"tasks {sorted(pending)} have unsatisfied dependencies"
@@ -114,79 +165,161 @@ class WorkflowExecutor:
                     continue
                 if not process.ok:
                     raise process.value
-                completed.add(name)
                 del running[name]
+                if process.value == self.PREEMPTED:
+                    # The task was interrupted: it re-runs on resume.
+                    pending[name] = self._tasks[name]
+                else:
+                    self._completed.add(name)
+                    self._compute_done.pop(name, None)
 
         self.end_time = self.env.now
         return self.end_time - self.start_time
 
+    # ------------------------------------------------------------ preemption
+    def preempt(self) -> None:
+        """Suspend the execution (checkpoint-and-requeue).
+
+        Must be called from a *different* simulation process (typically
+        the batch scheduler).  Every running task is interrupted; each
+        rolls back its partial outputs and anonymous memory, checkpoints
+        its compute progress minus :attr:`lost_work_penalty`, and the
+        main loop returns :data:`PREEMPTED` once all tasks have unwound.
+        """
+        self._preempting = True
+        for process in self._running.values():
+            if process.is_alive:
+                process.interrupt(self.PREEMPTED)
+
     # ------------------------------------------------------------------ tasks
     def _execute_task(self, task: Task):
-        # Read inputs in declaration order.
-        for file in task.inputs:
-            service = self._locate(file)
-            result = yield from service.read_file(
-                file,
-                reader_host=self.host,
-                owner=self.label,
-                chunk_size=self.chunk_size,
-            )
-            self.tracer.record_operation(
-                OperationRecord(
-                    app=self.label,
-                    task=task.name,
-                    kind="read",
-                    filename=file.name,
-                    size=file.size,
-                    start=result.start_time,
-                    end=result.end_time,
-                    cache_bytes=result.cache_bytes,
-                    storage_bytes=result.storage_bytes,
+        compute_start: Optional[float] = None
+        remaining_flops = 0.0
+        written: List[File] = []
+        in_flight_write: Optional[File] = None
+        try:
+            # Read inputs in declaration order.  On a resume after
+            # preemption the re-read mostly hits the node's page cache,
+            # whose contents survived the suspension.
+            for file in task.inputs:
+                service = self._locate(file)
+                result = yield from service.read_file(
+                    file,
+                    reader_host=self.host,
+                    owner=self.label,
+                    chunk_size=self.chunk_size,
                 )
-            )
-
-        # Compute.
-        if task.flops > 0:
-            compute_start = self.env.now
-            yield from self.compute_service.execute(task)
-            self.tracer.record_operation(
-                OperationRecord(
-                    app=self.label,
-                    task=task.name,
-                    kind="compute",
-                    filename=None,
-                    size=0.0,
-                    start=compute_start,
-                    end=self.env.now,
+                self.tracer.record_operation(
+                    OperationRecord(
+                        app=self.label,
+                        task=task.name,
+                        kind="read",
+                        filename=file.name,
+                        size=file.size,
+                        start=result.start_time,
+                        end=result.end_time,
+                        cache_bytes=result.cache_bytes,
+                        storage_bytes=result.storage_bytes,
+                    )
                 )
-            )
 
-        # Write outputs in declaration order.
-        for file in task.outputs:
-            result = yield from self.output_storage.write_file(
-                file,
-                writer_host=self.host,
-                owner=self.label,
-                chunk_size=self.chunk_size,
+            # Compute only the work not covered by an earlier checkpoint.
+            remaining_flops = max(
+                0.0, task.flops - self._compute_done.get(task.name, 0.0)
             )
-            self.registry.add_entry(file, self.output_storage)
-            self.tracer.record_operation(
-                OperationRecord(
-                    app=self.label,
-                    task=task.name,
-                    kind="write",
-                    filename=file.name,
-                    size=file.size,
-                    start=result.start_time,
-                    end=result.end_time,
-                    cache_bytes=result.cache_bytes,
-                    storage_bytes=result.storage_bytes,
+            if remaining_flops > 0:
+                compute_start = self.env.now
+                yield from self.compute_service.execute(
+                    task, flops=remaining_flops
                 )
-            )
+                self.tracer.record_operation(
+                    OperationRecord(
+                        app=self.label,
+                        task=task.name,
+                        kind="compute",
+                        filename=None,
+                        size=0.0,
+                        start=compute_start,
+                        end=self.env.now,
+                    )
+                )
+                compute_start = None
+                self._compute_done[task.name] = task.flops
 
-        # Release the application's anonymous memory, as the paper's
-        # synthetic application does at the end of every task.
-        if task.release_memory and self.host.memory_manager is not None:
+            # Write outputs in declaration order.
+            for file in task.outputs:
+                in_flight_write = file
+                result = yield from self.output_storage.write_file(
+                    file,
+                    writer_host=self.host,
+                    owner=self.label,
+                    chunk_size=self.chunk_size,
+                )
+                in_flight_write = None
+                written.append(file)
+                self.registry.add_entry(file, self.output_storage)
+                self.tracer.record_operation(
+                    OperationRecord(
+                        app=self.label,
+                        task=task.name,
+                        kind="write",
+                        filename=file.name,
+                        size=file.size,
+                        start=result.start_time,
+                        end=result.end_time,
+                        cache_bytes=result.cache_bytes,
+                        storage_bytes=result.storage_bytes,
+                    )
+                )
+
+            # Release the application's anonymous memory, as the paper's
+            # synthetic application does at the end of every task.
+            if task.release_memory and self.host.memory_manager is not None:
+                self.host.memory_manager.release_anonymous_memory(owner=self.label)
+        except Interrupt as interrupt:
+            self._checkpoint_task(task, compute_start, remaining_flops,
+                                  interrupt)
+            self._rollback_task(written, in_flight_write)
+            return self.PREEMPTED
+        return True
+
+    def _checkpoint_task(self, task: Task, compute_start: Optional[float],
+                         remaining_flops: float,
+                         interrupt: Interrupt) -> None:
+        """Credit the flops computed before the interrupt, minus the lost
+        work redone on resume (checkpoint granularity)."""
+        if compute_start is None or remaining_flops <= 0:
+            return
+        # The compute service reports the seconds the work actually held a
+        # core (time queued for a busy core executes nothing); fall back
+        # to wall-clock elapsed for custom services that do not.
+        executed = getattr(
+            interrupt, "executed_seconds", self.env.now - compute_start
+        )
+        speed = self.host.cpu.speed
+        done = min(remaining_flops, executed * speed)
+        credit = max(0.0, done - self.lost_work_penalty * speed)
+        total = self._compute_done.get(task.name, 0.0) + credit
+        self._compute_done[task.name] = min(task.flops, total)
+
+    def _rollback_task(self, written: List[File],
+                       in_flight_write: Optional[File]) -> None:
+        """Undo the interrupted attempt's outputs and anonymous memory.
+
+        Partial and completed outputs of the attempt are deleted (the
+        retry re-writes them from scratch; without this, disk usage and
+        the registry would double-count them).  The task's anonymous
+        memory is released — the checkpoint conceptually persists it to
+        disk — so the node's memory accounting stays balanced while the
+        job sits suspended; the page-cache residency of its files is
+        deliberately left intact for the resume.
+        """
+        if in_flight_write is not None:
+            self.output_storage.delete_file(in_flight_write)
+        for file in written:
+            self.output_storage.delete_file(file)
+            self.registry.remove_entry(file, self.output_storage)
+        if self.host.memory_manager is not None:
             self.host.memory_manager.release_anonymous_memory(owner=self.label)
 
     def _locate(self, file: File) -> StorageService:

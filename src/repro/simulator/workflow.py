@@ -10,7 +10,7 @@ by another task depends on it) or declared explicitly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.errors import SchedulingError
 from repro.filesystem.file import File

@@ -1,0 +1,122 @@
+"""Unit tests of the benchmark-regression gate (benchmarks/check_regression.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    Path(__file__).resolve().parents[1] / "benchmarks" / "check_regression.py",
+)
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+def results_json(medians: dict) -> dict:
+    """A minimal pytest-benchmark JSON document."""
+    return {
+        "benchmarks": [
+            {"name": name, "stats": {"median": median}}
+            for name, median in medians.items()
+        ]
+    }
+
+
+def write_results(tmp_path: Path, medians: dict) -> Path:
+    path = tmp_path / "results.json"
+    path.write_text(json.dumps(results_json(medians)))
+    return path
+
+
+REFERENCE = check_regression.REFERENCE_NAME
+
+
+class TestGate:
+    def baseline(self, tmp_path: Path, medians: dict) -> Path:
+        results = write_results(tmp_path, medians)
+        baseline = tmp_path / "baseline.json"
+        assert check_regression.main(
+            [str(results), "--baseline", str(baseline), "--update"]
+        ) == 0
+        return baseline
+
+    def test_update_then_identical_results_pass(self, tmp_path):
+        medians = {REFERENCE: 0.5, "test_a": 1.0, "test_b": 0.1}
+        baseline = self.baseline(tmp_path, medians)
+        results = write_results(tmp_path, medians)
+        assert check_regression.main(
+            [str(results), "--baseline", str(baseline)]
+        ) == 0
+
+    def test_machine_speed_scales_out(self, tmp_path):
+        baseline = self.baseline(
+            tmp_path, {REFERENCE: 0.5, "test_a": 1.0}
+        )
+        # A machine 3x slower across the board: same normalized medians.
+        results = write_results(tmp_path, {REFERENCE: 1.5, "test_a": 3.0})
+        assert check_regression.main(
+            [str(results), "--baseline", str(baseline)]
+        ) == 0
+
+    def test_regression_beyond_budget_fails(self, tmp_path):
+        baseline = self.baseline(
+            tmp_path, {REFERENCE: 0.5, "test_a": 1.0}
+        )
+        results = write_results(tmp_path, {REFERENCE: 0.5, "test_a": 1.4})
+        assert check_regression.main(
+            [str(results), "--baseline", str(baseline)]
+        ) == 1
+
+    def test_missing_baseline_benchmark_fails(self, tmp_path):
+        baseline = self.baseline(
+            tmp_path, {REFERENCE: 0.5, "test_a": 1.0, "test_gone": 1.0}
+        )
+        results = write_results(tmp_path, {REFERENCE: 0.5, "test_a": 1.0})
+        assert check_regression.main(
+            [str(results), "--baseline", str(baseline)]
+        ) == 1
+
+    def test_new_benchmark_without_baseline_entry_fails(self, tmp_path, capsys):
+        baseline = self.baseline(tmp_path, {REFERENCE: 0.5, "test_a": 1.0})
+        results = write_results(
+            tmp_path, {REFERENCE: 0.5, "test_a": 1.0, "test_new": 5.0}
+        )
+        # An ungated benchmark would stay ungated forever: the gate
+        # demands the baseline entry land with the benchmark itself.
+        assert check_regression.main(
+            [str(results), "--baseline", str(baseline)]
+        ) == 1
+        assert "NEW" in capsys.readouterr().out
+
+    def test_noise_floor_damps_micro_benchmarks(self, tmp_path):
+        baseline = self.baseline(
+            tmp_path, {REFERENCE: 0.5, "test_tiny": 0.0001}
+        )
+        # 3x slower in absolute terms but far below the noise floor.
+        results = write_results(tmp_path, {REFERENCE: 0.5, "test_tiny": 0.0003})
+        assert check_regression.main(
+            [str(results), "--baseline", str(baseline)]
+        ) == 0
+
+    def test_missing_reference_is_fatal(self, tmp_path):
+        baseline = self.baseline(tmp_path, {REFERENCE: 0.5, "test_a": 1.0})
+        results = write_results(tmp_path, {"test_a": 1.0})
+        with pytest.raises(SystemExit):
+            check_regression.main([str(results), "--baseline", str(baseline)])
+
+    def test_committed_baseline_matches_current_benchmarks(self):
+        baseline = json.loads(
+            (Path(__file__).resolve().parents[1] / "benchmarks" / "baseline.json")
+            .read_text()
+        )
+        bench_dir = Path(__file__).resolve().parents[1] / "benchmarks"
+        sources = "\n".join(
+            path.read_text() for path in bench_dir.glob("test_bench_*.py")
+        )
+        # Every gated benchmark still exists (renames go through --update).
+        for name in baseline["normalized_medians"]:
+            assert name.split("[")[0] in sources, name

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.des import Environment
-from repro.des.events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from repro.des.events import AllOf, ConditionValue
 
 
 class TestEvent:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.des import Environment, Interrupt
+from repro.des import Interrupt
 from repro.des.process import Process
 
 

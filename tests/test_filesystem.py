@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import FileNotFoundInSimulation
 from repro.filesystem import File, FileRegistry, NFSConfig
-from repro.units import GB, MB
+from repro.units import GB
 
 
 class TestFile:

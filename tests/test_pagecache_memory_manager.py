@@ -7,7 +7,7 @@ from repro.errors import ConfigurationError
 from repro.pagecache import MemoryManager, PageCacheConfig
 from repro.platform.memory import MemoryDevice
 from repro.platform.storage import Disk
-from repro.units import GB, GiB, MB, MBps
+from repro.units import GB, MBps
 
 
 GB_F = float(GB)

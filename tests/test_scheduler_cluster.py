@@ -14,7 +14,7 @@ from repro.errors import ConfigurationError, SchedulingError
 from repro.filesystem.file import File
 from repro.simulator.simulation import Simulation, SimulationConfig
 from repro.simulator.workflow import Task, Workflow
-from repro.units import GB, MB
+from repro.units import MB
 
 
 def make_simulation(n_nodes: int = 2, cores_per_node: int = 4, *,
@@ -299,3 +299,92 @@ class TestClusterExecution:
         assert first.makespan == second.makespan
         assert first.cache_hit_ratio == second.cache_hit_ratio
         assert first.mean_wait_time == second.mean_wait_time
+
+
+class TestWaitTimeClamp:
+    def test_wait_time_never_negative_for_past_arrivals(self):
+        from repro.scheduler.metrics import JobRecord
+
+        # A trace-replayed job "submitted in the past": its recorded
+        # arrival lies marginally after the dispatch tick (scheduler
+        # epsilon).  The wait must clamp to 0, not go negative.
+        record = JobRecord(
+            job_id=0, label="past", node="node1", cores=1,
+            arrival_time=10.0 + 1e-9, start_time=10.0, end_time=20.0,
+            estimated_runtime=10.0,
+        )
+        assert record.wait_time == 0.0
+        assert record.bounded_slowdown() >= 1.0
+
+    def test_trace_replay_waits_are_non_negative(self):
+        from repro.scheduler.swf import parse_swf
+
+        trace = parse_swf(
+            "; MaxProcs: 4\n"
+            "1 0 -1 2 4 -1 -1 4 3 -1 1 1 1 1 0 1 -1 -1\n"
+            "2 0 -1 1 2 -1 -1 2 2 -1 1 1 1 1 1 1 -1 -1\n"
+            "3 1 -1 1 2 -1 -1 2 2 -1 1 1 1 2 0 1 -1 -1\n"
+        )
+        simulation = make_simulation(1, 4)
+        simulation.submit_trace(trace, dataset_size=10 * MB, output_size=MB)
+        result = simulation.run()
+        assert result.scheduler.n_jobs == 3
+        assert all(r.wait_time >= 0.0 for r in result.scheduler.records)
+
+
+class TestSubmitTrace:
+    def trace(self):
+        from repro.scheduler.swf import parse_swf
+
+        return parse_swf(
+            "; MaxProcs: 8\n"
+            "1 0 -1 4 8 -1 -1 8 5 -1 1 1 1 3 0 1 -1 -1\n"
+            "2 2 -1 2 4 -1 -1 4 3 -1 1 2 1 5 2 1 -1 -1\n"
+            "3 4 -1 2 2 -1 -1 2 3 -1 1 1 1 3 1 1 -1 -1\n"
+        )
+
+    def test_requires_scheduler(self):
+        simulation = Simulation()
+        simulation.create_cluster_platform(1, with_nfs_server=False)
+        with pytest.raises(ConfigurationError):
+            simulation.submit_trace(self.trace())
+
+    def test_builds_jobs_with_datasets_priorities_and_rescaled_cores(self):
+        simulation = make_simulation(2, 4)
+        jobs = simulation.submit_trace(
+            self.trace(), dataset_size=20 * MB, output_size=MB
+        )
+        assert [job.label for job in jobs] == ["swf1", "swf2", "swf3"]
+        # Cores rescaled from MaxProcs 8 to the largest node (4 cores).
+        assert [job.cores for job in jobs] == [4, 2, 1]
+        # Priorities come from the SWF queue number.
+        assert [job.priority for job in jobs] == [0, 2, 1]
+        # One shared dataset per distinct application, on every node.
+        dataset_names = {f.name for job in jobs for f in job.input_files()}
+        assert dataset_names == {"swf_app3", "swf_app5"}
+        for node in simulation.scheduler.nodes:
+            assert node.storage.disk.used == pytest.approx(2 * 20 * MB)
+
+    def test_malformed_trace_lines_are_reported(self):
+        from repro.scheduler.swf import parse_swf
+
+        trace = parse_swf(
+            "1 0 -1 2 2 -1 -1 2 3 -1 1 1 1 1 0 1 -1 -1\n"
+            "this line is garbage\n"
+        )
+        simulation = make_simulation(1, 4)
+        with pytest.warns(UserWarning, match="1 malformed line"):
+            simulation.submit_trace(trace, dataset_size=MB, output_size=MB)
+
+    def test_trace_replay_runs_to_completion(self):
+        simulation = make_simulation(2, 4, policy="preemptive-priority",
+                                     placement="cache")
+        jobs = simulation.submit_trace(
+            self.trace(), dataset_size=10 * MB, output_size=MB,
+            runtime_scale=0.5, load_factor=2.0,
+        )
+        result = simulation.run()
+        assert result.scheduler.n_jobs == len(jobs)
+        assert result.scheduler.makespan > 0
+        classes = result.scheduler.priority_class_metrics()
+        assert set(classes) == {0, 1, 2}

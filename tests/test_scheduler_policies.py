@@ -154,4 +154,69 @@ class TestRegistry:
         policy = FIFOPolicy()
         assert make_policy(policy) is policy
         with pytest.raises(ConfigurationError):
-            make_policy("priority")
+            make_policy("no-such-policy")
+
+
+class TestEasyBackfillEdgeCases:
+    def test_candidate_finishing_exactly_at_reservation_backfills(self, env):
+        node = make_node(env, cores=4)
+        running = compute_job("running", 10.0, cores=2, job_id=9)
+        running.start_time = 0.0
+        node.allocate(running)
+
+        head = compute_job("head", 5.0, cores=4, job_id=0)
+        # Estimated completion lands exactly on the shadow time (t=10):
+        # the reservation is delayed by zero, which EASY must allow.
+        exact = compute_job("exact", 10.0, cores=2, arrival=1.0, job_id=1)
+        decision = EasyBackfillPolicy().select([head, exact], [node], now=0.0)
+        assert decision is not None
+        assert decision.job is exact
+
+    def test_candidate_barely_past_reservation_is_rejected(self, env):
+        node = make_node(env, cores=4)
+        running = compute_job("running", 10.0, cores=2, job_id=9)
+        running.start_time = 0.0
+        node.allocate(running)
+
+        head = compute_job("head", 5.0, cores=4, job_id=0)
+        over = compute_job("over", 10.001, cores=2, arrival=1.0, job_id=1)
+        # Past the shadow time and no off-shadow node exists: no backfill.
+        assert EasyBackfillPolicy().select([head, over], [node], now=0.0) is None
+
+    def test_off_shadow_backfill_delays_reservation_by_zero(self, env):
+        shadow = make_node(env, "n1", cores=4)
+        other = make_node(env, "n2", cores=1)
+        running = compute_job("running", 10.0, cores=2, job_id=9)
+        running.start_time = 0.0
+        shadow.allocate(running)
+
+        head = compute_job("head", 5.0, cores=4, job_id=0)
+        long = compute_job("long", 1000.0, cores=1, arrival=1.0, job_id=1)
+        # The candidate overruns the reservation by far, but it cannot
+        # touch the reserved cores at all: the delay it causes is zero.
+        decision = EasyBackfillPolicy().select([head, long], [shadow, other], now=0.0)
+        assert decision is not None
+        assert decision.job is long
+        assert decision.allowed_nodes == [other]
+
+    def test_empty_queue_yields_no_decision(self, env):
+        node = make_node(env, cores=4)
+        assert EasyBackfillPolicy().select([], [node], now=0.0) is None
+
+    def test_reservation_leaves_no_stale_state_once_head_fits(self, env):
+        node = make_node(env, cores=4)
+        running = compute_job("running", 10.0, cores=4, job_id=9)
+        running.start_time = 0.0
+        node.allocate(running)
+
+        head = compute_job("head", 5.0, cores=4, job_id=0)
+        policy = EasyBackfillPolicy()
+        # Blocked: the head holds a reservation behind the running job.
+        assert policy.select([head], [node], now=0.0) is None
+        # The running job drains; the same policy object must dispatch the
+        # head unrestricted (the reservation is recomputed, never cached).
+        node.release(running)
+        decision = policy.select([head], [node], now=10.0)
+        assert decision is not None
+        assert decision.job is head
+        assert decision.allowed_nodes is None

@@ -1,0 +1,325 @@
+"""Tests of preemptive priority scheduling (checkpoint-and-requeue).
+
+Unit tests exercise the :class:`PreemptivePriorityPolicy` planner alone;
+integration tests drive the whole stack through the :class:`Simulation`
+facade and check the timing, the checkpoint credit (lost-work penalty),
+the rollback of partial outputs, and the page-cache residency restored on
+resume.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.filesystem.file import File
+from repro.platform.host import Host
+from repro.scheduler.cluster import NodeState
+from repro.scheduler.job import Job
+from repro.scheduler.policies import PreemptivePriorityPolicy
+from repro.simulator.simulation import Simulation, SimulationConfig
+from repro.simulator.workflow import Task, Workflow
+from repro.units import MB
+
+
+def compute_job(name: str, cpu_time: float, *, cores: int = 1,
+                arrival: float = 0.0, priority: int = 0,
+                job_id: int = 0) -> Job:
+    workflow = Workflow(name)
+    workflow.add_task(Task(f"{name}_t", flops=cpu_time * 1e9))
+    job = Job(workflow, cores=cores, arrival_time=arrival,
+              estimated_runtime=cpu_time, priority=priority, label=name)
+    job.id = job_id
+    return job
+
+
+def make_node(env, name: str = "n1", cores: int = 4) -> NodeState:
+    return NodeState(Host(env, name, cores=cores), storage=None)
+
+
+def running(node: NodeState, job: Job, started: float) -> Job:
+    job.start_time = started
+    job.last_start_time = started
+    node.allocate(job)
+    return job
+
+
+class TestPolicyOrderAndPlan:
+    def test_orders_by_priority_then_arrival(self):
+        jobs = [
+            compute_job("low", 1.0, arrival=0.0, priority=0, job_id=0),
+            compute_job("high-late", 1.0, arrival=5.0, priority=2, job_id=1),
+            compute_job("high-early", 1.0, arrival=1.0, priority=2, job_id=2),
+        ]
+        ordered = PreemptivePriorityPolicy().order(jobs)
+        assert [job.label for job in ordered] == ["high-early", "high-late", "low"]
+
+    def test_plan_picks_lowest_priority_least_elapsed_victims(self, env):
+        node = make_node(env, cores=4)
+        old_low = running(node, compute_job("old", 50.0, cores=2, job_id=1), started=0.0)
+        new_low = running(node, compute_job("new", 50.0, cores=2, job_id=2), started=8.0)
+        head = compute_job("urgent", 1.0, cores=2, priority=5, job_id=3)
+        plan = PreemptivePriorityPolicy().plan_preemption([head], [node], now=10.0)
+        assert plan is not None
+        assert plan.job is head
+        # One victim suffices; the most recently started loses least work.
+        assert [victim.label for victim in plan.victims] == ["new"]
+        assert old_low in node.running.values()
+
+    def test_plan_accumulates_victims_until_fit(self, env):
+        node = make_node(env, cores=4)
+        running(node, compute_job("a", 50.0, cores=2, job_id=1), started=0.0)
+        running(node, compute_job("b", 50.0, cores=2, job_id=2), started=0.0)
+        head = compute_job("urgent", 1.0, cores=4, priority=1, job_id=3)
+        plan = PreemptivePriorityPolicy().plan_preemption([head], [node], now=1.0)
+        assert plan is not None
+        assert len(plan.victims) == 2
+
+    def test_no_plan_against_equal_or_higher_priority(self, env):
+        node = make_node(env, cores=4)
+        running(node, compute_job("peer", 50.0, cores=4, priority=1, job_id=1), 0.0)
+        head = compute_job("urgent", 1.0, cores=4, priority=1, job_id=2)
+        assert PreemptivePriorityPolicy().plan_preemption([head], [node], 1.0) is None
+
+    def test_no_plan_when_victims_insufficient(self, env):
+        node = make_node(env, cores=4)
+        running(node, compute_job("low", 50.0, cores=1, job_id=1), 0.0)
+        running(node, compute_job("peer", 50.0, cores=3, priority=7, job_id=2), 0.0)
+        head = compute_job("urgent", 1.0, cores=4, priority=5, job_id=3)
+        assert PreemptivePriorityPolicy().plan_preemption([head], [node], 1.0) is None
+
+    def test_plan_respects_pinned_node(self, env):
+        pinned_to = make_node(env, "n1", cores=4)
+        other = make_node(env, "n2", cores=4)
+        running(pinned_to, compute_job("low1", 50.0, cores=4, job_id=1), 0.0)
+        running(other, compute_job("low2", 50.0, cores=4, job_id=2), 0.0)
+        head = compute_job("urgent", 1.0, cores=4, priority=5, job_id=3)
+        head.pinned_node = "n2"
+        plan = PreemptivePriorityPolicy().plan_preemption([head], [pinned_to, other], 1.0)
+        assert plan is not None
+        assert plan.node.name == "n2"
+        assert [victim.label for victim in plan.victims] == ["low2"]
+
+    def test_plan_prefers_fewest_victims_across_nodes(self, env):
+        split = make_node(env, "n1", cores=4)
+        whole = make_node(env, "n2", cores=4)
+        running(split, compute_job("s1", 50.0, cores=2, job_id=1), 0.0)
+        running(split, compute_job("s2", 50.0, cores=2, job_id=2), 0.0)
+        running(whole, compute_job("w", 50.0, cores=4, job_id=3), 0.0)
+        head = compute_job("urgent", 1.0, cores=4, priority=5, job_id=4)
+        plan = PreemptivePriorityPolicy().plan_preemption([head], [split, whole], 1.0)
+        assert plan is not None
+        assert [victim.label for victim in plan.victims] == ["w"]
+
+
+def cluster_simulation(n_nodes: int = 1, cores_per_node: int = 4, *,
+                       placement: str = "round-robin",
+                       cache_mode: str = "writeback",
+                       lost_work_penalty: float = 0.0) -> Simulation:
+    simulation = Simulation(
+        config=SimulationConfig(cache_mode=cache_mode, trace_interval=None)
+    )
+    simulation.create_cluster_platform(
+        n_nodes, cores_per_node=cores_per_node, with_nfs_server=False
+    )
+    simulation.create_cluster_scheduler(
+        policy="preemptive-priority",
+        placement=placement,
+        lost_work_penalty=lost_work_penalty,
+    )
+    return simulation
+
+
+def submit_compute(simulation: Simulation, label: str, cpu_time: float, *,
+                   cores: int, arrival: float, priority: int = 0) -> Job:
+    workflow = Workflow(label)
+    workflow.add_task(Task(f"{label}_t", flops=cpu_time * 1e9))
+    return simulation.submit_job(
+        workflow, cores=cores, arrival_time=arrival,
+        estimated_runtime=cpu_time, priority=priority, label=label,
+    )
+
+
+class TestPreemptiveScheduling:
+    def test_high_priority_preempts_and_victim_resumes(self):
+        simulation = cluster_simulation()
+        submit_compute(simulation, "low", 10.0, cores=4, arrival=0.0)
+        submit_compute(simulation, "high", 1.0, cores=2, arrival=2.0, priority=1)
+        result = simulation.run()
+
+        records = {record.label: record for record in result.scheduler.records}
+        # The high-priority job starts the moment it arrives.
+        assert records["high"].start_time == pytest.approx(2.0)
+        assert records["high"].wait_time == pytest.approx(0.0)
+        # The victim checkpointed 2s of compute, resumed after the urgent
+        # job finished, and redid nothing (no lost-work penalty).
+        low = records["low"]
+        assert low.preemptions == 1
+        assert low.end_time == pytest.approx(11.0)
+        assert low.runtime == pytest.approx(10.0)
+        assert result.scheduler.n_preemptions == 1
+
+    def test_lost_work_penalty_is_redone_on_resume(self):
+        simulation = cluster_simulation(lost_work_penalty=1.5)
+        submit_compute(simulation, "low", 10.0, cores=4, arrival=0.0)
+        submit_compute(simulation, "high", 1.0, cores=2, arrival=2.0, priority=1)
+        result = simulation.run()
+
+        low = next(r for r in result.scheduler.records if r.label == "low")
+        # 2s done, 1.5s lost: 9.5s remain after the resume at t=3.
+        assert low.end_time == pytest.approx(12.5)
+        assert low.runtime == pytest.approx(11.5)
+
+    def test_no_preemption_between_equal_priorities(self):
+        simulation = cluster_simulation()
+        submit_compute(simulation, "first", 5.0, cores=4, arrival=0.0)
+        submit_compute(simulation, "second", 1.0, cores=4, arrival=1.0)
+        result = simulation.run()
+
+        records = {record.label: record for record in result.scheduler.records}
+        assert result.scheduler.n_preemptions == 0
+        assert records["second"].start_time == pytest.approx(5.0)
+
+    def test_victim_resumes_on_its_checkpoint_node(self):
+        simulation = cluster_simulation(n_nodes=2, cores_per_node=2)
+        submit_compute(simulation, "low1", 10.0, cores=2, arrival=0.0)
+        submit_compute(simulation, "low2", 10.0, cores=2, arrival=0.0)
+        submit_compute(simulation, "high", 1.0, cores=2, arrival=2.0, priority=3)
+        result = simulation.run()
+
+        records = {record.label: record for record in result.scheduler.records}
+        victim = next(r for r in records.values() if r.preemptions == 1)
+        scheduler = simulation.scheduler
+        job = next(j for j in scheduler.jobs if j.label == victim.label)
+        # The requeued job was pinned to (and finished on) the node
+        # holding its checkpoint.
+        assert job.pinned_node == victim.node
+
+    def test_preempted_io_job_rolls_back_and_rereads_from_cache(self):
+        simulation = cluster_simulation(cache_mode="writeback")
+        dataset = File("dataset", 200 * MB)
+        simulation.stage_file_replicated(dataset)
+
+        low = Workflow("low")
+        low.add_task(Task.from_cpu_time(
+            "work", 10.0, inputs=[dataset], outputs=[File("low_out", 50 * MB)],
+        ))
+        simulation.submit_job(low, cores=4, arrival_time=0.0,
+                              estimated_runtime=10.0, label="low")
+        submit_compute(simulation, "high", 1.0, cores=2, arrival=2.0, priority=1)
+        result = simulation.run()
+
+        records = {record.label: record for record in result.scheduler.records}
+        assert records["low"].preemptions == 1
+        # Two read attempts were traced: the original and the resume; the
+        # resume is served (almost) entirely by the page cache left warm
+        # through the suspension.
+        reads = [op for op in result.operations_of("read", "low")]
+        assert len(reads) == 2
+        assert reads[1].cache_bytes >= 0.9 * dataset.size
+        assert reads[1].duration < reads[0].duration
+        # The rollback deallocated the interrupted attempt's output: the
+        # node disk holds exactly the dataset and one copy of the output.
+        node = simulation.scheduler.nodes[0]
+        assert node.storage.disk.used == pytest.approx(250 * MB)
+        # All anonymous memory was released (suspension releases the
+        # checkpointed task's footprint; completion releases the rest).
+        assert node.host.memory_manager.anonymous == pytest.approx(0.0)
+
+    def test_preemption_during_write_rolls_back_partial_output(self):
+        simulation = cluster_simulation(cache_mode="writethrough")
+        dataset = File("dataset", 10 * MB)
+        simulation.stage_file_replicated(dataset)
+
+        low = Workflow("low")
+        low.add_task(Task.from_cpu_time(
+            "work", 1.0, inputs=[dataset], outputs=[File("low_out", 1000 * MB)],
+        ))
+        simulation.submit_job(low, cores=4, arrival_time=0.0,
+                              estimated_runtime=4.0, label="low")
+        # Arrives while "low" streams its 1000 MB output to disk.
+        submit_compute(simulation, "high", 1.0, cores=2, arrival=2.0, priority=1)
+        result = simulation.run()
+
+        records = {record.label: record for record in result.scheduler.records}
+        assert records["low"].preemptions == 1
+        node = simulation.scheduler.nodes[0]
+        # No double-allocation: dataset + exactly one output copy.
+        assert node.storage.disk.used == pytest.approx(1010 * MB)
+        # Exactly one completed write operation was traced.
+        assert len(result.operations_of("write", "low")) == 1
+
+    def test_priority_class_metrics_split_classes(self):
+        simulation = cluster_simulation()
+        submit_compute(simulation, "low", 10.0, cores=4, arrival=0.0)
+        submit_compute(simulation, "high", 1.0, cores=2, arrival=2.0, priority=1)
+        result = simulation.run()
+
+        classes = result.scheduler.priority_class_metrics()
+        assert sorted(classes) == [0, 1]
+        assert classes[1].n_jobs == 1
+        assert classes[1].mean_wait_time == pytest.approx(0.0)
+        assert classes[1].mean_bounded_slowdown == pytest.approx(1.0)
+        assert classes[0].preemptions == 1
+        # The victim started immediately (wait 0) but its turnaround now
+        # exceeds its runtime: the preemption cost lands in its slowdown.
+        assert classes[0].mean_bounded_slowdown > 1.0
+
+
+class TestComputeCreditAccuracy:
+    def test_core_queueing_time_earns_no_checkpoint_credit(self, env):
+        """A task interrupted while queued for a busy core executed nothing."""
+        from repro.des.events import Interrupt
+        from repro.simulator.compute_service import ComputeService
+
+        host = Host(env, "n1", cores=1)
+        service = ComputeService(env, host)
+        hog = Task("hog", flops=10e9)
+        queued = Task("queued", flops=10e9)
+        observed = {}
+
+        def run_hog():
+            yield from service.execute(hog)
+
+        def run_queued():
+            try:
+                yield from service.execute(queued)
+            except Interrupt as interrupt:
+                observed["executed"] = interrupt.executed_seconds
+
+        env.process(run_hog())
+        victim = env.process(run_queued())
+
+        def interrupter():
+            yield env.timeout(3.0)
+            victim.interrupt("preempt")
+
+        env.process(interrupter())
+        env.run()
+        # Three wall-clock seconds elapsed, but the core was never granted.
+        assert observed["executed"] == pytest.approx(0.0)
+
+    def test_granted_core_reports_executed_seconds(self, env):
+        from repro.des.events import Interrupt
+        from repro.simulator.compute_service import ComputeService
+
+        host = Host(env, "n1", cores=1)
+        service = ComputeService(env, host)
+        observed = {}
+
+        def run():
+            try:
+                yield from service.execute(Task("t", flops=10e9))
+            except Interrupt as interrupt:
+                observed["executed"] = interrupt.executed_seconds
+
+        victim = env.process(run())
+
+        def interrupter():
+            yield env.timeout(4.0)
+            victim.interrupt("preempt")
+
+        env.process(interrupter())
+        env.run()
+        assert observed["executed"] == pytest.approx(4.0)
+        # The cancelled computation released its core at the interrupt.
+        assert host.cpu.busy_cores == 0

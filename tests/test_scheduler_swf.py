@@ -1,0 +1,201 @@
+"""Unit tests of the SWF trace parser/writer and its scaling knobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scheduler.arrivals import TraceArrivalProcess
+from repro.scheduler.swf import (
+    SWF_FIELDS,
+    SWFRecord,
+    SWFTrace,
+    dump_swf,
+    load_swf,
+    parse_swf,
+    save_swf,
+)
+
+SAMPLE = """\
+; Version: 2.2
+; Computer: test-cluster
+; MaxProcs: 16
+; Note: synthetic fixture
+1 0 -1 100 4 -1 -1 4 120 -1 1 1 1 2 0 1 -1 -1
+2 10 -1 50 8 -1 -1 8 60 -1 1 2 1 3 1 1 -1 -1
+3 30 -1 200 16 -1 -1 16 240 -1 1 1 1 2 2 1 -1 -1
+"""
+
+
+class TestParsing:
+    def test_parses_directives_and_records(self):
+        trace = parse_swf(SAMPLE)
+        assert trace.directives["Version"] == "2.2"
+        assert trace.directives["Computer"] == "test-cluster"
+        assert trace.n_jobs == 3
+        assert trace.max_procs == 16
+        first = trace.records[0]
+        assert first.job_id == 1
+        assert first.run_time == 100.0
+        assert first.requested_procs == 4
+        assert first.queue == 0
+        assert first.think_time == -1.0
+
+    def test_all_18_fields_mapped(self):
+        tokens = [str(i) for i in range(1, 19)]
+        record = SWFRecord.from_tokens(tokens)
+        for index, name in enumerate(SWF_FIELDS, start=1):
+            assert getattr(record, name) == index
+
+    def test_malformed_lines_are_tolerated_and_counted(self):
+        text = SAMPLE + "\n".join(
+            [
+                "garbage line",                      # non-numeric
+                "1 2 3",                             # too few fields
+                "1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19",  # too many
+                "1 0 -1 1.5x 4 -1 -1 4 1 -1 1 1 1 1 0 1 -1 -1",      # bad number
+                "1 0 -1 100 4.5 -1 -1 4 1 -1 1 1 1 1 0 1 -1 -1",     # frac procs
+            ]
+        )
+        trace = parse_swf(text)
+        assert trace.n_jobs == 3
+        assert len(trace.skipped) == 5
+        # Line numbers and reasons are reported for diagnostics.
+        assert all(isinstance(line, int) and reason for line, reason in trace.skipped)
+
+    def test_plain_comments_and_blank_lines_ignored(self):
+        trace = parse_swf("; just a comment without colon-value\n\n" + SAMPLE)
+        assert trace.n_jobs == 3
+
+    def test_max_procs_falls_back_to_records(self):
+        trace = parse_swf(
+            "1 0 -1 10 4 -1 -1 4 20 -1 1 1 1 1 0 1 -1 -1\n"
+            "2 5 -1 10 6 -1 -1 6 20 -1 1 1 1 1 0 1 -1 -1\n"
+        )
+        assert trace.max_procs == 6
+
+
+class TestRoundTrip:
+    def test_parse_write_parse_is_identity(self):
+        trace = parse_swf(SAMPLE)
+        again = parse_swf(dump_swf(trace))
+        assert again.directives == trace.directives
+        assert again.records == trace.records
+        assert again.skipped == []
+
+    def test_fractional_times_survive_round_trip(self):
+        record = SWFRecord(
+            job_id=7, submit_time=1.25, run_time=3.5, used_procs=2,
+            requested_procs=2, requested_time=4.75, status=1,
+        )
+        trace = SWFTrace(directives={"Version": "2.2"}, records=[record])
+        again = parse_swf(dump_swf(trace))
+        assert again.records == [record]
+
+    def test_repeated_directives_survive_round_trip(self):
+        text = (
+            "; Queues: 2\n"
+            "; Queue: 0 batch\n"
+            "; Queue: 1 interactive\n"
+            "1 0 -1 10 2 -1 -1 2 20 -1 1 1 1 1 0 1 -1 -1\n"
+        )
+        trace = parse_swf(text)
+        # The lookup dict keeps the first value; the full header keeps all.
+        assert trace.directives["Queue"] == "0 batch"
+        assert trace.header == [
+            ("Queues", "2"), ("Queue", "0 batch"), ("Queue", "1 interactive"),
+        ]
+        dumped = dump_swf(trace)
+        assert "; Queue: 0 batch" in dumped
+        assert "; Queue: 1 interactive" in dumped
+        assert parse_swf(dumped).header == trace.header
+        # Writing is idempotent once parsed.
+        assert dump_swf(parse_swf(dumped)) == dumped
+
+    def test_save_and_load(self, tmp_path):
+        trace = parse_swf(SAMPLE)
+        path = tmp_path / "trace.swf"
+        save_swf(trace, path)
+        loaded = load_swf(path)
+        assert loaded.records == trace.records
+        assert loaded.directives == trace.directives
+
+    def test_bundled_sample_trace_round_trips(self):
+        from repro.experiments.exp7_trace_replay import default_trace_path
+
+        trace = load_swf(default_trace_path())
+        assert trace.n_jobs >= 50
+        assert trace.skipped == []
+        again = parse_swf(dump_swf(trace))
+        assert again.records == trace.records
+        assert again.directives == trace.directives
+        # The sample uses one Queue directive per queue; all survive.
+        assert again.header == trace.header
+        assert sum(1 for key, _ in trace.header if key == "Queue") == 3
+
+
+class TestScaling:
+    def test_specs_rebase_arrivals_and_keep_order(self):
+        trace = parse_swf(SAMPLE)
+        specs = trace.job_specs()
+        assert [spec.arrival_time for spec in specs] == [0.0, 10.0, 30.0]
+        assert [spec.job_id for spec in specs] == [1, 2, 3]
+
+    def test_load_factor_compresses_interarrivals(self):
+        trace = parse_swf(SAMPLE)
+        specs = trace.job_specs(load_factor=2.0)
+        assert [spec.arrival_time for spec in specs] == [0.0, 5.0, 15.0]
+
+    def test_runtime_scale_applies_to_runtime_and_estimate(self):
+        trace = parse_swf(SAMPLE)
+        spec = trace.job_specs(runtime_scale=0.1)[0]
+        assert spec.runtime == pytest.approx(10.0)
+        assert spec.estimated_runtime == pytest.approx(12.0)
+
+    def test_core_rescaling_fits_largest_node(self):
+        trace = parse_swf(SAMPLE)
+        specs = trace.job_specs(max_cores=4)
+        # 4/16 -> 1, 8/16 -> 2, 16/16 -> 4.
+        assert [spec.cores for spec in specs] == [1, 2, 4]
+        assert max(spec.cores for spec in specs) == 4
+
+    def test_core_rescaling_keeps_at_least_one_core(self):
+        trace = parse_swf(SAMPLE)
+        specs = trace.job_specs(max_cores=2)
+        assert all(spec.cores >= 1 for spec in specs)
+        assert max(spec.cores for spec in specs) == 2
+
+    def test_max_jobs_truncates_in_submit_order(self):
+        trace = parse_swf(SAMPLE)
+        specs = trace.job_specs(max_jobs=2)
+        assert [spec.job_id for spec in specs] == [1, 2]
+
+    def test_priority_defaults_to_queue_number(self):
+        trace = parse_swf(SAMPLE)
+        assert [spec.priority for spec in trace.job_specs()] == [0, 1, 2]
+
+    def test_priority_of_override(self):
+        trace = parse_swf(SAMPLE)
+        specs = trace.job_specs(priority_of=lambda record: record.user_id)
+        assert [spec.priority for spec in specs] == [1, 2, 1]
+
+    def test_zero_runtime_jobs_filtered(self):
+        text = SAMPLE + "9 40 -1 0 4 -1 -1 4 1 -1 0 1 1 1 0 1 -1 -1\n"
+        trace = parse_swf(text)
+        assert trace.n_jobs == 4
+        assert len(trace.job_specs()) == 3
+
+    def test_invalid_knobs_rejected(self):
+        trace = parse_swf(SAMPLE)
+        with pytest.raises(ConfigurationError):
+            trace.job_specs(load_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            trace.job_specs(runtime_scale=-1.0)
+        with pytest.raises(ConfigurationError):
+            trace.job_specs(max_cores=0)
+
+    def test_feeds_trace_arrival_process(self):
+        trace = parse_swf(SAMPLE)
+        arrivals = trace.arrival_process(load_factor=2.0)
+        assert isinstance(arrivals, TraceArrivalProcess)
+        assert arrivals.generate(3) == [0.0, 5.0, 15.0]

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.des import Environment
 from repro.errors import ConfigurationError
 from repro.filesystem import File, NFSConfig
 from repro.pagecache.config import PageCacheConfig
@@ -12,7 +11,7 @@ from repro.platform.network import Network
 from repro.platform.storage import Disk
 from repro.simulator.cacheless import SimpleStorageService
 from repro.simulator.storage_service import NFSStorageService, PageCachedStorageService
-from repro.units import GB, GiB, MB, MBps
+from repro.units import GB, MBps
 
 
 def make_host(env, name, with_memory=True):
