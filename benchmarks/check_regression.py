@@ -84,17 +84,21 @@ def update_baseline(results: dict, baseline_path: Path) -> int:
     return 0
 
 
-def check(results: dict, baseline_path: Path, max_slowdown: float) -> int:
+def check(results: dict, baseline_path: Path, max_slowdown: float,
+          report_path: Path = None) -> int:
     baseline = json.loads(baseline_path.read_text())["normalized_medians"]
     normalized = normalized_medians(results)
 
     failures = []
     added = []
+    comparison = {}
     for name, value in sorted(normalized.items()):
         reference = baseline.get(name)
         if reference is None:
             print(f"NEW      {name}: {value:.3f} (no baseline; add with --update)")
             added.append(name)
+            comparison[name] = {"status": "new", "current": value,
+                                "baseline": None, "ratio": None}
             continue
         ratio = (value + NOISE_FLOOR) / (reference + NOISE_FLOOR)
         status = "OK" if ratio <= max_slowdown else "REGRESSED"
@@ -102,6 +106,8 @@ def check(results: dict, baseline_path: Path, max_slowdown: float) -> int:
             f"{status:<8} {name}: {value:.3f} vs baseline {reference:.3f} "
             f"({ratio:.2f}x)"
         )
+        comparison[name] = {"status": status.lower(), "current": value,
+                            "baseline": reference, "ratio": ratio}
         if ratio > max_slowdown:
             failures.append((name, ratio))
     # A benchmark that vanished from the results loses its regression
@@ -109,6 +115,24 @@ def check(results: dict, baseline_path: Path, max_slowdown: float) -> int:
     removed = sorted(set(baseline) - set(normalized))
     for name in removed:
         print(f"MISSING  {name}: in the baseline but not in the results")
+        comparison[name] = {"status": "missing", "current": None,
+                            "baseline": baseline[name], "ratio": None}
+
+    if report_path is not None:
+        report_path.write_text(
+            json.dumps(
+                {
+                    "reference": REFERENCE_NAME,
+                    "max_slowdown": max_slowdown,
+                    "noise_floor": NOISE_FLOOR,
+                    "n_regressed": len(failures),
+                    "comparison": comparison,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"comparison report written to {report_path}")
 
     if failures or removed or added:
         if failures:
@@ -151,6 +175,9 @@ def main(argv=None) -> int:
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the results instead "
                              "of checking against it")
+    parser.add_argument("--report", type=Path, default=None,
+                        help="write the before/after comparison as JSON "
+                             "(uploaded as a CI artifact)")
     args = parser.parse_args(argv)
 
     results = json.loads(args.results.read_text())
@@ -160,7 +187,8 @@ def main(argv=None) -> int:
         raise SystemExit(
             f"baseline {args.baseline} not found; create it with --update"
         )
-    return check(results, args.baseline, args.max_slowdown)
+    return check(results, args.baseline, args.max_slowdown,
+                 report_path=args.report)
 
 
 if __name__ == "__main__":

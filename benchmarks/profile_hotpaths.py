@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Profile the simulator's hot paths so perf work starts from data.
+
+Runs a chosen experiment workload under :mod:`cProfile` and prints the
+top functions by cumulative and by self time — the two views that matter
+when deciding what to optimise next (where the time *flows* vs where it
+is *spent*).  Profiles can also be dumped to a file for ``snakeviz`` /
+``pstats`` exploration.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src:benchmarks python benchmarks/profile_hotpaths.py exp5
+    PYTHONPATH=src:benchmarks python benchmarks/profile_hotpaths.py exp7 --top 30
+    PYTHONPATH=src:benchmarks python benchmarks/profile_hotpaths.py exp1 \
+        --dump /tmp/exp1.prof
+
+Workloads:
+
+* ``exp1`` — single-application read/write sequence (Figure 4);
+* ``exp5`` — the Exp 5 hot-path sweep (WRENCH-cache scaling curves);
+* ``exp5-fine`` — the fine-chunk Exp 5 point (10x the cache blocks);
+* ``exp7`` — the paper-scale SWF replay (400 jobs / 32 nodes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+# Allow running as a script from the repo root: the workload definitions
+# live next to this file in benchmarks/.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+def _exp1():
+    from repro.experiments.exp1_single import run_exp1
+    from repro.units import GB
+
+    return lambda: run_exp1("wrench-cache", 5 * GB)
+
+
+def _exp5():
+    from test_bench_hotpath import run_exp5_paper
+
+    return run_exp5_paper
+
+
+def _exp5_fine():
+    from test_bench_hotpath import run_exp5_fine_chunks
+
+    return run_exp5_fine_chunks
+
+
+def _exp7():
+    from test_bench_hotpath import run_exp7_paper
+
+    return run_exp7_paper
+
+
+WORKLOADS = {
+    "exp1": _exp1,
+    "exp5": _exp5,
+    "exp5-fine": _exp5_fine,
+    "exp7": _exp7,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.strip().splitlines()[0]
+    )
+    parser.add_argument("workload", choices=sorted(WORKLOADS),
+                        help="experiment workload to profile")
+    parser.add_argument("--top", type=int, default=20,
+                        help="number of functions to print (default: %(default)s)")
+    parser.add_argument("--dump", type=Path, default=None,
+                        help="also write the raw profile to this file")
+    args = parser.parse_args(argv)
+
+    run = WORKLOADS[args.workload]()
+    profile = cProfile.Profile()
+    profile.enable()
+    run()
+    profile.disable()
+
+    if args.dump is not None:
+        profile.dump_stats(args.dump)
+        print(f"profile written to {args.dump}\n")
+
+    for order, title in (("cumulative", "by cumulative time (where time flows)"),
+                         ("tottime", "by self time (where time is spent)")):
+        print(f"==== top {args.top} {title} ====")
+        stats = pstats.Stats(profile)
+        stats.sort_stats(order).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

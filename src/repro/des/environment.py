@@ -88,11 +88,24 @@ class Environment:
             self._queue, (self._now + delay, priority, next(self._eid), event)
         )
 
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event without rescanning the queue (O(1)).
+
+        The event is tombstoned: it stays in the heap but is skipped (its
+        callbacks never run) when popped.  Cancelling an already processed
+        event is a no-op.
+        """
+        event._defunct = True
+
     def peek(self) -> float:
         """Return the time of the next scheduled event, or ``inf``."""
-        if not self._queue:
+        queue = self._queue
+        # Lazily reap tombstoned (cancelled) entries from the front.
+        while queue and queue[0][3]._defunct:
+            heapq.heappop(queue)
+        if not queue:
             return float("inf")
-        return self._queue[0][0]
+        return queue[0][0]
 
     def step(self) -> None:
         """Process the next event.
@@ -102,10 +115,15 @@ class Environment:
         EmptySchedule
             If no events remain in the queue.
         """
+        pop = heapq.heappop
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            while True:
+                now, _, _, event = pop(self._queue)
+                if not event._defunct:
+                    break
         except IndexError:
             raise EmptySchedule() from None
+        self._now = now
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -149,21 +167,36 @@ class Environment:
                 raise until.value
             until.callbacks.append(_stop_simulation)
 
+        # Fast path: the body of step() inlined with the queue and heappop
+        # bound locally.  The event loop is the single hottest function of
+        # any simulation; avoiding the method call, attribute lookups and
+        # per-event exception frames is worth the duplication with step().
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while True:
-                self.step()
+            while queue:
+                now, _, _, event = pop(queue)
+                if event._defunct:
+                    continue
+                self._now = now
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event.defused:
+                    # Nobody handled the failure: surface it to the caller.
+                    raise event._value
         except _StopSimulation as stop:
             event = stop.args[0]
             if event._ok:
                 return event._value
             event.defused = True
             raise event._value
-        except EmptySchedule:
-            if isinstance(until, Event) and until._value is PENDING:
-                raise RuntimeError(
-                    "simulation ended before the awaited event was triggered"
-                ) from None
-            return None
+        # The queue drained (EmptySchedule in step() terms).
+        if isinstance(until, Event) and until._value is PENDING:
+            raise RuntimeError(
+                "simulation ended before the awaited event was triggered"
+            )
+        return None
 
 
 def _stop_simulation(event: Event) -> None:

@@ -63,11 +63,17 @@ class StopProcess(Exception):
 class Event:
     """A single simulation event.
 
+    Events carry ``__slots__``: a simulation allocates millions of them,
+    and slotted instances are both smaller and faster to create than
+    dict-backed ones.  Subclasses must declare their own ``__slots__``.
+
     Parameters
     ----------
     env:
         The environment the event belongs to.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused", "_defunct")
 
     def __init__(self, env: "Environment"):  # noqa: F821 - forward reference
         self.env = env
@@ -77,6 +83,10 @@ class Event:
         self._ok: Optional[bool] = None
         #: Set when a failed event's exception has been handled somewhere.
         self.defused = False
+        #: Tombstone flag: a cancelled scheduled event stays in the queue
+        #: but is skipped (without running callbacks) when popped, so
+        #: cancellation never rescans the heap.
+        self._defunct = False
 
     # ------------------------------------------------------------------ state
     @property
@@ -160,6 +170,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed simulated delay."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):  # noqa: F821
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -174,12 +186,22 @@ class Timeout(Event):
         """The configured delay in simulated seconds."""
         return self._delay
 
+    def cancel(self) -> None:
+        """Withdraw the timeout before it fires (tombstone, O(1)).
+
+        A cancelled timeout is skipped by the event loop: its callbacks
+        never run.  Cancelling after processing is a no-op.
+        """
+        self._defunct = True
+
     def __repr__(self) -> str:
         return f"<Timeout(delay={self._delay}) at {id(self):#x}>"
 
 
 class Initialize(Event):
     """Event that starts a freshly created process at the current time."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):  # noqa: F821
         super().__init__(env)
@@ -195,6 +217,8 @@ class ConditionValue:
     Behaves like a read-only dict keyed by event, preserving the order in
     which events were given to the condition.
     """
+
+    __slots__ = ("events",)
 
     def __init__(self) -> None:
         self.events: List[Event] = []
@@ -238,6 +262,8 @@ class Condition(Event):
     Used through the ``&`` / ``|`` operators on events or the
     :class:`AllOf` / :class:`AnyOf` helpers.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(self, env, evaluate, events):
         super().__init__(env)
@@ -292,12 +318,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition that triggers once *all* given events have triggered."""
 
+    __slots__ = ()
+
     def __init__(self, env, events):
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Condition that triggers once *any* of the given events triggers."""
+
+    __slots__ = ()
 
     def __init__(self, env, events):
         super().__init__(env, Condition.any_event, events)

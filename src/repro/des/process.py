@@ -27,6 +27,8 @@ class Process(Event):
         Optional human-readable name used in ``repr`` and error messages.
     """
 
+    __slots__ = ("_generator", "name", "_target", "data")
+
     def __init__(self, env, generator: Generator, name: Optional[str] = None):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
@@ -35,6 +37,9 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", type(generator).__name__)
         #: The event this process is currently waiting on (None if resumable).
         self._target: Optional[Event] = None
+        #: Arbitrary caller payload (processes are slotted, so ad-hoc
+        #: attributes are not available; attach metadata here instead).
+        self.data: Any = None
         Initialize(env, self)
 
     @property
@@ -60,7 +65,6 @@ class Process(Event):
         interruption = Event(self.env)
         interruption._ok = True
         interruption._value = Interrupt(cause)
-        interruption._interrupt_target = self
         interruption.callbacks = [self._resume_interrupt]
         self.env.schedule(interruption, priority=URGENT)
 

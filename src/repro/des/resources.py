@@ -15,8 +15,10 @@ Provides the classic SimPy-style primitives used throughout the simulator:
 
 from __future__ import annotations
 
+import heapq
+from collections import deque
 from itertools import count
-from typing import Any, List, Optional
+from typing import Any, Deque, List, Optional
 
 from repro.des.events import Event
 
@@ -28,11 +30,16 @@ class Request(Event):
     managers: leaving the ``with`` block releases the unit.
     """
 
+    __slots__ = ("resource", "priority", "_released", "_withdrawn")
+
     def __init__(self, resource: "Resource", priority: int = 0):
         super().__init__(resource.env)
         self.resource = resource
         self.priority = priority
         self._released = False
+        #: Tombstone flag: a cancelled queued request stays in the queue
+        #: structure and is skipped at grant time (no rescans).
+        self._withdrawn = False
         resource._add_request(self)
 
     def release(self) -> None:
@@ -42,7 +49,7 @@ class Request(Event):
             self.resource._do_release(self)
 
     def cancel(self) -> None:
-        """Withdraw a request that has not been granted yet."""
+        """Withdraw a request that has not been granted yet (O(1))."""
         self.resource._cancel(self)
 
     def __enter__(self) -> "Request":
@@ -55,6 +62,8 @@ class Request(Event):
 class Release(Event):
     """Immediately-triggered event confirming a release (for symmetry)."""
 
+    __slots__ = ()
+
     def __init__(self, resource: "Resource", request: Request):
         super().__init__(resource.env)
         request.release()
@@ -62,7 +71,13 @@ class Release(Event):
 
 
 class Resource:
-    """Counted resource with ``capacity`` units and FIFO queuing."""
+    """Counted resource with ``capacity`` units and FIFO queuing.
+
+    Queued requests live in a deque; cancellations and queued releases
+    tombstone the request (``_withdrawn``) instead of rescanning the
+    queue, and the grant loop skips tombstones as it pops — every queue
+    operation is O(1) amortised.
+    """
 
     def __init__(self, env, capacity: int = 1, name: Optional[str] = None):
         if capacity <= 0:
@@ -71,7 +86,7 @@ class Resource:
         self.capacity = capacity
         self.name = name or type(self).__name__
         self.users: List[Request] = []
-        self.queue: List[Request] = []
+        self._pending: Deque[Request] = deque()
         self._tie = count()
 
     # ------------------------------------------------------------------ api
@@ -85,6 +100,11 @@ class Resource:
         """Number of free units."""
         return self.capacity - len(self.users)
 
+    @property
+    def queue(self) -> List[Request]:
+        """The waiting (non-withdrawn) requests, in grant order (snapshot)."""
+        return [r for r in self._pending if not r._withdrawn]
+
     def request(self, priority: int = 0) -> Request:
         """Request one unit; returns an event that triggers when granted."""
         return Request(self, priority=priority)
@@ -95,17 +115,26 @@ class Resource:
 
     # ------------------------------------------------------------- internals
     def _add_request(self, request: Request) -> None:
-        self.queue.append(request)
+        self._enqueue(request)
         self._grant()
 
-    def _queue_order(self) -> List[Request]:
-        return self.queue
+    def _enqueue(self, request: Request) -> None:
+        self._pending.append(request)
+
+    def _pop_next(self) -> Optional[Request]:
+        """Pop the next live queued request, reaping tombstones."""
+        pending = self._pending
+        while pending:
+            request = pending.popleft()
+            if not request._withdrawn:
+                return request
+        return None
 
     def _grant(self) -> None:
-        while self.queue and len(self.users) < self.capacity:
-            ordered = self._queue_order()
-            request = ordered[0]
-            self.queue.remove(request)
+        while len(self.users) < self.capacity:
+            request = self._pop_next()
+            if request is None:
+                return
             self.users.append(request)
             # The request succeeds with itself as value so that processes can
             # write ``with (yield resource.request()): ...``.
@@ -114,13 +143,13 @@ class Resource:
     def _do_release(self, request: Request) -> None:
         if request in self.users:
             self.users.remove(request)
-        elif request in self.queue:
-            self.queue.remove(request)
+        else:
+            request._withdrawn = True
         self._grant()
 
     def _cancel(self, request: Request) -> None:
-        if request in self.queue:
-            self.queue.remove(request)
+        if request not in self.users:
+            request._withdrawn = True
 
     def __repr__(self) -> str:
         return (
@@ -130,14 +159,44 @@ class Resource:
 
 
 class PriorityResource(Resource):
-    """Resource whose queue is served in increasing ``priority`` order."""
+    """Resource whose queue is served in increasing ``priority`` order.
 
-    def _queue_order(self) -> List[Request]:
-        return sorted(self.queue, key=lambda r: r.priority)
+    Backed by a heap keyed by ``(priority, arrival)`` — the old
+    implementation re-sorted the whole queue at every grant.  Ties keep
+    FIFO order, exactly as the stable sort did.
+    """
+
+    def __init__(self, env, capacity: int = 1, name: Optional[str] = None):
+        super().__init__(env, capacity, name)
+        self._pending: List = []
+
+    @property
+    def queue(self) -> List[Request]:
+        """The waiting (non-withdrawn) requests, in grant order (snapshot)."""
+        return [
+            entry[2]
+            for entry in sorted(self._pending)
+            if not entry[2]._withdrawn
+        ]
+
+    def _enqueue(self, request: Request) -> None:
+        heapq.heappush(
+            self._pending, (request.priority, next(self._tie), request)
+        )
+
+    def _pop_next(self) -> Optional[Request]:
+        pending = self._pending
+        while pending:
+            request = heapq.heappop(pending)[2]
+            if not request._withdrawn:
+                return request
+        return None
 
 
 class ContainerPut(Event):
     """Pending deposit of ``amount`` into a :class:`Container`."""
+
+    __slots__ = ("amount",)
 
     def __init__(self, container: "Container", amount: float):
         if amount <= 0:
@@ -150,6 +209,8 @@ class ContainerPut(Event):
 
 class ContainerGet(Event):
     """Pending withdrawal of ``amount`` from a :class:`Container`."""
+
+    __slots__ = ("amount",)
 
     def __init__(self, container: "Container", amount: float):
         if amount <= 0:
@@ -177,8 +238,8 @@ class Container:
         self.capacity = capacity
         self.name = name or type(self).__name__
         self._level = float(init)
-        self._put_queue: List[ContainerPut] = []
-        self._get_queue: List[ContainerGet] = []
+        self._put_queue: Deque[ContainerPut] = deque()
+        self._get_queue: Deque[ContainerGet] = deque()
 
     @property
     def level(self) -> float:
@@ -201,14 +262,14 @@ class Container:
                 put = self._put_queue[0]
                 if self._level + put.amount <= self.capacity + 1e-9:
                     self._level += put.amount
-                    self._put_queue.pop(0)
+                    self._put_queue.popleft()
                     put.succeed()
                     progressed = True
             if self._get_queue:
                 get = self._get_queue[0]
                 if self._level + 1e-9 >= get.amount:
                     self._level -= get.amount
-                    self._get_queue.pop(0)
+                    self._get_queue.popleft()
                     get.succeed(get.amount)
                     progressed = True
 
@@ -219,6 +280,8 @@ class Container:
 class StorePut(Event):
     """Pending deposit of an item into a :class:`Store`."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
         self.item = item
@@ -228,6 +291,8 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """Pending retrieval of an item from a :class:`Store`."""
+
+    __slots__ = ()
 
     def __init__(self, store: "Store"):
         super().__init__(store.env)
@@ -244,9 +309,9 @@ class Store:
         self.env = env
         self.capacity = capacity
         self.name = name or type(self).__name__
-        self.items: List[Any] = []
-        self._put_queue: List[StorePut] = []
-        self._get_queue: List[StoreGet] = []
+        self.items: Deque[Any] = deque()
+        self._put_queue: Deque[StorePut] = deque()
+        self._get_queue: Deque[StoreGet] = deque()
 
     def put(self, item: Any) -> StorePut:
         """Append ``item``; returns an event triggered once stored."""
@@ -264,13 +329,13 @@ class Store:
         while progressed:
             progressed = False
             if self._put_queue and len(self.items) < self.capacity:
-                put = self._put_queue.pop(0)
+                put = self._put_queue.popleft()
                 self.items.append(put.item)
                 put.succeed()
                 progressed = True
             if self._get_queue and self.items:
-                get = self._get_queue.pop(0)
-                get.succeed(self.items.pop(0))
+                get = self._get_queue.popleft()
+                get.succeed(self.items.popleft())
                 progressed = True
 
     def __repr__(self) -> str:

@@ -38,7 +38,7 @@ class Block:
     """
 
     __slots__ = ("id", "filename", "size", "entry_time", "last_access", "dirty",
-                 "storage")
+                 "storage", "_prev", "_next", "_list", "_stamp")
 
     def __init__(self, filename: str, size: float, entry_time: float,
                  last_access: Optional[float] = None, dirty: bool = False,
@@ -52,6 +52,14 @@ class Block:
         self.last_access = float(entry_time if last_access is None else last_access)
         self.dirty = bool(dirty)
         self.storage = storage
+        # Intrusive LRU-list links, owned by repro.pagecache.lru.LRUList: the
+        # neighbouring blocks in list order, the list holding the block (None
+        # while uncached) and the per-list insertion stamp that breaks
+        # last-access ties.  A block belongs to at most one list at a time.
+        self._prev: Optional["Block"] = None
+        self._next: Optional["Block"] = None
+        self._list: Any = None
+        self._stamp = 0
 
     # ------------------------------------------------------------------- api
     def touch(self, now: float) -> None:

@@ -64,6 +64,15 @@ class PageCacheConfig:
         (the kernel keeps the active list at most twice the inactive list).
     balance_lists:
         Whether to enforce ``active_to_inactive_ratio`` after cache updates.
+    coalesce_extents:
+        Whether adjacent indistinguishable clean blocks of one file merge
+        into a single extent node (see :mod:`repro.pagecache.lru`).
+        Coalescing is byte-level lossless but not float-exact (consuming
+        one merged extent performs different float arithmetic than
+        consuming its parts), so replays are only reproducible ulp-for-ulp
+        with the same setting; it defaults to off and is worth enabling on
+        fragmentation-heavy workloads where block counts, not replay
+        stability, dominate.
     """
 
     dirty_ratio: float = 0.20
@@ -77,6 +86,7 @@ class PageCacheConfig:
     periodic_flushing: bool = True
     active_to_inactive_ratio: float = 2.0
     balance_lists: bool = True
+    coalesce_extents: bool = False
 
     def __post_init__(self) -> None:
         self.validate()

@@ -25,10 +25,8 @@ from repro.des.environment import Environment
 from repro.errors import ConfigurationError
 from repro.pagecache.config import PageCacheConfig
 from repro.pagecache.memory_manager import MemoryManager
+from repro.pagecache.tolerances import BYTE_EPSILON as _EPSILON
 from repro.platform.storage import StorageDevice
-
-#: Accounting tolerance in bytes.
-_EPSILON = 1e-6
 
 
 @dataclass

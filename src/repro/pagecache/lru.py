@@ -6,45 +6,237 @@ to the *active* list; the active list is kept at most twice the size of the
 inactive list by demoting its least recently used entries.  Only clean data
 on the inactive list is eligible for eviction.
 
-:class:`LRUList` is a single list of :class:`~repro.pagecache.block.Block`
-objects ordered by last access time (oldest first);
+:class:`LRUList` keeps :class:`~repro.pagecache.block.Block` objects ordered
+by last access time (oldest first) on an **intrusive doubly-linked list**:
+membership tests, removals, appends and LRU pops are O(1), and per-file /
+per-state (clean vs dirty) index sets make the queries the hot I/O paths
+issue — "the blocks of *this file*", "the dirty blocks", "the evictable
+clean blocks" — proportional to the size of their answer instead of the
+size of the cache.  The pre-PR-3 implementation stored blocks in a plain
+Python list, making every one of those operations O(n) in the number of
+cached blocks and the simulation quadratic in cache churn.
+
+Ordering invariant.  The list is always sorted by ``last_access``
+(non-decreasing); ties are broken by insertion order into the list, which
+the implementation materialises as a per-list monotone *stamp* assigned at
+every insertion.  The total order is therefore ``(last_access, stamp)``,
+and the index sets can recover exact list order by sorting on that key —
+this is what guarantees the rewrite is observationally identical to the
+old list walk (the parity suite in ``tests/test_pagecache_parity.py``
+replays golden traces recorded from the old implementation).
+
+Extent coalescing (opt-in).  Workflow I/O shreds files into many blocks
+(one per chunk, plus flush/eviction splits).  With ``coalesce=True``,
+adjacent blocks of the same file merge back into a single *extent* node
+when doing so is *byte-level* unobservable: both clean (dirty blocks keep
+their identity so the background flusher writes them back individually),
+same backing storage, and equal ``last_access`` (equal position keys —
+merging cannot reorder them relative to any other block, present or
+future).  The merged extent keeps the earlier block's position and stamp
+and the minimum ``entry_time`` (matching how cache hits merge clean
+data).  Flush splits, eviction splits and same-tick insertions re-merge
+this way, bounding the fragmentation those paths create.
+
+Coalescing defaults to **off** because it is byte-equivalent but not
+*float-exact*: consuming one merged extent of ``a + b`` bytes performs
+different float arithmetic than consuming ``a`` then ``b`` (addition is
+not associative), and the resulting last-ulp differences in transfer
+sizes can — on chaotic, heavily tied workloads such as paper-scale trace
+replays — flip a discrete scheduling decision and visibly shift
+makespans.  The parity suite replays golden traces with coalescing both
+off (bit-identical) and on (byte-equivalent); enable it via
+``PageCacheConfig(coalesce_extents=True)`` when replay stability matters
+less than memory/speed on fragmentation-heavy workloads.
+
 :class:`PageCacheLists` pairs an inactive and an active list and implements
 promotion, demotion and balancing.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional
+from heapq import heapify, heappop, heappush
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import CacheConsistencyError
 from repro.pagecache.block import Block
+from repro.pagecache.tolerances import (
+    BYTE_EPSILON,
+    DRIFT_TOLERANCE,
+    NEGATIVE_TOLERANCE,
+)
 
-#: Accounting tolerance in bytes.
-_EPSILON = 1e-6
 
-#: Tolerance of the negative-accounting guard.  Sizes are bytes, so totals
-#: reach 1e9-1e12; one float64 ulp at that magnitude is ~1e-6-1e-4 bytes
-#: and add/remove cycles accumulate a few of them.  1e-3 bytes matches the
-#: drift tolerance of :meth:`LRUList.assert_consistent` while still being
-#: vastly below any real block size.
-_NEGATIVE_TOLERANCE = 1e-3
+def _order_key(block: Block):
+    """Exact list-position key of a block within its list."""
+    return (block.last_access, block._stamp)
+
+
+class _OrderedIndex:
+    """A set of blocks that can recover exact list order lazily.
+
+    Backed by an insertion-ordered dict.  Appends of the newest block keep
+    the dict in list order for free; only a genuinely out-of-order insert
+    (a demotion or split re-insert landing before an indexed block) marks
+    the index stale, and the next ordered query re-sorts once.  In steady
+    state ordered queries are therefore O(k) in the answer size, with no
+    per-query sorting.
+    """
+
+    __slots__ = ("entries", "stale")
+
+    def __init__(self):
+        self.entries: Dict[Block, None] = {}
+        self.stale = False
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, block: object) -> bool:
+        return block in self.entries
+
+    def add_newest(self, block: Block) -> None:
+        """Index a block known to follow every member in list order."""
+        self.entries[block] = None
+
+    def add(self, block: Block) -> None:
+        """Index a block at an arbitrary list position."""
+        entries = self.entries
+        if entries and not self.stale:
+            last = next(reversed(entries))
+            if (block.last_access, block._stamp) < (last.last_access,
+                                                    last._stamp):
+                self.stale = True
+        entries[block] = None
+
+    def discard(self, block: Block) -> None:
+        self.entries.pop(block, None)
+
+    def ordered(self) -> List[Block]:
+        """The indexed blocks in exact list order (snapshot)."""
+        if self.stale:
+            self.entries = dict.fromkeys(sorted(self.entries, key=_order_key))
+            self.stale = False
+        return list(self.entries)
+
+
+class _StateHeap:
+    """Lazy-deletion priority queue over one state (dirty or clean).
+
+    Entries are ``(last_access, stamp, block)`` — the exact list-position
+    key — pushed at insertion/state-change time.  An entry is *live* while
+    the block is still in the owning list, still carries the entry's stamp
+    (re-insertion assigns a fresh stamp) and still has the heap's state;
+    everything else is a tombstone, skipped on pop and swept out when
+    tombstones outnumber live entries.  This gives the flush/eviction
+    paths the next dirty/clean block in exact LRU order in O(log n)
+    without scanning the cache or re-sorting an index.
+
+    ``live`` counts the blocks currently in this state (maintained by the
+    owning list at membership changes, not by heap operations).
+    """
+
+    __slots__ = ("owner", "dirty", "heap", "live")
+
+    def __init__(self, owner: "LRUList", dirty: bool):
+        self.owner = owner
+        self.dirty = dirty
+        self.heap: List[Tuple[float, int, Block]] = []
+        self.live = 0
+
+    def _is_live(self, entry: Tuple[float, int, Block]) -> bool:
+        block = entry[2]
+        return (block._list is self.owner and block._stamp == entry[1]
+                and block.dirty is self.dirty)
+
+    def push(self, block: Block) -> None:
+        heappush(self.heap, (block.last_access, block._stamp, block))
+        # Sweep tombstones once they dominate; keeps the heap O(live).
+        if len(self.heap) > 2 * self.live + 64:
+            self.heap = [e for e in self.heap if self._is_live(e)]
+            heapify(self.heap)
+
+    def pop_live(self) -> Optional[Tuple[float, int, Block]]:
+        """Pop and return the least recently used live entry, if any."""
+        heap = self.heap
+        while heap:
+            entry = heappop(heap)
+            if self._is_live(entry):
+                return entry
+        return None
+
+    def ordered_live(self) -> List[Block]:
+        """Live blocks in exact list order (snapshot; O(n log n))."""
+        return [e[2] for e in sorted(self.heap) if self._is_live(e)]
+
+
+class _StateCursor:
+    """Consuming LRU-order cursor over a :class:`_StateHeap`.
+
+    ``next()`` pops the next live block that is not excluded; excluded
+    blocks are held aside and pushed back on ``close()`` (their entries
+    are unchanged, so they stay valid).  The caller must *consume* every
+    returned block — remove it from the list or flip its state — before
+    asking for the next one; that is what keeps popped entries dead.
+    """
+
+    __slots__ = ("state", "excluded", "held")
+
+    def __init__(self, state: _StateHeap, excluded: FrozenSet[str]):
+        self.state = state
+        self.excluded = excluded
+        self.held: List[Tuple[float, int, Block]] = []
+
+    def next(self) -> Optional[Block]:
+        excluded = self.excluded
+        while True:
+            entry = self.state.pop_live()
+            if entry is None:
+                return None
+            if entry[2].filename in excluded:
+                self.held.append(entry)
+                continue
+            return entry[2]
+
+    def close(self) -> None:
+        heap = self.state.heap
+        for entry in self.held:
+            heappush(heap, entry)
+        self.held = []
 
 
 class LRUList:
-    """An LRU-ordered list of data blocks.
+    """An LRU-ordered intrusive list of data blocks (oldest first).
 
-    Blocks are kept ordered by last access time, oldest first.  Appending a
-    block with a monotonically increasing access time keeps the order
-    without sorting; out-of-order insertions (e.g. demotions from the
-    active list) fall back to an insertion by key.
+    Appending a block with a monotonically increasing access time is O(1);
+    out-of-order insertions (e.g. demotions from the active list) fall
+    back to a position scan from whichever end is closer in time.
+    Removal, membership and LRU pops are O(1); per-file and clean/dirty
+    queries return their answers in exact list order via the index sets.
     """
 
-    def __init__(self, name: str = "lru"):
+    __slots__ = ("name", "coalesce", "merges", "_head", "_tail", "_length",
+                 "_size", "_dirty", "_per_file", "_file_blocks",
+                 "_dirty_heap", "_clean_heap", "_next_stamp")
+
+    def __init__(self, name: str = "lru", coalesce: bool = False):
         self.name = name
-        self._blocks: List[Block] = []
+        #: Whether adjacent indistinguishable clean blocks merge into extents.
+        self.coalesce = coalesce
+        #: Number of extent merges performed (observability/benchmarks).
+        self.merges = 0
+        self._head: Optional[Block] = None
+        self._tail: Optional[Block] = None
+        self._length = 0
         self._size = 0.0
         self._dirty = 0.0
         self._per_file: Dict[str, float] = {}
+        #: filename -> index of its blocks in this list.
+        self._file_blocks: Dict[str, _OrderedIndex] = {}
+        #: Lazy-deletion heaps serving "next dirty/clean block in LRU
+        #: order" to the flush and eviction paths.
+        self._dirty_heap = _StateHeap(self, True)
+        self._clean_heap = _StateHeap(self, False)
+        self._next_stamp = 0
 
     # ----------------------------------------------------------------- sizes
     @property
@@ -63,18 +255,24 @@ class LRUList:
         return max(0.0, self._size - self._dirty)
 
     def __len__(self) -> int:
-        return len(self._blocks)
+        return self._length
 
     def __iter__(self) -> Iterator[Block]:
-        return iter(self._blocks)
+        node = self._head
+        while node is not None:
+            # Capture the link before yielding so callers may remove the
+            # current block while iterating.
+            succ = node._next
+            yield node
+            node = succ
 
-    def __contains__(self, block: Block) -> bool:
-        return block in self._blocks
+    def __contains__(self, block: object) -> bool:
+        return getattr(block, "_list", None) is self
 
     @property
     def blocks(self) -> List[Block]:
-        """The blocks in LRU order (oldest first).  Do not mutate."""
-        return self._blocks
+        """The blocks in LRU order (oldest first).  O(n) snapshot."""
+        return list(self)
 
     # ------------------------------------------------------------ accounting
     def _account_add(self, block: Block) -> None:
@@ -90,11 +288,11 @@ class LRUList:
         if block.dirty:
             self._dirty -= block.size
         remaining = self._per_file.get(block.filename, 0.0) - block.size
-        if remaining <= _EPSILON:
+        if remaining <= BYTE_EPSILON:
             self._per_file.pop(block.filename, None)
         else:
             self._per_file[block.filename] = remaining
-        if self._size < -_NEGATIVE_TOLERANCE or self._dirty < -_NEGATIVE_TOLERANCE:
+        if self._size < -NEGATIVE_TOLERANCE or self._dirty < -NEGATIVE_TOLERANCE:
             raise CacheConsistencyError(
                 f"negative accounting in LRU list {self.name!r}: "
                 f"size={self._size}, dirty={self._dirty}"
@@ -102,60 +300,218 @@ class LRUList:
         self._size = max(0.0, self._size)
         self._dirty = max(0.0, self._dirty)
 
+    # -------------------------------------------------------------- indexing
+    def _index_add(self, block: Block, *, newest: bool) -> None:
+        per_file = self._file_blocks.get(block.filename)
+        if per_file is None:
+            per_file = self._file_blocks[block.filename] = _OrderedIndex()
+        if newest:
+            per_file.add_newest(block)
+        else:
+            per_file.add(block)
+        state = self._dirty_heap if block.dirty else self._clean_heap
+        state.live += 1
+        state.push(block)
+
+    def _index_remove(self, block: Block) -> None:
+        per_file = self._file_blocks.get(block.filename)
+        if per_file is not None:
+            per_file.discard(block)
+            if not per_file:
+                del self._file_blocks[block.filename]
+        # The heap entry dies lazily; only the live count is updated.
+        if block.dirty:
+            self._dirty_heap.live -= 1
+        else:
+            self._clean_heap.live -= 1
+
+    # --------------------------------------------------------------- linking
+    def _link_between(self, block: Block, pred: Optional[Block],
+                      succ: Optional[Block]) -> None:
+        if block._list is not None:
+            raise CacheConsistencyError(
+                f"block {block!r} is already in LRU list {block._list.name!r}"
+            )
+        block._prev = pred
+        block._next = succ
+        if pred is not None:
+            pred._next = block
+        else:
+            self._head = block
+        if succ is not None:
+            succ._prev = block
+        else:
+            self._tail = block
+        block._list = self
+        block._stamp = self._next_stamp
+        self._next_stamp += 1
+        self._length += 1
+        self._account_add(block)
+        # A block linked at the tail is the newest in list order, so every
+        # index can append it without going stale.
+        self._index_add(block, newest=succ is None)
+
+    def _unlink(self, block: Block, *, account: bool = True) -> None:
+        if block._list is not self:
+            raise CacheConsistencyError(
+                f"block {block!r} is not in LRU list {self.name!r}"
+            )
+        pred, succ = block._prev, block._next
+        if pred is not None:
+            pred._next = succ
+        else:
+            self._head = succ
+        if succ is not None:
+            succ._prev = pred
+        else:
+            self._tail = pred
+        block._prev = block._next = None
+        block._list = None
+        self._length -= 1
+        self._index_remove(block)
+        if account:
+            self._account_remove(block)
+
+    # ------------------------------------------------------------ coalescing
+    def _mergeable(self, first: Block, second: Block) -> bool:
+        """True when two adjacent blocks are observationally one extent.
+
+        Equal ``last_access`` means equal position keys: merging cannot
+        change the order of any present or future block relative to the
+        pair.  Clean-only keeps the background flusher's per-block
+        write-back pattern (and dirty expiration) untouched; the merged
+        ``entry_time`` takes the minimum, exactly as cache hits do when
+        they merge clean data.
+        """
+        return (
+            not first.dirty
+            and not second.dirty
+            and first.filename == second.filename
+            and first.last_access == second.last_access
+            and first.storage is second.storage
+        )
+
+    def _try_merge_with_prev(self, block: Block) -> Block:
+        """Absorb ``block`` into its predecessor if indistinguishable.
+
+        Returns the surviving block (the predecessor after a merge, else
+        ``block``).  Byte totals and per-file accounting are unchanged by
+        construction.
+        """
+        if not self.coalesce:
+            return block
+        pred = block._prev
+        if pred is None or not self._mergeable(pred, block):
+            return block
+        self._unlink(block, account=False)
+        pred.size += block.size
+        if block.entry_time < pred.entry_time:
+            pred.entry_time = block.entry_time
+        self.merges += 1
+        return pred
+
     # ------------------------------------------------------------- mutations
     def append(self, block: Block) -> None:
-        """Add ``block`` as the most recently used entry."""
-        if self._blocks and block.last_access < self._blocks[-1].last_access:
+        """Add ``block`` as the most recently used entry (O(1))."""
+        tail = self._tail
+        if tail is not None and block.last_access < tail.last_access:
             self.insert_ordered(block)
             return
-        self._blocks.append(block)
-        self._account_add(block)
+        self._link_between(block, tail, None)
+        self._try_merge_with_prev(block)
 
     def insert_ordered(self, block: Block) -> None:
-        """Insert ``block`` keeping the list ordered by last access time."""
-        index = 0
-        for index, existing in enumerate(self._blocks):  # noqa: B007
-            if existing.last_access > block.last_access:
-                break
+        """Insert ``block`` keeping the list ordered by last access time.
+
+        The block lands after every block with ``last_access`` less than
+        or equal to its own (ties resolve to insertion order), scanning
+        from whichever end of the list is closer in access time.
+        """
+        key = block.last_access
+        head, tail = self._head, self._tail
+        if head is None or key >= tail.last_access:
+            self._link_between(block, tail, None)
+        elif (key - head.last_access) <= (tail.last_access - key):
+            # Scan forward for the first block strictly newer than `key`.
+            succ = head
+            while succ is not None and succ.last_access <= key:
+                succ = succ._next
+            self._link_between(block, succ._prev if succ else self._tail, succ)
         else:
-            index = len(self._blocks)
-        self._blocks.insert(index, block)
-        self._account_add(block)
+            # Scan backward for the last block at or before `key`.
+            pred = tail
+            while pred is not None and pred.last_access > key:
+                pred = pred._prev
+            self._link_between(block, pred, pred._next if pred else self._head)
+        self._try_merge_with_prev(block)
 
     def remove(self, block: Block) -> None:
-        """Remove ``block`` from the list."""
-        self._blocks.remove(block)
-        self._account_remove(block)
+        """Remove ``block`` from the list (O(1))."""
+        self._unlink(block)
 
     def pop_lru(self) -> Block:
-        """Remove and return the least recently used block."""
-        if not self._blocks:
+        """Remove and return the least recently used block (O(1))."""
+        block = self._head
+        if block is None:
             raise CacheConsistencyError(f"LRU list {self.name!r} is empty")
-        block = self._blocks.pop(0)
-        self._account_remove(block)
+        self._unlink(block)
         return block
 
+    def peek_lru(self) -> Block:
+        """The least recently used block, without removing it (O(1))."""
+        if self._head is None:
+            raise CacheConsistencyError(f"LRU list {self.name!r} is empty")
+        return self._head
+
     def mark_clean(self, block: Block) -> None:
-        """Clear the dirty flag of ``block``, fixing the dirty accounting."""
-        if block not in self._blocks:
+        """Clear the dirty flag of ``block``, fixing the dirty accounting.
+
+        The freshly cleaned block may coalesce with an adjacent clean
+        extent; callers that need the block's pre-merge size must read it
+        before calling.
+        """
+        if block._list is not self:
             raise CacheConsistencyError(
                 f"block {block!r} is not in LRU list {self.name!r}"
             )
         if block.dirty:
             block.dirty = False
             self._dirty = max(0.0, self._dirty - block.size)
+            self._dirty_heap.live -= 1
+            self._clean_heap.live += 1
+            self._clean_heap.push(block)
+            # The freshly cleaned block may now be indistinguishable from
+            # either neighbour; merging the successor into the survivor is
+            # the same operation as merging the survivor into its
+            # predecessor, viewed from the successor.
+            survivor = self._try_merge_with_prev(block)
+            succ = survivor._next
+            if succ is not None:
+                self._try_merge_with_prev(succ)
 
     def clear(self) -> List[Block]:
         """Remove all blocks and return them."""
-        blocks, self._blocks = self._blocks, []
+        blocks = []
+        node = self._head
+        while node is not None:
+            succ = node._next
+            node._prev = node._next = None
+            node._list = None
+            blocks.append(node)
+            node = succ
+        self._head = self._tail = None
+        self._length = 0
         self._size = 0.0
         self._dirty = 0.0
         self._per_file = {}
+        self._file_blocks = {}
+        self._dirty_heap = _StateHeap(self, True)
+        self._clean_heap = _StateHeap(self, False)
         return blocks
 
     # --------------------------------------------------------------- queries
     def cached_of_file(self, filename: str) -> float:
-        """Bytes of ``filename`` held by the list."""
+        """Bytes of ``filename`` held by the list (O(1))."""
         return self._per_file.get(filename, 0.0)
 
     def files(self) -> Dict[str, float]:
@@ -163,43 +519,111 @@ class LRUList:
         return dict(self._per_file)
 
     def blocks_of_file(self, filename: str) -> List[Block]:
-        """Blocks of ``filename``, in LRU order."""
-        return [block for block in self._blocks if block.filename == filename]
+        """Blocks of ``filename``, in LRU order (O(k) in the answer)."""
+        per_file = self._file_blocks.get(filename)
+        if per_file is None:
+            return []
+        return per_file.ordered()
 
     def dirty_blocks(self, exclude_file: Optional[str] = None) -> List[Block]:
         """Dirty blocks in LRU order, optionally excluding one file."""
-        return [
-            block
-            for block in self._blocks
-            if block.dirty and block.filename != exclude_file
-        ]
+        blocks = self._dirty_heap.ordered_live()
+        if exclude_file is None:
+            return blocks
+        return [block for block in blocks if block.filename != exclude_file]
 
     def clean_blocks(self, exclude_files: Iterable[str] = ()) -> List[Block]:
         """Clean blocks in LRU order, optionally excluding some files."""
         excluded = set(exclude_files)
-        return [
-            block
-            for block in self._blocks
-            if not block.dirty and block.filename not in excluded
-        ]
+        blocks = self._clean_heap.ordered_live()
+        if not excluded:
+            return blocks
+        return [block for block in blocks if block.filename not in excluded]
 
     def expired_blocks(self, now: float, expiration: float) -> List[Block]:
         """Dirty blocks whose entry time is older than ``expiration`` seconds."""
-        return [block for block in self._blocks if block.is_expired(now, expiration)]
+        return [
+            block
+            for block in self._dirty_heap.ordered_live()
+            if block.is_expired(now, expiration)
+        ]
+
+    # --------------------------------------------------------------- cursors
+    def clean_cursor(self, exclude_files: Iterable[str] = ()) -> _StateCursor:
+        """Consuming cursor over clean blocks in LRU order (eviction).
+
+        Every block the cursor returns must be removed from the list (or
+        re-inserted after a split) before requesting the next one; call
+        ``close()`` when done so excluded blocks return to the heap.
+        """
+        return _StateCursor(self._clean_heap, frozenset(exclude_files))
+
+    def dirty_cursor(self, exclude_file: Optional[str] = None) -> _StateCursor:
+        """Consuming cursor over dirty blocks in LRU order (flushing)."""
+        excluded = frozenset() if exclude_file is None else frozenset((exclude_file,))
+        return _StateCursor(self._dirty_heap, excluded)
 
     def assert_consistent(self) -> None:
-        """Validate the internal accounting against the block contents."""
-        total = sum(block.size for block in self._blocks)
-        dirty = sum(block.size for block in self._blocks if block.dirty)
-        if abs(total - self._size) > 1e-3 or abs(dirty - self._dirty) > 1e-3:
+        """Validate accounting, link structure and index sets."""
+        total = 0.0
+        dirty = 0.0
+        per_file: Dict[str, float] = {}
+        count = 0
+        previous: Optional[Block] = None
+        for block in self:
+            if block._list is not self:
+                raise CacheConsistencyError(
+                    f"block {block!r} linked into {self.name!r} but owned "
+                    f"elsewhere"
+                )
+            if previous is not None and (
+                block.last_access < previous.last_access
+                or block._prev is not previous
+            ):
+                raise CacheConsistencyError(
+                    f"LRU list {self.name!r} ordering/link violation at "
+                    f"{block!r}"
+                )
+            if block not in self._file_blocks.get(block.filename, ()):
+                raise CacheConsistencyError(
+                    f"block {block!r} missing from the per-file index of "
+                    f"{self.name!r}"
+                )
+            total += block.size
+            if block.dirty:
+                dirty += block.size
+            per_file[block.filename] = per_file.get(block.filename, 0.0) + block.size
+            count += 1
+            previous = block
+        if count != self._length:
+            raise CacheConsistencyError(
+                f"LRU list {self.name!r} length drift: {self._length} vs {count}"
+            )
+        if sum(len(index) for index in self._file_blocks.values()) != count:
+            raise CacheConsistencyError(
+                f"LRU list {self.name!r} per-file index drift"
+            )
+        dirty_count = sum(1 for block in self if block.dirty)
+        if (self._dirty_heap.live != dirty_count
+                or self._clean_heap.live != count - dirty_count):
+            raise CacheConsistencyError(
+                f"LRU list {self.name!r} state-heap live-count drift"
+            )
+        if abs(total - self._size) > DRIFT_TOLERANCE or \
+                abs(dirty - self._dirty) > DRIFT_TOLERANCE:
             raise CacheConsistencyError(
                 f"LRU list {self.name!r} accounting drift: "
                 f"size {self._size} vs {total}, dirty {self._dirty} vs {dirty}"
             )
+        for filename, expected in per_file.items():
+            if abs(self._per_file.get(filename, 0.0) - expected) > DRIFT_TOLERANCE:
+                raise CacheConsistencyError(
+                    f"LRU list {self.name!r} per-file drift on {filename!r}"
+                )
 
     def __repr__(self) -> str:
         return (
-            f"<LRUList {self.name!r} blocks={len(self._blocks)} "
+            f"<LRUList {self.name!r} blocks={self._length} "
             f"size={self._size:.0f} dirty={self._dirty:.0f}>"
         )
 
@@ -207,10 +631,13 @@ class LRUList:
 class PageCacheLists:
     """The paired inactive/active LRU lists with kernel-style balancing."""
 
+    __slots__ = ("inactive", "active", "active_to_inactive_ratio",
+                 "balance_enabled")
+
     def __init__(self, active_to_inactive_ratio: float = 2.0,
-                 balance: bool = True):
-        self.inactive = LRUList("inactive")
-        self.active = LRUList("active")
+                 balance: bool = True, coalesce: bool = False):
+        self.inactive = LRUList("inactive", coalesce=coalesce)
+        self.active = LRUList("active", coalesce=coalesce)
         self.active_to_inactive_ratio = active_to_inactive_ratio
         self.balance_enabled = balance
 
@@ -229,6 +656,11 @@ class PageCacheLists:
     def clean_size(self) -> float:
         """Total clean bytes across both lists."""
         return self.inactive.clean_size + self.active.clean_size
+
+    @property
+    def merge_count(self) -> int:
+        """Extent merges performed across both lists."""
+        return self.inactive.merges + self.active.merges
 
     def cached_of_file(self, filename: str) -> float:
         """Bytes of ``filename`` cached across both lists."""
@@ -288,15 +720,15 @@ class PageCacheLists:
             return 0.0
         ratio = self.active_to_inactive_ratio
         excess = self.active.size - ratio * self.inactive.size
-        if excess <= _EPSILON:
+        if excess <= BYTE_EPSILON:
             return 0.0
         # Demoting x bytes must yield active - x <= ratio * (inactive + x).
         to_demote = excess / (1.0 + ratio)
         demoted = 0.0
-        while demoted < to_demote - _EPSILON and len(self.active) > 0:
-            block = self.active.blocks[0]  # least recently used
+        while demoted < to_demote - BYTE_EPSILON and len(self.active) > 0:
+            block = self.active.peek_lru()
             needed = to_demote - demoted
-            if block.size <= needed + _EPSILON:
+            if block.size <= needed + BYTE_EPSILON:
                 self.active.remove(block)
                 self.inactive.insert_ordered(block)
                 demoted += block.size

@@ -31,11 +31,9 @@ from repro.pagecache.block import Block
 from repro.pagecache.config import PageCacheConfig
 from repro.pagecache.lru import LRUList, PageCacheLists
 from repro.pagecache.stats import CacheStatistics
+from repro.pagecache.tolerances import BYTE_EPSILON as _EPSILON
 from repro.platform.memory import MemoryDevice
 from repro.units import format_size
-
-#: Accounting tolerance in bytes.
-_EPSILON = 1e-6
 
 
 @dataclass
@@ -95,6 +93,7 @@ class MemoryManager:
         self.lists = PageCacheLists(
             active_to_inactive_ratio=self.config.active_to_inactive_ratio,
             balance=self.config.balance_lists,
+            coalesce=self.config.coalesce_extents,
         )
         self.stats = CacheStatistics()
         #: Files currently being written (used by ``protect_written_files``).
@@ -131,6 +130,11 @@ class MemoryManager:
     def anonymous(self) -> float:
         """Bytes of anonymous (application) memory in use."""
         return self._anonymous
+
+    @property
+    def extent_merges(self) -> int:
+        """Number of extent coalescing merges performed by the LRU lists."""
+        return self.lists.merge_count
 
     @property
     def used_memory(self) -> float:
@@ -288,23 +292,29 @@ class MemoryManager:
         for lru in lists:
             if evicted >= amount - _EPSILON:
                 break
-            for block in list(lru.blocks):
-                if evicted >= amount - _EPSILON:
-                    break
-                if block.dirty or block.filename in excluded:
-                    continue
-                needed = amount - evicted
-                if block.size <= needed + _EPSILON:
-                    lru.remove(block)
-                    evicted += block.size
-                    self._free += block.size
-                else:
-                    kept_size = block.size - needed
-                    lru.remove(block)
-                    kept, _gone = block.split(kept_size)
-                    lru.insert_ordered(kept)
-                    evicted += needed
-                    self._free += needed
+            # A consuming cursor hands out the evictable blocks in LRU
+            # order straight from the clean heap: cost is proportional to
+            # the blocks touched, not the cache size.
+            cursor = lru.clean_cursor(excluded)
+            try:
+                while evicted < amount - _EPSILON:
+                    block = cursor.next()
+                    if block is None:
+                        break
+                    needed = amount - evicted
+                    if block.size <= needed + _EPSILON:
+                        lru.remove(block)
+                        evicted += block.size
+                        self._free += block.size
+                    else:
+                        kept_size = block.size - needed
+                        lru.remove(block)
+                        kept, _gone = block.split(kept_size)
+                        lru.insert_ordered(kept)
+                        evicted += needed
+                        self._free += needed
+            finally:
+                cursor.close()
         if evicted > 0:
             self.stats.evicted_bytes += evicted
             self.stats.evict_ops += 1
@@ -317,38 +327,46 @@ class MemoryManager:
     # ---------------------------------------------------------------- flush
     def _select_dirty_blocks(self, amount: float,
                              exclude_file: Optional[str] = None,
-                             ) -> Tuple[List[Block], float]:
+                             ) -> Tuple[List[Tuple[object, float]], float]:
         """Pick LRU dirty blocks totalling ``amount`` bytes and mark them clean.
 
-        Returns the blocks (already marked clean in the lists, splitting the
-        last one if necessary) and the total amount selected.  The selection
-        is synchronous so that a concurrent flusher never picks the same
-        blocks twice.
+        Returns ``(storage, size)`` pairs for the selected data (already
+        marked clean in the lists, splitting the last block if necessary)
+        and the total amount selected.  Sizes are captured before
+        ``mark_clean`` because a freshly cleaned block may coalesce with a
+        neighbouring clean extent.  The selection is synchronous so that a
+        concurrent flusher never picks the same blocks twice.
         """
-        selected: List[Block] = []
+        selected: List[Tuple[object, float]] = []
         total = 0.0
         for lru in (self.lists.inactive, self.lists.active):
             if total >= amount - _EPSILON:
                 break
-            for block in list(lru.blocks):
-                if total >= amount - _EPSILON:
-                    break
-                if not block.dirty or block.filename == exclude_file:
-                    continue
-                needed = amount - total
-                if block.size <= needed + _EPSILON:
-                    lru.mark_clean(block)
-                    selected.append(block)
-                    total += block.size
-                else:
-                    # Split into a flushed part and a part that remains dirty.
-                    lru.remove(block)
-                    flushed_part, dirty_part = block.split(needed)
-                    flushed_part.dirty = False
-                    lru.insert_ordered(flushed_part)
-                    lru.insert_ordered(dirty_part)
-                    selected.append(flushed_part)
-                    total += flushed_part.size
+            cursor = lru.dirty_cursor(exclude_file)
+            try:
+                while total < amount - _EPSILON:
+                    block = cursor.next()
+                    if block is None:
+                        break
+                    needed = amount - total
+                    if block.size <= needed + _EPSILON:
+                        size = block.size
+                        lru.mark_clean(block)
+                        selected.append((block.storage, size))
+                        total += size
+                    else:
+                        # Split into a flushed part and a part that stays
+                        # dirty.
+                        lru.remove(block)
+                        flushed_part, dirty_part = block.split(needed)
+                        flushed_part.dirty = False
+                        size = flushed_part.size
+                        lru.insert_ordered(flushed_part)
+                        lru.insert_ordered(dirty_part)
+                        selected.append((flushed_part.storage, size))
+                        total += size
+            finally:
+                cursor.close()
         return selected, total
 
     def flush(self, amount: float, exclude_file: Optional[str] = None):
@@ -363,21 +381,21 @@ class MemoryManager:
         """
         if amount is None or amount <= 0:
             return 0.0
-        blocks, total = self._select_dirty_blocks(amount, exclude_file)
+        selected, total = self._select_dirty_blocks(amount, exclude_file)
         if total <= 0:
             return 0.0
-        yield from self._write_blocks_to_storage(blocks)
+        yield from self._write_to_storage(selected)
         self.stats.flushed_bytes += total
         self.stats.flush_ops += 1
         return total
 
-    def _write_blocks_to_storage(self, blocks: Iterable[Block]):
-        """Write the given blocks to their storage devices, grouped per device."""
+    def _write_to_storage(self, selected: Iterable[Tuple[object, float]]):
+        """Write ``(storage, size)`` amounts, grouped per storage device."""
         per_device: Dict[object, float] = {}
-        for block in blocks:
-            if block.storage is None:
+        for storage, size in selected:
+            if storage is None:
                 continue
-            per_device[block.storage] = per_device.get(block.storage, 0.0) + block.size
+            per_device[storage] = per_device.get(storage, 0.0) + size
         for device, amount in per_device.items():
             yield device.write(amount, label=f"{self.name}-flush")
 
@@ -440,11 +458,11 @@ class MemoryManager:
         for lru in (self.lists.inactive, self.lists.active):
             if remaining <= _EPSILON:
                 break
-            for block in list(lru.blocks):
+            # Only this file's blocks, in LRU order — the per-file index
+            # replaces the old scan over every cached block of the host.
+            for block in lru.blocks_of_file(filename):
                 if remaining <= _EPSILON:
                     break
-                if block.filename != filename:
-                    continue
                 if block.size > remaining + _EPSILON:
                     # Only part of the block is accessed: split and re-access
                     # the first part only.
@@ -494,11 +512,10 @@ class MemoryManager:
         """
         removed = 0.0
         for lru in (self.lists.inactive, self.lists.active):
-            for block in list(lru.blocks):
-                if block.filename == filename:
-                    lru.remove(block)
-                    removed += block.size
-                    self._free += block.size
+            for block in lru.blocks_of_file(filename):
+                lru.remove(block)
+                removed += block.size
+                self._free += block.size
         if removed > 0:
             self.lists.balance()
         return removed
@@ -521,17 +538,19 @@ class MemoryManager:
             blocks = self.expired_blocks()
             flushed = 0.0
             for block in blocks:
-                # Mark clean before the write so foreground flushing does not
-                # pick the same block.
+                # Capture the size first: a cleaned block may coalesce with
+                # a neighbouring clean extent.  Mark clean before the write
+                # so foreground flushing does not pick the same block.
+                size = block.size
                 if block in self.lists.inactive:
                     self.lists.inactive.mark_clean(block)
                 elif block in self.lists.active:
                     self.lists.active.mark_clean(block)
                 else:
                     continue
-                flushed += block.size
+                flushed += size
                 if block.storage is not None:
-                    yield block.storage.write(block.size, label=f"{self.name}-bg-flush")
+                    yield block.storage.write(size, label=f"{self.name}-bg-flush")
             if flushed > 0:
                 self.stats.background_flushed_bytes += flushed
             flushing_time = self.env.now - start

@@ -1,0 +1,44 @@
+"""Byte-accounting tolerances of the page-cache model, in one place.
+
+Every quantity the page cache tracks is a float64 number of *bytes*.
+Simulated hosts cache gigabytes to terabytes (1e9-1e12 bytes), and one
+float64 ulp at that magnitude is 1e-7 to 1e-4 bytes; each add/remove or
+split/merge cycle can accumulate a few ulps of drift.  Three tolerances,
+in increasing order of magnitude, cover the three ways that drift can
+surface — use these constants instead of module-local ``_EPSILON`` copies
+(historically ``lru.py``, ``memory_manager.py`` and ``io_controller.py``
+each declared their own, and a stale ``1e-6`` survived in ``lru.py`` long
+after the negative-accounting guard moved to ``1e-3``):
+
+``BYTE_EPSILON`` (1e-6 bytes)
+    Comparison slack for *single-operation* arithmetic: loop guards like
+    "is there anything left to evict/flush/read" and the per-file
+    accounting cleanup.  One operation contributes at most a few ulps, so
+    a millionth of a byte cleanly separates "residual float noise" from
+    "real bytes remaining" while being far below any real block size.
+
+``NEGATIVE_TOLERANCE`` (1e-3 bytes)
+    The negative-accounting guard of the LRU lists.  Totals accumulate
+    drift over the *whole simulation* (millions of operations), so the
+    guard that turns "slightly negative total" into a hard
+    :class:`~repro.errors.CacheConsistencyError` must tolerate the
+    accumulated worst case.  A thousandth of a byte is ~10 ulps of
+    headroom at terabyte magnitudes yet still catches any real accounting
+    bug (the smallest real inconsistency is a whole block).
+
+``DRIFT_TOLERANCE`` (1e-3 bytes)
+    The same bound applied symmetrically by ``assert_consistent`` when
+    comparing incrementally maintained totals against a from-scratch
+    recomputation.
+"""
+
+from __future__ import annotations
+
+#: Comparison slack for single-operation byte arithmetic.
+BYTE_EPSILON = 1e-6
+
+#: Tolerance of the negative-accounting guard (whole-simulation drift).
+NEGATIVE_TOLERANCE = 1e-3
+
+#: Allowed divergence between incremental and recomputed totals.
+DRIFT_TOLERANCE = 1e-3

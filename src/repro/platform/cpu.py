@@ -64,7 +64,7 @@ class CPU:
     def execute(self, flops: float, label: Optional[str] = None) -> Event:
         """Execute ``flops`` on one core; returns a completion event.
 
-        The returned process carries a ``compute_info`` dict whose
+        The returned process carries (in ``Process.data``) a dict whose
         ``granted_at`` key is set the moment a core is granted, so a
         canceller can tell executed time apart from core-queueing time.
         """
@@ -74,7 +74,7 @@ class CPU:
         process = self.env.process(
             self._execute(flops, info), name=label or "compute"
         )
-        process.compute_info = info
+        process.data = info
         return process
 
     def compute_seconds(self, seconds: float, label: Optional[str] = None) -> Event:

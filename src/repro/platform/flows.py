@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.des.environment import Environment
-from repro.des.events import Event
+from repro.des.events import Event, Timeout
 from repro.errors import ConfigurationError
 
 #: Tolerance below which a flow is considered complete (bytes).
@@ -86,7 +86,10 @@ class FairShareChannel:
         self.sharing = sharing
         self._flows: List[Flow] = []
         self._last_update = env.now
-        self._version = 0
+        #: The pending next-completion timeout, if any.  Arrivals and
+        #: departures cancel it (tombstone, O(1)) and schedule a fresh one
+        #: instead of spawning a waker process per reschedule.
+        self._waker_timeout: Optional[Timeout] = None
         # Statistics
         self.total_transferred = 0.0
         self.total_flows = 0
@@ -155,33 +158,64 @@ class FairShareChannel:
     def _update_progress(self) -> None:
         now = self.env.now
         elapsed = now - self._last_update
-        if elapsed > 0 and self._flows:
+        flows = self._flows
+        if elapsed > 0 and flows:
             rate = self.rate_per_flow
-            for flow in self._flows:
-                done_amount = min(flow.remaining, rate * elapsed)
+            quantum = rate * elapsed
+            transferred = self.total_transferred
+            for flow in flows:
+                done_amount = flow.remaining
+                if quantum < done_amount:
+                    done_amount = quantum
                 flow.remaining -= done_amount
-                self.total_transferred += done_amount
+                transferred += done_amount
+            self.total_transferred = transferred
         self._last_update = now
 
     def _complete_finished_flows(self) -> None:
-        finished = [flow for flow in self._flows if flow.remaining <= _EPSILON]
-        for flow in finished:
-            self._flows.remove(flow)
-            flow.remaining = 0.0
-            flow.event.succeed(self.env.now - flow.start_time)
+        flows = self._flows
+        finished = []
+        kept = []
+        for flow in flows:
+            if flow.remaining <= _EPSILON:
+                finished.append(flow)
+            else:
+                kept.append(flow)
+        if finished:
+            self._flows = kept
+            now = self.env.now
+            for flow in finished:
+                flow.remaining = 0.0
+                flow.event.succeed(now - flow.start_time)
         if not self._flows and self._busy_since is not None:
             self.busy_time += self.env.now - self._busy_since
             self._busy_since = None
 
     def _reschedule(self) -> None:
-        self._version += 1
+        # The completion set changed: the pending wake-up (if any) is
+        # stale.  Tombstone it instead of letting a dead waker process
+        # resume just to find out its version expired.
+        if self._waker_timeout is not None:
+            self._waker_timeout.cancel()
+            self._waker_timeout = None
         while self._flows:
+            flows = self._flows
             rate = self.rate_per_flow
-            next_completion = min(flow.remaining / rate for flow in self._flows)
-            if self.env.now + next_completion > self.env.now:
-                version = self._version
-                self.env.process(self._waker(version, next_completion),
-                                 name=f"{self.name}-waker")
+            # min(remaining) / rate == min(remaining / rate): division by a
+            # positive rate is monotone, and the winning quotient is the
+            # same float either way.
+            smallest_remaining = flows[0].remaining
+            for flow in flows:
+                if flow.remaining < smallest_remaining:
+                    smallest_remaining = flow.remaining
+            next_completion = smallest_remaining / rate
+            now = self.env.now
+            if now + next_completion > now:
+                # A bare timeout with a callback: no waker process, no
+                # Initialize/termination events — one queue entry per wake.
+                timeout = Timeout(self.env, next_completion)
+                timeout.callbacks.append(self._on_wake)
+                self._waker_timeout = timeout
                 return
             # The residual work is so small that its completion time is not
             # representable at the current simulated time: finish the
@@ -194,10 +228,8 @@ class FairShareChannel:
                     flow.remaining = 0.0
             self._complete_finished_flows()
 
-    def _waker(self, version: int, delay: float):
-        yield self.env.timeout(delay)
-        if version != self._version:
-            return
+    def _on_wake(self, _event: Event) -> None:
+        self._waker_timeout = None
         self._update_progress()
         self._complete_finished_flows()
         self._reschedule()

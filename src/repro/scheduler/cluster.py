@@ -48,6 +48,8 @@ class NodeState:
     def __init__(self, host, storage: StorageService):
         self.host = host
         self.storage = storage
+        #: Total cores of the node (cached: policies query it constantly).
+        self.total_cores = int(host.cores)
         self.free_cores = int(host.cores)
         #: Running jobs, keyed by job id.
         self.running: Dict[int, Job] = {}
@@ -57,11 +59,6 @@ class NodeState:
     def name(self) -> str:
         """The node's host name."""
         return self.host.name
-
-    @property
-    def total_cores(self) -> int:
-        """Total cores of the node."""
-        return int(self.host.cores)
 
     @property
     def used_cores(self) -> int:
@@ -310,6 +307,10 @@ class ClusterScheduler:
             node = self.placement.select_node(job, candidates, self.env.now)
             self.queue.remove(job)
             node.allocate(job)
+            # Create the executor before the job's process first runs, so
+            # a preemption planned in this very dispatch pass can already
+            # checkpoint the job (the process itself starts later).
+            self._executor_for(job, node)
             process = self.env.process(
                 self._run_job(job, node), name=f"{self.name}:{job.label}"
             )
@@ -335,14 +336,8 @@ class ClusterScheduler:
             self._suspending[victim.id] = victim
             self._executors_by_job[victim.id].preempt()
 
-    def _run_job(self, job: Job, node: NodeState):
-        """Execute (or resume) one dispatched job on ``node``; simulation
-        process.
-
-        A preempted job keeps its executor: the checkpoint — completed
-        tasks, partial compute credit, and the node's page-cache residency
-        of its input files — carries over to the resume.
-        """
+    def _executor_for(self, job: Job, node: NodeState) -> WorkflowExecutor:
+        """The job's executor, created on first dispatch and reused after."""
         executor = self._executors_by_job.get(job.id)
         if executor is None:
             executor = WorkflowExecutor(
@@ -361,6 +356,17 @@ class ClusterScheduler:
             )
             self._executors_by_job[job.id] = executor
             self.executors.append(executor)
+        return executor
+
+    def _run_job(self, job: Job, node: NodeState):
+        """Execute (or resume) one dispatched job on ``node``; simulation
+        process.
+
+        A preempted job keeps its executor: the checkpoint — completed
+        tasks, partial compute credit, and the node's page-cache residency
+        of its input files — carries over to the resume.
+        """
+        executor = self._executor_for(job, node)
         job.node_name = node.name
         if job.start_time is None:
             job.start_time = self.env.now

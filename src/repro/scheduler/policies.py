@@ -74,8 +74,12 @@ class SchedulingPolicy:
     #: Registry name of the policy.
     name = "policy"
 
-    def order(self, queue: Sequence[Job]) -> List[Job]:
-        """Priority order of the queue (head first)."""
+    def order(self, queue: Sequence[Job], now: float = 0.0) -> List[Job]:
+        """Priority order of the queue (head first) at time ``now``.
+
+        Most policies order on static job attributes and ignore ``now``;
+        time-dependent policies (priority aging) must receive it.
+        """
         raise NotImplementedError
 
     def select(self, queue: Sequence[Job], nodes: Sequence["NodeState"],
@@ -88,7 +92,7 @@ class SchedulingPolicy:
         """
         if not queue:
             return None
-        head = self.order(queue)[0]
+        head = self.order(queue, now)[0]
         if fitting_nodes(head, nodes):
             return Decision(head)
         return None
@@ -102,7 +106,7 @@ class FIFOPolicy(SchedulingPolicy):
 
     name = "fifo"
 
-    def order(self, queue: Sequence[Job]) -> List[Job]:
+    def order(self, queue: Sequence[Job], now: float = 0.0) -> List[Job]:
         return sorted(queue, key=lambda job: (job.arrival_time, job.id or 0))
 
 
@@ -111,7 +115,7 @@ class ShortestJobFirstPolicy(SchedulingPolicy):
 
     name = "sjf"
 
-    def order(self, queue: Sequence[Job]) -> List[Job]:
+    def order(self, queue: Sequence[Job], now: float = 0.0) -> List[Job]:
         return sorted(
             queue,
             key=lambda job: (job.estimated_runtime, job.arrival_time, job.id or 0),
@@ -143,7 +147,7 @@ class EasyBackfillPolicy(FIFOPolicy):
                now: float) -> Optional[Decision]:
         if not queue:
             return None
-        ordered = self.order(queue)
+        ordered = self.order(queue, now)
         head = ordered[0]
         if fitting_nodes(head, nodes):
             return Decision(head)
@@ -193,28 +197,73 @@ class PreemptionPlan:
 
 
 class PreemptivePriorityPolicy(SchedulingPolicy):
-    """Strict priority scheduling with preemption.
+    """Strict priority scheduling with preemption and optional aging.
 
-    Queued jobs are ordered by descending priority (ties: arrival order).
-    When the head job cannot start anywhere, :meth:`plan_preemption`
-    proposes suspending strictly lower priority running jobs on one node
-    until the head fits.  The scheduler checkpoints the victims
-    (checkpoint-and-requeue: completed tasks and compute progress are
-    kept, minus a configurable lost-work penalty) and starts the head once
-    their cores are released.
+    Queued jobs are ordered by descending *effective* priority (ties:
+    arrival order).  When the head job cannot start anywhere,
+    :meth:`plan_preemption` proposes suspending strictly lower priority
+    running jobs on one node until the head fits.  The scheduler
+    checkpoints the victims (checkpoint-and-requeue: completed tasks and
+    compute progress are kept, minus a configurable lost-work penalty)
+    and starts the head once their cores are released.
 
     Victim selection loses as little work as possible: the lowest
     priority jobs go first, and among equals the most recently started
     (least progress to checkpoint).  Among candidate nodes, the plan with
     the fewest victims wins, then the least total elapsed runtime lost.
+
+    Priority aging bounds low-priority starvation: with ``aging_rate``
+    :math:`r > 0`, a queued job's effective priority is ``priority + r *
+    waiting_time``, so any job eventually outranks a stream of fresher
+    high-priority arrivals and claims the head-of-line slot (the head is
+    dispatched strictly first, so reaching the head guarantees the next
+    fitting allocation).  Preemption compares the head's current
+    effective priority against each running job's effective priority
+    *frozen at its last dispatch*: the aging credit that earned an aged
+    job its slot also protects the slot, otherwise a high-priority head
+    would suspend the just-dispatched aged job at the same timestamp,
+    which re-ages past the head and re-dispatches — a livelock.  An aged
+    job never *initiates* preemption either (no running job has a lower
+    effective priority than the credit that aged it to the head), so
+    aging redistributes free cores, it does not add suspensions.  The
+    default ``aging_rate=0.0`` makes both comparisons collapse to raw
+    priorities, preserving strict priority semantics exactly.
+
+    Parameters
+    ----------
+    aging_rate:
+        Effective-priority points gained per second of queue waiting
+        (default 0.0: no aging).  With priorities one class apart, a job
+        overtakes the class above it after ``1 / aging_rate`` seconds of
+        waiting.
     """
 
     name = "preemptive-priority"
 
-    def order(self, queue: Sequence[Job]) -> List[Job]:
+    def __init__(self, aging_rate: float = 0.0):
+        if aging_rate < 0:
+            raise ConfigurationError("aging_rate must be >= 0")
+        self.aging_rate = float(aging_rate)
+
+    def effective_priority(self, job: Job, now: float) -> float:
+        """The job's priority after aging credit for its waiting time."""
+        waited = max(0.0, now - job.arrival_time)
+        return job.priority + self.aging_rate * waited
+
+    def _dispatched_priority(self, job: Job) -> float:
+        """A running job's effective priority, frozen at its dispatch."""
+        if job.last_start_time is None:
+            return float(job.priority)
+        return self.effective_priority(job, job.last_start_time)
+
+    def order(self, queue: Sequence[Job], now: float = 0.0) -> List[Job]:
         return sorted(
             queue,
-            key=lambda job: (-job.priority, job.arrival_time, job.id or 0),
+            key=lambda job: (
+                -self.effective_priority(job, now),
+                job.arrival_time,
+                job.id or 0,
+            ),
         )
 
     def plan_preemption(self, queue: Sequence[Job],
@@ -223,7 +272,7 @@ class PreemptivePriorityPolicy(SchedulingPolicy):
         """Propose victims for the head job, or ``None`` if hopeless."""
         if not queue:
             return None
-        head = self.order(queue)[0]
+        head = self.order(queue, now)[0]
         best_key: Optional[Tuple[int, float, str]] = None
         best_plan: Optional[PreemptionPlan] = None
         for node in nodes:
@@ -231,10 +280,13 @@ class PreemptivePriorityPolicy(SchedulingPolicy):
                 continue
             if head.cores > node.total_cores:
                 continue
+            # The head preempts with its *raw* priority (aging earns free
+            # cores, not suspensions); victims are protected by the
+            # effective priority their dispatch was granted at.
             lower = sorted(
                 (
                     job for job in node.running.values()
-                    if job.priority < head.priority
+                    if self._dispatched_priority(job) < head.priority
                 ),
                 key=lambda job: (
                     job.priority,

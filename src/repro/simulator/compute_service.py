@@ -49,7 +49,7 @@ class ComputeService:
                 # Tell the caller how long the work actually held a core
                 # (queueing for a busy core executes nothing), so a
                 # checkpoint credits only flops that really ran.
-                granted_at = getattr(work, "compute_info", {}).get("granted_at")
+                granted_at = (work.data or {}).get("granted_at")
                 interrupt.executed_seconds = (
                     0.0 if granted_at is None else self.env.now - granted_at
                 )

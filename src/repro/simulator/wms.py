@@ -129,7 +129,13 @@ class WorkflowExecutor:
             self._pending = dict(self._tasks)
         if self.start_time is None:
             self.start_time = self.env.now
-        self._preempting = False
+        if self._preempting:
+            # Preempted after dispatch but before this process first ran
+            # (the scheduler can plan a preemption in the same pass that
+            # started the victim): suspend immediately with no progress.
+            self._preempting = False
+            self._suspended = True
+            return self.PREEMPTED
         self._suspended = False
         pending, running = self._pending, self._running
 
@@ -151,6 +157,10 @@ class WorkflowExecutor:
 
             if not running:
                 if self._preempting:
+                    # Clear the flag so a later resume starts normally (a
+                    # flag still set at entry means "preempted before the
+                    # process ever ran", handled above).
+                    self._preempting = False
                     self._suspended = True
                     return self.PREEMPTED
                 raise SchedulingError(

@@ -1,0 +1,46 @@
+"""Regenerate the parity golden traces (``tests/data/pagecache_golden.json``).
+
+Run from the repo root against a *known-good* implementation::
+
+    PYTHONPATH=src:tests python tests/record_parity_golden.py
+
+The committed golden was recorded from the pre-refactor list-of-Blocks
+``LRUList`` (PR 2 tree), so the parity suite certifies that the O(1)
+rewrite preserves the observable semantics of the original implementation.
+Only regenerate it on purpose, when the *workload* (not the LRU) changes,
+and bump ``parity_workload.WORKLOAD_VERSION`` when you do.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from parity_workload import WORKLOAD_VERSION, run_parity_workload
+
+#: The workload variants pinned by the golden file.  ``evict_from_active``
+#: exercises the active-list spill path of the reference model.
+SCENARIOS = {
+    "default": dict(seed=2021, n_ops=120),
+    "no_periodic_flush": dict(seed=7, n_ops=100, periodic_flushing=False),
+    "evict_from_active": dict(seed=93, n_ops=100, evict_from_active=True),
+}
+
+
+def main() -> None:
+    golden = {
+        "workload_version": WORKLOAD_VERSION,
+        "scenarios": {
+            name: run_parity_workload(**kwargs)
+            for name, kwargs in SCENARIOS.items()
+        },
+    }
+    out = Path(__file__).parent / "data" / "pagecache_golden.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
+    total = sum(len(t) for t in golden["scenarios"].values())
+    print(f"recorded {total} states over {len(SCENARIOS)} scenarios -> {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -129,6 +129,70 @@ class TestLRUList:
             lru.assert_consistent()
 
 
+class TestExtentCoalescing:
+    """Adjacent indistinguishable clean blocks merge into one extent."""
+
+    def test_equal_access_clean_neighbours_merge(self):
+        lru = LRUList(coalesce=True)
+        a1 = make_block("a", size=10, entry=1.0, access=5.0)
+        a2 = make_block("a", size=20, entry=3.0, access=5.0)
+        lru.append(a1)
+        lru.append(a2)
+        assert len(lru) == 1
+        assert lru.merges == 1
+        assert a1.size == 30  # the earlier block absorbs the later one
+        assert a1.entry_time == 1.0  # min entry time, as cache hits do
+        assert a2 not in lru
+        assert lru.cached_of_file("a") == 30
+        lru.assert_consistent()
+
+    def test_different_access_times_do_not_merge(self):
+        lru = LRUList(coalesce=True)
+        lru.append(make_block("a", size=10, access=1.0))
+        lru.append(make_block("a", size=10, access=2.0))
+        assert len(lru) == 2
+        assert lru.merges == 0
+
+    def test_dirty_blocks_never_merge(self):
+        lru = LRUList(coalesce=True)
+        lru.append(make_block("a", size=10, access=1.0, dirty=True))
+        lru.append(make_block("a", size=10, access=1.0, dirty=True))
+        assert len(lru) == 2
+
+    def test_different_files_do_not_merge(self):
+        lru = LRUList(coalesce=True)
+        lru.append(make_block("a", size=10, access=1.0))
+        lru.append(make_block("b", size=10, access=1.0))
+        assert len(lru) == 2
+
+    def test_mark_clean_re_merges_flush_split(self):
+        # A flush split leaves a clean and a dirty fragment of the same
+        # block side by side; cleaning the dirty one re-merges the extent.
+        lru = LRUList(coalesce=True)
+        original = make_block("a", size=30, entry=2.0, access=4.0, dirty=True)
+        lru.append(original)
+        flushed, rest = original.split(10.0)
+        flushed.dirty = False
+        lru.remove(original)
+        lru.insert_ordered(flushed)
+        lru.insert_ordered(rest)
+        assert len(lru) == 2
+        lru.mark_clean(rest)
+        assert len(lru) == 1
+        assert lru.size == 30
+        assert lru.dirty_size == 0
+        lru.assert_consistent()
+
+    def test_coalescing_is_off_by_default(self):
+        # Off by default: merging is byte-equivalent but not float-exact,
+        # so default runs stay ulp-for-ulp reproducible with old replays.
+        lru = LRUList()
+        lru.append(make_block("a", size=10, access=1.0))
+        lru.append(make_block("a", size=10, access=1.0))
+        assert len(lru) == 2
+        assert lru.merges == 0
+
+
 class TestPageCacheLists:
     def test_new_blocks_enter_inactive(self):
         lists = PageCacheLists()
@@ -158,11 +222,11 @@ class TestPageCacheLists:
 
     def test_cached_of_file_spans_both_lists(self):
         lists = PageCacheLists()
-        a1 = make_block("a", size=10)
-        a2 = make_block("a", size=5)
+        a1 = make_block("a", size=10, access=1.0)
+        a2 = make_block("a", size=5, access=2.0)
         lists.add_to_inactive(a1)
         lists.add_to_inactive(a2)
-        lists.promote(a2, now=2.0)
+        lists.promote(a2, now=3.0)
         assert lists.cached_of_file("a") == 15
         assert lists.files() == {"a": 15}
 

@@ -323,3 +323,110 @@ class TestComputeCreditAccuracy:
         assert observed["executed"] == pytest.approx(4.0)
         # The cancelled computation released its core at the interrupt.
         assert host.cpu.busy_cores == 0
+
+
+class TestPriorityAging:
+    """aging_rate bounds low-priority starvation (ROADMAP Exp 7 follow-up)."""
+
+    def test_rejects_negative_rate(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            PreemptivePriorityPolicy(aging_rate=-0.1)
+
+    def test_effective_priority_grows_with_waiting(self):
+        policy = PreemptivePriorityPolicy(aging_rate=0.5)
+        job = compute_job("j", 1.0, arrival=10.0, priority=1)
+        assert policy.effective_priority(job, now=10.0) == pytest.approx(1.0)
+        assert policy.effective_priority(job, now=14.0) == pytest.approx(3.0)
+        # Jobs submitted in the future (trace replays) never get credit.
+        assert policy.effective_priority(job, now=5.0) == pytest.approx(1.0)
+
+    def test_zero_rate_keeps_strict_priority_order(self):
+        jobs = [
+            compute_job("low", 1.0, arrival=0.0, priority=0, job_id=0),
+            compute_job("high", 1.0, arrival=100.0, priority=2, job_id=1),
+        ]
+        ordered = PreemptivePriorityPolicy().order(jobs, now=1000.0)
+        assert [job.label for job in ordered] == ["high", "low"]
+
+    def test_starved_job_overtakes_fresher_high_priority(self):
+        # Aging overtakes *later* arrivals: every queued job ages at the
+        # same rate, so a low-priority job never catches one it co-waits
+        # with, but any high-priority job arriving more than
+        # priority_gap / rate seconds later starts behind it — which is
+        # the starvation pattern (an endless stream of fresh arrivals).
+        policy = PreemptivePriorityPolicy(aging_rate=0.02)
+        starved = compute_job("starved", 1.0, arrival=0.0, priority=0, job_id=0)
+        early = compute_job("early", 1.0, arrival=50.0, priority=2, job_id=1)
+        late = compute_job("late", 1.0, arrival=150.0, priority=2, job_id=2)
+        # At t=50 the starved job's credit (1 point) trails the 2-point gap.
+        assert policy.order([starved, early], now=50.0)[0].label == "early"
+        # At t=150 its credit (3 points) beats the newcomer's bare priority.
+        assert policy.order([starved, late], now=150.0)[0].label == "starved"
+
+    def test_aged_head_blocks_queue_until_it_runs(self, env):
+        # Once an aged low-priority job reaches the head, strict
+        # head-of-line scheduling reserves the next fitting allocation
+        # for it: a fresh high-priority job cannot jump past it.
+        policy = PreemptivePriorityPolicy(aging_rate=1.0)
+        node = make_node(env, cores=4)
+        running(node, compute_job("hog", 100.0, cores=4, job_id=9), started=0.0)
+        starved = compute_job("starved", 1.0, arrival=0.0, priority=0, job_id=0)
+        fresh = compute_job("fresh", 1.0, arrival=99.0, priority=2, job_id=1)
+        queue = [starved, fresh]
+        assert policy.order(queue, now=100.0)[0].label == "starved"
+        # No room: nothing is selected, but the starved job stays the head
+        # (it is not skipped in favour of the high-priority arrival).
+        assert policy.select(queue, [node], now=100.0) is None
+        node.release(node.running[9])
+        decision = policy.select(queue, [node], now=100.0)
+        assert decision is not None and decision.job.label == "starved"
+
+    def test_aging_does_not_enable_preemption_of_higher_priority(self, env):
+        # Aging affects ordering only: an aged batch job never suspends a
+        # running job of a higher raw priority class.
+        policy = PreemptivePriorityPolicy(aging_rate=1.0)
+        node = make_node(env, cores=4)
+        running(node, compute_job("interactive", 50.0, cores=4, priority=2,
+                                  job_id=9), started=0.0)
+        starved = compute_job("starved", 1.0, arrival=0.0, priority=0, job_id=0)
+        assert policy.order([starved], now=1000.0)[0].label == "starved"
+        assert policy.plan_preemption([starved], [node], now=1000.0) is None
+
+    def test_starved_job_eventually_runs_in_simulation(self):
+        # End to end: a stream of high-priority jobs saturates a single
+        # node.  Without aging the low-priority job waits for the whole
+        # stream; with aging it reaches the head and runs much earlier.
+        def replay(aging_rate):
+            simulation = Simulation(config=SimulationConfig(
+                cache_mode="writeback", trace_interval=None))
+            simulation.create_cluster_platform(1, cores_per_node=2,
+                                               with_nfs_server=False)
+            simulation.create_cluster_scheduler(
+                policy=PreemptivePriorityPolicy(aging_rate=aging_rate),
+                placement="round-robin",
+            )
+            low_workflow = Workflow("low")
+            low_workflow.add_task(Task("low_t", flops=1e9))
+            simulation.submit_job(low_workflow, cores=1, arrival_time=0.0,
+                                  estimated_runtime=1.0, priority=0,
+                                  label="low")
+            for index in range(30):
+                workflow = Workflow(f"hi{index}")
+                workflow.add_task(Task(f"hi{index}_t", flops=4e9))
+                simulation.submit_job(workflow, cores=2,
+                                      arrival_time=0.1 * index,
+                                      estimated_runtime=4.0, priority=5,
+                                      label=f"hi{index}")
+            result = simulation.run()
+            records = {r.label: r for r in result.scheduler.records}
+            return records["low"]
+
+        without_aging = replay(0.0)
+        with_aging = replay(2.0)
+        # The aged run starts the starved job well before the stream ends;
+        # the strict run keeps it waiting until every high-priority job
+        # (which needs both cores) has finished.
+        assert with_aging.start_time < without_aging.start_time
+        assert with_aging.wait_time < without_aging.wait_time
