@@ -19,7 +19,11 @@ Workloads:
 * ``exp1`` — single-application read/write sequence (Figure 4);
 * ``exp5`` — the Exp 5 hot-path sweep (WRENCH-cache scaling curves);
 * ``exp5-fine`` — the fine-chunk Exp 5 point (10x the cache blocks);
-* ``exp7`` — the paper-scale SWF replay (400 jobs / 32 nodes).
+* ``exp7`` — the paper-scale SWF replay (400 jobs / 32 nodes);
+* ``sched`` — the dispatch-heavy cluster workload (400 short jobs over
+  32 nodes, EASY backfilling + cache-locality placement, small I/O): the
+  workload where the ``wms``/``cluster`` scheduling layers — not the page
+  cache — dominate, used to profile the dispatch path itself.
 """
 
 from __future__ import annotations
@@ -60,11 +64,18 @@ def _exp7():
     return run_exp7_paper
 
 
+def _sched():
+    from test_bench_hotpath import run_sched_dispatch
+
+    return run_sched_dispatch
+
+
 WORKLOADS = {
     "exp1": _exp1,
     "exp5": _exp5,
     "exp5-fine": _exp5_fine,
     "exp7": _exp7,
+    "sched": _sched,
 }
 
 
@@ -76,6 +87,10 @@ def main(argv=None) -> int:
                         help="experiment workload to profile")
     parser.add_argument("--top", type=int, default=20,
                         help="number of functions to print (default: %(default)s)")
+    parser.add_argument("--filter", default=None, metavar="REGEX",
+                        help="only print functions whose file/name matches "
+                             "this regex (e.g. 'scheduler|wms' to isolate "
+                             "the dispatch path)")
     parser.add_argument("--dump", type=Path, default=None,
                         help="also write the raw profile to this file")
     args = parser.parse_args(argv)
@@ -90,11 +105,12 @@ def main(argv=None) -> int:
         profile.dump_stats(args.dump)
         print(f"profile written to {args.dump}\n")
 
+    restrictions = ([args.filter] if args.filter else []) + [args.top]
     for order, title in (("cumulative", "by cumulative time (where time flows)"),
                          ("tottime", "by self time (where time is spent)")):
         print(f"==== top {args.top} {title} ====")
         stats = pstats.Stats(profile)
-        stats.sort_stats(order).print_stats(args.top)
+        stats.sort_stats(order).print_stats(*restrictions)
     return 0
 
 

@@ -18,9 +18,9 @@ from __future__ import annotations
 from conftest import paper_scale
 from repro.experiments.exp6_cluster import (
     EXP6_PLACEMENTS,
+    exp6_policy_series,
     exp6_report,
     exp6_series,
-    run_exp6,
 )
 
 N_JOBS = 400 if paper_scale() else 120
@@ -64,16 +64,13 @@ def test_exp6_policies_under_locality(benchmark, report):
     """FIFO, SJF and EASY backfilling all complete the seeded workload."""
 
     def run():
-        return {
-            policy: run_exp6(
-                "cache",
-                policy=policy,
-                n_jobs=N_JOBS,
-                n_nodes=N_NODES,
-                n_datasets=N_DATASETS,
-            )
-            for policy in ("fifo", "sjf", "easy")
-        }
+        return exp6_policy_series(
+            ("fifo", "sjf", "easy"),
+            placement="cache",
+            n_jobs=N_JOBS,
+            n_nodes=N_NODES,
+            n_datasets=N_DATASETS,
+        )
 
     points = benchmark.pedantic(run, rounds=1, iterations=1)
     text = exp6_report(

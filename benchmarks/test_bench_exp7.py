@@ -14,9 +14,9 @@ from __future__ import annotations
 from conftest import paper_scale
 from repro.experiments.exp7_trace_replay import (
     EXP7_POLICIES,
+    exp7_placement_series,
     exp7_report,
     exp7_series,
-    run_exp7,
 )
 
 LOAD_FACTOR = 60.0 if paper_scale() else 40.0
@@ -70,14 +70,11 @@ def test_exp7_cache_placement_retains_edge_under_preemption(benchmark, report):
     """Cache-aware placement keeps its hit-ratio edge on the replayed trace."""
 
     def run():
-        return {
-            placement: run_exp7(
-                "preemptive-priority",
-                placement=placement,
-                load_factor=LOAD_FACTOR,
-            )
-            for placement in ("round-robin", "cache")
-        }
+        return exp7_placement_series(
+            ("round-robin", "cache"),
+            policy="preemptive-priority",
+            load_factor=LOAD_FACTOR,
+        )
 
     points = benchmark.pedantic(run, rounds=1, iterations=1)
     text = exp7_report(

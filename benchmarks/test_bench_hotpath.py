@@ -59,17 +59,24 @@ def tiled_trace(repeats: int = 5) -> SWFTrace:
     return SWFTrace(directives=dict(base.directives), records=records)
 
 
-def run_exp5_paper():
-    """Figure 8 sweep, WRENCH-cache curves only (the hot-path targets)."""
+def run_exp5_paper(workers=None):
+    """Figure 8 sweep, WRENCH-cache curves only (the hot-path targets).
+
+    The sweep goes through the process-pool engine
+    (:mod:`repro.experiments.runner`); the default resolves ``workers``
+    from ``REPRO_WORKERS`` (serial when unset, so the wall-clock-per-point
+    measurements stay uncontended).
+    """
     return run_scaling(
         EXP5_COUNTS,
         configs=(("wrench-cache", False), ("wrench-cache", True)),
         input_size=3 * GB,
         chunk_size=100 * MB,
+        workers=workers,
     )
 
 
-def run_exp5_fine_chunks():
+def run_exp5_fine_chunks(workers=None):
     """One Exp 5 point with 10 MB chunks: 10x the live cache blocks.
 
     This is the configuration where the old list-of-Blocks LRU went
@@ -80,6 +87,32 @@ def run_exp5_fine_chunks():
         configs=(("wrench-cache", False),),
         input_size=3 * GB,
         chunk_size=10 * MB,
+        workers=workers,
+    )
+
+
+def run_sched_dispatch():
+    """Dispatch-heavy cluster workload: the wms/cluster profiling frontier.
+
+    400 short jobs over 32 nodes under EASY backfilling (exercising the
+    ``earliest_fit_time`` reservation walks) with cache-locality placement
+    (exercising per-dispatch candidate scoring), and deliberately small
+    I/O so the scheduling layers — not the page cache — dominate.  This is
+    the workload behind ``profile_hotpaths.py sched``.
+    """
+    from repro.experiments.exp6_cluster import run_exp6
+
+    return run_exp6(
+        "cache",
+        policy="easy",
+        n_jobs=400,
+        n_nodes=32,
+        n_datasets=48,
+        cores_per_node=8,
+        input_size=64 * MB,
+        output_size=16 * MB,
+        arrival_rate=12.0,
+        chunk_size=16 * MB,
     )
 
 
@@ -154,6 +187,22 @@ def test_hotpath_exp7_paper_scale(benchmark, report):
     assert point.makespan > 0
     assert 0.0 < point.cache_hit_ratio < 1.0
     assert set(point.classes) == {0, 1, 2}
+
+
+def test_hotpath_sched_dispatch(benchmark, report):
+    """Dispatch-heavy cluster run: scheduler layers under the profiler's eye."""
+    point = benchmark.pedantic(run_sched_dispatch, rounds=1, iterations=1)
+    report(
+        "hotpath_sched_dispatch",
+        f"Dispatch-heavy Exp 6 (400 short jobs / 32 nodes, EASY + cache "
+        f"placement): makespan {point.makespan:.2f}s, hit ratio "
+        f"{100 * point.cache_hit_ratio:.1f}%, "
+        f"mean wait {point.mean_wait_time:.3f}s, "
+        f"{point.wallclock_time:.3f}s wall-clock",
+    )
+    assert point.n_jobs == 400
+    assert point.makespan > 0
+    assert 0.0 < point.cache_hit_ratio < 1.0
 
 
 # -------------------------------------------------------------------- micro

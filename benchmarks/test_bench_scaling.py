@@ -4,6 +4,13 @@ Measures the wall-clock time needed to run the simulation as a function of
 the number of concurrent applications, for WRENCH and WRENCH-cache with
 local and NFS I/O, and fits a linear regression to each curve (the
 ``y = a x + b`` annotations of Figure 8).
+
+The sweep runs through the process-pool engine
+(:mod:`repro.experiments.runner`) in its serial inline mode: this figure
+*measures wall-clock per point*, so fanning points across workers would
+make them contend for cores and contaminate the measurement (the
+simulated outputs would stay identical — see ``test_bench_sweep.py`` for
+the parallel-speedup benchmark).
 """
 
 from __future__ import annotations

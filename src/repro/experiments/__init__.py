@@ -18,6 +18,8 @@ Figure 6     Exp 4 Nighres errors                         ``exp4_nighres``
 Figure 7     Exp 3 concurrent NFS I/O                     ``exp3_nfs``
 Figure 8     simulation-time scaling                      ``exp5_scaling``
 (beyond)     Exp 6 cluster batch scheduling               ``exp6_cluster``
+(beyond)     Exp 7 SWF trace replay / preemption          ``exp7_trace_replay``
+(beyond)     parallel sweep engine                        ``runner``
 ===========  ==========================================  =========================
 
 The "real execution" columns are produced by a calibrated reference
@@ -48,9 +50,23 @@ from repro.experiments.exp4_nighres import run_exp4, exp4_errors
 from repro.experiments.exp5_scaling import run_scaling, ScalingPoint
 from repro.experiments.exp6_cluster import (
     ClusterPoint,
+    exp6_grid,
+    exp6_policy_series,
     exp6_report,
     exp6_series,
     run_exp6,
+)
+from repro.experiments.runner import (
+    PointResult,
+    PointSpec,
+    SweepPointError,
+    derive_point_seed,
+    make_spec,
+    register_experiment,
+    resolve_workers,
+    run_named_sweep,
+    run_sweep,
+    sweep_values,
 )
 
 __all__ = [
@@ -77,5 +93,17 @@ __all__ = [
     "ClusterPoint",
     "run_exp6",
     "exp6_series",
+    "exp6_policy_series",
+    "exp6_grid",
     "exp6_report",
+    "PointSpec",
+    "PointResult",
+    "SweepPointError",
+    "make_spec",
+    "run_sweep",
+    "run_named_sweep",
+    "sweep_values",
+    "register_experiment",
+    "resolve_workers",
+    "derive_point_seed",
 ]

@@ -14,11 +14,12 @@ with all I/O directed to the same local disk, for input file sizes of 20,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.apps.synthetic import NUM_TASKS, synthetic_workflow
 from repro.experiments.harness import ScenarioConfig, build_simulation
 from repro.experiments.metrics import mean_error_percent, per_operation_errors
+from repro.experiments.runner import make_spec, sweep_values
 from repro.pagecache.memory_manager import MemorySnapshot
 from repro.simulator.tracing import CacheContentRecord
 from repro.units import GB, MB
@@ -92,24 +93,61 @@ def run_exp1(simulator: str, file_size: float, *, chunk_size: float = 100 * MB,
     )
 
 
+def sweep_errors_vs_reference(experiment: str, simulators: Sequence[str],
+                              reference, *,
+                              workers: Union[None, int, str] = None,
+                              **params) -> Dict[str, Dict[str, float]]:
+    """Per-simulator error sweeps against a reference run, as one fan-out.
+
+    Runs ``experiment`` once per simulator — plus a trailing ``"real"``
+    run when ``reference`` is ``None`` — through the sweep engine, then
+    maps each simulator to its per-operation errors against the
+    reference's durations.  Shared by :func:`exp1_errors` and
+    :func:`repro.experiments.exp4_nighres.exp4_errors`, whose result
+    objects both expose ``.durations``.
+    """
+    simulators = list(simulators)
+    sweep = list(simulators)
+    if reference is None:
+        sweep.append("real")
+    runs = sweep_values(
+        [
+            make_spec(experiment, label=f"{experiment}[{simulator}]",
+                      simulator=simulator, **params)
+            for simulator in sweep
+        ],
+        workers=workers,
+    )
+    if reference is None:
+        reference = runs.pop()
+    return {
+        simulator: per_operation_errors(run.durations, reference.durations)
+        for simulator, run in zip(simulators, runs)
+    }
+
+
 def exp1_errors(file_size: float, *, simulators: Sequence[str] = EXP1_SIMULATORS,
                 chunk_size: float = 100 * MB,
                 reference: Optional[Exp1Result] = None,
+                workers: Union[None, int, str] = None,
                 ) -> Dict[str, Dict[str, float]]:
     """Per-operation absolute relative errors (%) against the reference.
 
     Returns ``{simulator: {operation label: error percent}}`` — the data of
     Figure 4a for one file size.  The reference run can be passed in to
-    avoid recomputing it across simulators or file sizes.
+    avoid recomputing it across simulators or file sizes; when it is not,
+    it joins the per-simulator runs in one sweep, fanned out across
+    ``workers`` processes (:mod:`repro.experiments.runner`).
     """
-    reference = reference or run_exp1(
-        "real", file_size, chunk_size=chunk_size, trace_interval=None
+    return sweep_errors_vs_reference(
+        "exp1",
+        simulators,
+        reference,
+        workers=workers,
+        file_size=file_size,
+        chunk_size=chunk_size,
+        trace_interval=None,
     )
-    errors: Dict[str, Dict[str, float]] = {}
-    for simulator in simulators:
-        run = run_exp1(simulator, file_size, chunk_size=chunk_size, trace_interval=None)
-        errors[simulator] = per_operation_errors(run.durations, reference.durations)
-    return errors
 
 
 def exp1_mean_errors(errors: Dict[str, Dict[str, float]]) -> Dict[str, float]:

@@ -10,10 +10,11 @@ for the real execution, WRENCH and WRENCH-cache.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.apps.concurrent import make_instances, stage_and_submit_instances
 from repro.experiments.harness import ScenarioConfig, build_simulation
+from repro.experiments.runner import PointResult, make_spec, sweep_values
 from repro.units import GB, MB
 
 #: Concurrency levels plotted in Figures 5 and 7.
@@ -67,15 +68,15 @@ def run_exp2(simulator: str, n_apps: int, *,
     )
 
 
-def sweep_exp2(simulator: str, *, counts: Sequence[int] = DEFAULT_APP_COUNTS,
-               input_size: float = DEFAULT_INPUT_SIZE,
-               chunk_size: float = 100 * MB,
-               nfs: bool = False) -> List[ConcurrencyPoint]:
-    """Run a full concurrency sweep for one simulator (one curve of Fig 5/7)."""
+def _exp2_specs(simulator: str, counts: Sequence[int], input_size: float,
+                chunk_size: float, nfs: bool):
+    storage = "nfs" if nfs else "local"
     return [
-        run_exp2(
-            simulator,
-            n_apps,
+        make_spec(
+            "exp2",
+            label=f"exp2[{simulator},{storage},{n_apps}]",
+            simulator=simulator,
+            n_apps=n_apps,
             input_size=input_size,
             chunk_size=chunk_size,
             nfs=nfs,
@@ -84,19 +85,50 @@ def sweep_exp2(simulator: str, *, counts: Sequence[int] = DEFAULT_APP_COUNTS,
     ]
 
 
+def sweep_exp2(simulator: str, *, counts: Sequence[int] = DEFAULT_APP_COUNTS,
+               input_size: float = DEFAULT_INPUT_SIZE,
+               chunk_size: float = 100 * MB,
+               nfs: bool = False,
+               workers: Union[None, int, str] = None,
+               progress: Optional[Callable[[PointResult, int, int], None]] = None,
+               ) -> List[ConcurrencyPoint]:
+    """Run a full concurrency sweep for one simulator (one curve of Fig 5/7).
+
+    The points are independent simulations and fan out across ``workers``
+    processes (see :mod:`repro.experiments.runner`); results come back in
+    ``counts`` order for any worker count.
+    """
+    return sweep_values(
+        _exp2_specs(simulator, counts, input_size, chunk_size, nfs),
+        workers=workers,
+        progress=progress,
+    )
+
+
 def exp2_series(simulators: Sequence[str] = ("real", "wrench", "wrench-cache"), *,
                 counts: Sequence[int] = DEFAULT_APP_COUNTS,
                 input_size: float = DEFAULT_INPUT_SIZE,
                 chunk_size: float = 100 * MB,
-                nfs: bool = False) -> Dict[str, List[ConcurrencyPoint]]:
-    """All the curves of Figure 5 (or Figure 7 with ``nfs=True``)."""
-    return {
-        simulator: sweep_exp2(
-            simulator,
-            counts=counts,
-            input_size=input_size,
-            chunk_size=chunk_size,
-            nfs=nfs,
-        )
+                nfs: bool = False,
+                workers: Union[None, int, str] = None,
+                progress: Optional[Callable[[PointResult, int, int], None]] = None,
+                ) -> Dict[str, List[ConcurrencyPoint]]:
+    """All the curves of Figure 5 (or Figure 7 with ``nfs=True``).
+
+    The whole (simulator × count) grid is submitted as one flat sweep, so
+    a pool is kept busy across curve boundaries instead of draining at the
+    end of each curve.
+    """
+    simulators = list(simulators)
+    counts = list(counts)
+    specs = [
+        spec
         for simulator in simulators
+        for spec in _exp2_specs(simulator, counts, input_size, chunk_size, nfs)
+    ]
+    values = sweep_values(specs, workers=workers, progress=progress)
+    per_curve = len(counts)
+    return {
+        simulator: values[i * per_curve:(i + 1) * per_curve]
+        for i, simulator in enumerate(simulators)
     }

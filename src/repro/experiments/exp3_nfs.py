@@ -11,7 +11,7 @@ cache hits.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.experiments.exp2_concurrent import (
     ConcurrencyPoint,
@@ -21,6 +21,7 @@ from repro.experiments.exp2_concurrent import (
     run_exp2,
     sweep_exp2,
 )
+from repro.experiments.runner import PointResult
 from repro.units import MB
 
 
@@ -35,7 +36,10 @@ def run_exp3(simulator: str, n_apps: int, *,
 
 def sweep_exp3(simulator: str, *, counts: Sequence[int] = DEFAULT_APP_COUNTS,
                input_size: float = DEFAULT_INPUT_SIZE,
-               chunk_size: float = 100 * MB) -> List[ConcurrencyPoint]:
+               chunk_size: float = 100 * MB,
+               workers: Union[None, int, str] = None,
+               progress: Optional[Callable[[PointResult, int, int], None]] = None,
+               ) -> List[ConcurrencyPoint]:
     """Run a full NFS concurrency sweep for one simulator (one curve of Fig 7)."""
     return sweep_exp2(
         simulator,
@@ -43,13 +47,18 @@ def sweep_exp3(simulator: str, *, counts: Sequence[int] = DEFAULT_APP_COUNTS,
         input_size=input_size,
         chunk_size=chunk_size,
         nfs=True,
+        workers=workers,
+        progress=progress,
     )
 
 
 def exp3_series(simulators: Sequence[str] = ("real", "wrench", "wrench-cache"), *,
                 counts: Sequence[int] = DEFAULT_APP_COUNTS,
                 input_size: float = DEFAULT_INPUT_SIZE,
-                chunk_size: float = 100 * MB) -> Dict[str, List[ConcurrencyPoint]]:
+                chunk_size: float = 100 * MB,
+                workers: Union[None, int, str] = None,
+                progress: Optional[Callable[[PointResult, int, int], None]] = None,
+                ) -> Dict[str, List[ConcurrencyPoint]]:
     """All the curves of Figure 7."""
     return exp2_series(
         simulators,
@@ -57,4 +66,6 @@ def exp3_series(simulators: Sequence[str] = ("real", "wrench", "wrench-cache"), 
         input_size=input_size,
         chunk_size=chunk_size,
         nfs=True,
+        workers=workers,
+        progress=progress,
     )

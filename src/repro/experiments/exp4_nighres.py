@@ -10,11 +10,12 @@ average of 337 % (WRENCH) to 47 % (WRENCH-cache).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.apps.nighres import NIGHRES_STEPS, nighres_input_files, nighres_workflow
+from repro.experiments.exp1_single import sweep_errors_vs_reference
 from repro.experiments.harness import ScenarioConfig, build_simulation
-from repro.experiments.metrics import mean_error_percent, per_operation_errors
+from repro.experiments.metrics import mean_error_percent
 from repro.units import MB
 
 #: Operation labels of Figure 6, in execution order.
@@ -73,14 +74,21 @@ def run_exp4(simulator: str, *, chunk_size: float = 50 * MB,
 def exp4_errors(*, simulators: Sequence[str] = EXP4_SIMULATORS,
                 chunk_size: float = 50 * MB,
                 reference: Optional[Exp4Result] = None,
+                workers: Union[None, int, str] = None,
                 ) -> Dict[str, Dict[str, float]]:
-    """Per-operation absolute relative errors (%) — the data of Figure 6."""
-    reference = reference or run_exp4("real", chunk_size=chunk_size)
-    errors: Dict[str, Dict[str, float]] = {}
-    for simulator in simulators:
-        run = run_exp4(simulator, chunk_size=chunk_size)
-        errors[simulator] = per_operation_errors(run.durations, reference.durations)
-    return errors
+    """Per-operation absolute relative errors (%) — the data of Figure 6.
+
+    The per-simulator runs (and the reference, unless supplied) execute
+    as one sweep through
+    :func:`repro.experiments.exp1_single.sweep_errors_vs_reference`.
+    """
+    return sweep_errors_vs_reference(
+        "exp4",
+        simulators,
+        reference,
+        workers=workers,
+        chunk_size=chunk_size,
+    )
 
 
 def exp4_mean_errors(errors: Dict[str, Dict[str, float]]) -> Dict[str, float]:

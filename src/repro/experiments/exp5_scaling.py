@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.regression import LinearFit, linear_fit
 from repro.experiments.exp2_concurrent import DEFAULT_INPUT_SIZE, run_exp2
+from repro.experiments.runner import PointResult, make_spec, sweep_values
 from repro.units import MB
 
 #: The four curves plotted in Figure 8.
@@ -66,20 +67,41 @@ def run_scaling(counts: Sequence[int] = (1, 4, 8, 16, 24, 32), *,
                 configs: Sequence[Tuple[str, bool]] = SCALING_CONFIGS,
                 input_size: float = DEFAULT_INPUT_SIZE,
                 chunk_size: float = 100 * MB,
+                workers: Union[None, int, str] = None,
+                progress: Optional[Callable[[PointResult, int, int], None]] = None,
                 ) -> Dict[str, List[ScalingPoint]]:
     """Measure every curve of Figure 8.
 
     Returns ``{curve label: [ScalingPoint, ...]}``.
+
+    The whole (config × count) grid runs as one flat sweep through
+    :mod:`repro.experiments.runner`; the *simulated* outputs are identical
+    for any ``workers`` value.  Note that each point's ``wallclock_time``
+    is measured inside its worker, so with more workers than cores the
+    per-point wall-clock readings contend — keep the default serial mode
+    when the measurement itself is the result (Figure 8), use workers
+    when only the simulated outputs matter.
     """
+    counts = list(counts)
+    configs = list(configs)
+    specs = [
+        make_spec(
+            "exp5-point",
+            label=f"exp5[{simulator},{'nfs' if nfs else 'local'},{n_apps}]",
+            simulator=simulator,
+            n_apps=n_apps,
+            nfs=nfs,
+            input_size=input_size,
+            chunk_size=chunk_size,
+        )
+        for simulator, nfs in configs
+        for n_apps in counts
+    ]
+    values = sweep_values(specs, workers=workers, progress=progress)
+    per_curve = len(counts)
     curves: Dict[str, List[ScalingPoint]] = {}
-    for simulator, nfs in configs:
-        points = [
-            measure_point(
-                simulator, n_apps, nfs=nfs, input_size=input_size,
-                chunk_size=chunk_size,
-            )
-            for n_apps in counts
-        ]
+    for i in range(len(configs)):
+        points = values[i * per_curve:(i + 1) * per_curve]
         curves[points[0].label] = points
     return curves
 

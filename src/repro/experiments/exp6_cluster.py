@@ -21,9 +21,10 @@ construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.analysis.tables import format_table
+from repro.experiments.runner import run_named_sweep
 from repro.filesystem.file import File
 from repro.rng import DeterministicRNG
 from repro.scheduler.arrivals import PoissonArrivalProcess
@@ -176,12 +177,64 @@ def run_exp6(placement: str = "cache", *, policy: str = "fifo",
 
 def exp6_series(placements: Sequence[str] = EXP6_PLACEMENTS, *,
                 policy: str = "fifo",
+                workers: Union[None, int, str] = None,
+                progress=None,
                 **kwargs) -> Dict[str, ClusterPoint]:
-    """Run the same seeded workload under every placement strategy."""
-    return {
-        placement: run_exp6(placement, policy=policy, **kwargs)
-        for placement in placements
-    }
+    """Run the same seeded workload under every placement strategy.
+
+    One sweep point per placement, fanned out across ``workers``
+    processes (:func:`~repro.experiments.runner.run_named_sweep`); each
+    point replays the identical seeded workload (the seed travels in the
+    spec), so the comparison is workload-controlled by construction and
+    the result dict is worker-count independent.
+    """
+    return run_named_sweep(
+        "exp6",
+        {
+            placement: dict(placement=placement, policy=policy, **kwargs)
+            for placement in placements
+        },
+        workers=workers,
+        progress=progress,
+    )
+
+
+def exp6_policy_series(policies: Sequence[str] = ("fifo", "sjf", "easy"), *,
+                       placement: str = "cache",
+                       workers: Union[None, int, str] = None,
+                       progress=None,
+                       **kwargs) -> Dict[str, ClusterPoint]:
+    """Run the same seeded workload under every scheduling policy."""
+    return run_named_sweep(
+        "exp6",
+        {
+            policy: dict(placement=placement, policy=policy, **kwargs)
+            for policy in policies
+        },
+        workers=workers,
+        progress=progress,
+    )
+
+
+def exp6_grid(policies: Sequence[str], placements: Sequence[str], *,
+              workers: Union[None, int, str] = None,
+              progress=None,
+              **kwargs) -> Dict[Tuple[str, str], ClusterPoint]:
+    """The full policy × placement comparison as one flat sweep.
+
+    Returns ``{(policy, placement): ClusterPoint}`` in grid order.
+    """
+    return run_named_sweep(
+        "exp6",
+        {
+            (policy, placement): dict(placement=placement, policy=policy,
+                                      **kwargs)
+            for policy in policies
+            for placement in placements
+        },
+        workers=workers,
+        progress=progress,
+    )
 
 
 def exp6_report(points: Dict[str, ClusterPoint],

@@ -27,6 +27,7 @@ from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.analysis.tables import format_table
 from repro.errors import ConfigurationError
+from repro.experiments.runner import run_named_sweep
 from repro.scheduler.metrics import PriorityClassMetrics
 from repro.scheduler.swf import SWFTrace, load_swf
 from repro.simulator.simulation import Simulation, SimulationConfig
@@ -167,12 +168,42 @@ def run_exp7(policy: str = "preemptive-priority", *,
 
 def exp7_series(policies: Sequence[str] = EXP7_POLICIES, *,
                 placement: str = "cache",
+                workers: Union[None, int, str] = None,
+                progress=None,
                 **kwargs) -> Dict[str, TracePoint]:
-    """Replay the same trace under every policy."""
-    return {
-        policy: run_exp7(policy, placement=placement, **kwargs)
-        for policy in policies
-    }
+    """Replay the same trace under every policy.
+
+    One sweep point per policy (the trace travels in the spec — an
+    :class:`~repro.scheduler.swf.SWFTrace` pickles as plain dataclasses,
+    a path is loaded inside the worker), fanned out across ``workers``
+    processes via :func:`~repro.experiments.runner.run_named_sweep`.
+    """
+    return run_named_sweep(
+        "exp7",
+        {
+            policy: dict(policy=policy, placement=placement, **kwargs)
+            for policy in policies
+        },
+        workers=workers,
+        progress=progress,
+    )
+
+
+def exp7_placement_series(placements: Sequence[str] = ("round-robin", "cache"), *,
+                          policy: str = "preemptive-priority",
+                          workers: Union[None, int, str] = None,
+                          progress=None,
+                          **kwargs) -> Dict[str, TracePoint]:
+    """Replay the same trace under every placement strategy."""
+    return run_named_sweep(
+        "exp7",
+        {
+            placement: dict(policy=policy, placement=placement, **kwargs)
+            for placement in placements
+        },
+        workers=workers,
+        progress=progress,
+    )
 
 
 def exp7_report(points: Dict[str, TracePoint],

@@ -1,0 +1,406 @@
+"""Parallel sweep engine: deterministic fan-out of independent points.
+
+The paper's figures are *sweeps* — dozens of independent (simulator,
+scenario, workload-knob) simulation runs whose results are assembled into
+one table or curve.  Every point is completely independent of the others,
+which makes the sweep embarrassingly parallel; this module turns that
+observation into a process-pool engine with three hard guarantees:
+
+**Determinism.**  Results are returned in spec-submission order, and any
+randomness a point needs is derived from an explicit seed via
+:func:`derive_point_seed` (:mod:`repro.rng` under the hood), never from
+worker identity, scheduling order or wall clock.  The output of a sweep is
+therefore byte-identical for *any* worker count, including the inline
+``workers=1`` mode — the property the determinism tests pin down.
+
+**Nothing unpicklable crosses the process boundary.**  A point travels as
+a small :class:`PointSpec` (an experiment name registered in
+:data:`EXPERIMENTS` plus picklable keyword arguments); the simulation
+itself is built *inside* the worker, spec-driven, through the experiment
+functions (which construct via
+:func:`repro.experiments.harness.build_simulation`).  What comes back is a
+:class:`PointResult` wrapping the experiment's plain-dataclass value.
+
+**Failures carry their spec.**  A point that raises in a worker surfaces
+in the parent as a :class:`SweepPointError` with the failing
+:class:`PointSpec` attached and the remote traceback in the message;
+remaining queued points are cancelled.  ``KeyboardInterrupt`` cancels the
+queue and shuts the pool down cleanly before re-raising.
+
+The worker count resolves, in order: the explicit ``workers=`` argument,
+the ``REPRO_WORKERS`` environment variable (an integer, or ``auto`` for
+the CPU count), then ``1`` (inline, no subprocesses) — so existing serial
+callers and the parity suite are unaffected unless parallelism is asked
+for.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.rng import derive_seed
+
+#: Environment variable consulted when ``workers`` is not passed explicitly.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Registered experiment kinds.  Values are either callables or lazy
+#: ``"module:attribute"`` strings (resolved at execution time, in the
+#: worker, so the registry itself stays import-cycle-free and picklable
+#: specs never carry function objects).
+EXPERIMENTS: Dict[str, Union[str, Callable[..., Any]]] = {
+    "exp1": "repro.experiments.exp1_single:run_exp1",
+    "exp2": "repro.experiments.exp2_concurrent:run_exp2",
+    "exp3": "repro.experiments.exp3_nfs:run_exp3",
+    "exp4": "repro.experiments.exp4_nighres:run_exp4",
+    "exp5-point": "repro.experiments.exp5_scaling:measure_point",
+    "exp6": "repro.experiments.exp6_cluster:run_exp6",
+    "exp7": "repro.experiments.exp7_trace_replay:run_exp7",
+}
+
+
+def register_experiment(name: str,
+                        target: Union[str, Callable[..., Any]]) -> None:
+    """Register an experiment kind for spec-driven execution.
+
+    ``target`` is a callable or a ``"module:attribute"`` string.  String
+    targets work with every pool start method; bare callables require a
+    fork-based pool (the default on Linux) or inline execution, because
+    spawn-started workers re-import modules and only see registrations
+    made at import time.
+    """
+    if not callable(target) and ":" not in str(target):
+        raise ConfigurationError(
+            f"experiment target must be a callable or 'module:attr' string, "
+            f"got {target!r}"
+        )
+    EXPERIMENTS[name] = target
+
+
+def experiment_fn(name: str) -> Callable[..., Any]:
+    """Resolve a registered experiment name to its callable."""
+    try:
+        target = EXPERIMENTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; registered: {sorted(EXPERIMENTS)}"
+        ) from None
+    if callable(target):
+        return target
+    module_name, _, attr = target.partition(":")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def derive_point_seed(base_seed: int, key: str) -> int:
+    """Derive a per-point seed from ``(base_seed, key)``.
+
+    Stable across platforms, processes and worker counts (SHA-256 based,
+    see :mod:`repro.rng`), so a sweep's random workloads do not depend on
+    which worker runs which point.
+    """
+    return derive_seed(base_seed, key)
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One independent simulation point of a sweep.
+
+    Attributes
+    ----------
+    experiment:
+        Name of a registered experiment kind (see :data:`EXPERIMENTS`).
+    params:
+        Keyword arguments for the experiment function, as a sorted tuple
+        of ``(name, value)`` pairs; every value must be picklable.
+    label:
+        Human-readable point label used in error messages and progress
+        reporting; defaults to ``experiment``.
+    seed_key:
+        When set (together with ``run_sweep(base_seed=...)``), the engine
+        injects ``seed=derive_point_seed(base_seed, seed_key)`` into the
+        experiment's keyword arguments — per-point seed derivation that is
+        independent of point order and worker count.
+    """
+
+    experiment: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+    label: Optional[str] = None
+    seed_key: Optional[str] = None
+
+    def kwargs(self) -> Dict[str, Any]:
+        """The spec's parameters as a keyword-argument dict."""
+        return dict(self.params)
+
+    @property
+    def name(self) -> str:
+        """Display name of the point."""
+        return self.label or self.experiment
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        return f"<PointSpec {self.name!r}: {self.experiment}({inner})>"
+
+
+def make_spec(experiment: str, *, label: Optional[str] = None,
+              seed_key: Optional[str] = None, **params: Any) -> PointSpec:
+    """Build a :class:`PointSpec` from keyword arguments.
+
+    Parameters are sorted by name so two specs built from the same
+    arguments compare (and pickle) identically regardless of call-site
+    keyword order.
+    """
+    return PointSpec(
+        experiment=experiment,
+        params=tuple(sorted(params.items())),
+        label=label,
+        seed_key=seed_key,
+    )
+
+
+@dataclass
+class PointResult:
+    """Outcome of one executed sweep point.
+
+    ``wallclock_time`` is the in-worker execution time of the point and
+    ``pid`` the worker process id — diagnostics only: neither is
+    deterministic, so result tables must be built from ``value``.
+    """
+
+    spec: PointSpec
+    index: int
+    value: Any
+    wallclock_time: float
+    pid: int
+
+
+class SweepPointError(SimulationError):
+    """A sweep point failed; carries the failing spec and its index."""
+
+    def __init__(self, spec: PointSpec, index: int, message: str):
+        super().__init__(
+            f"sweep point #{index} ({spec.name!r}) failed: {message}"
+        )
+        self.spec = spec
+        self.index = index
+
+
+def resolve_workers(workers: Union[None, int, str] = None) -> int:
+    """Resolve a worker count: argument, then ``REPRO_WORKERS``, then 1.
+
+    ``"auto"`` (argument or environment) means the machine's CPU count.
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if not env:
+            return 1
+        workers = env
+    if isinstance(workers, str):
+        if workers.lower() == "auto":
+            return max(1, os.cpu_count() or 1)
+        try:
+            workers = int(workers)
+        except ValueError:
+            raise ConfigurationError(
+                f"workers must be a positive integer or 'auto', got {workers!r}"
+            ) from None
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    return int(workers)
+
+
+# ------------------------------------------------------------------ execution
+def _execute_point(payload: Tuple[int, PointSpec, Optional[int]]):
+    """Run one point (in a worker or inline) and report success or failure.
+
+    Returns ``(index, ok, value_or_error, elapsed, pid)``.  Failures are
+    returned as ``(type name, message, formatted traceback)`` rather than
+    raised, so arbitrary (possibly unpicklable) exceptions never poison
+    the pool's result channel.
+    """
+    index, spec, seed = payload
+    kwargs = spec.kwargs()
+    if seed is not None:
+        kwargs["seed"] = seed
+    start = time.perf_counter()
+    try:
+        fn = experiment_fn(spec.experiment)
+        value = fn(**kwargs)
+    except KeyboardInterrupt:
+        raise
+    except BaseException as exc:  # noqa: BLE001 - reported with the spec
+        detail = (type(exc).__name__, str(exc), traceback.format_exc())
+        return index, False, detail, time.perf_counter() - start, os.getpid()
+    return index, True, value, time.perf_counter() - start, os.getpid()
+
+
+def _payloads(specs: Sequence[PointSpec],
+              base_seed: Optional[int]) -> List[Tuple[int, PointSpec, Optional[int]]]:
+    payloads = []
+    for index, spec in enumerate(specs):
+        seed = None
+        if spec.seed_key is not None:
+            if base_seed is None:
+                raise ConfigurationError(
+                    f"spec {spec.name!r} has seed_key={spec.seed_key!r} but "
+                    "run_sweep was called without base_seed"
+                )
+            seed = derive_point_seed(base_seed, spec.seed_key)
+        payloads.append((index, spec, seed))
+    return payloads
+
+
+def _run_inline(payloads, progress) -> List[PointResult]:
+    results: List[PointResult] = []
+    total = len(payloads)
+    for index, spec, seed in payloads:
+        outcome = _execute_point((index, spec, seed))
+        _, ok, value, elapsed, pid = outcome
+        if not ok:
+            type_name, message, remote_tb = value
+            raise SweepPointError(
+                spec, index, f"{type_name}: {message}\n{remote_tb}"
+            )
+        result = PointResult(spec=spec, index=index, value=value,
+                             wallclock_time=elapsed, pid=pid)
+        results.append(result)
+        if progress is not None:
+            progress(result, len(results), total)
+    return results
+
+
+def _mp_context():
+    """The multiprocessing context used for pools.
+
+    ``fork`` (where available) inherits the parent's experiment registry,
+    so test-registered callables work; elsewhere the default context is
+    used and string-registered experiments resolve by import.
+    """
+    import multiprocessing
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _run_pool(payloads, workers, progress) -> List[PointResult]:
+    total = len(payloads)
+    by_index = {index: spec for index, spec, _ in payloads}
+    results: Dict[int, PointResult] = {}
+    executor = ProcessPoolExecutor(max_workers=workers,
+                                   mp_context=_mp_context())
+    futures: Dict[Any, int] = {}
+    try:
+        for payload in payloads:
+            futures[executor.submit(_execute_point, payload)] = payload[0]
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index, ok, value, elapsed, pid = future.result()
+                if not ok:
+                    type_name, message, remote_tb = value
+                    raise SweepPointError(
+                        by_index[index], index,
+                        f"{type_name}: {message}\n--- worker traceback ---\n"
+                        f"{remote_tb}",
+                    )
+                result = PointResult(spec=by_index[index], index=index,
+                                     value=value, wallclock_time=elapsed,
+                                     pid=pid)
+                results[index] = result
+                if progress is not None:
+                    progress(result, len(results), total)
+    except BaseException:
+        # Failure, KeyboardInterrupt, or a raising progress callback:
+        # drop everything still queued and shut the pool down before
+        # propagating (in-flight points finish, workers then exit).
+        for future in futures:
+            future.cancel()
+        executor.shutdown(wait=True, cancel_futures=True)
+        raise
+    executor.shutdown(wait=True)
+    return [results[index] for index in sorted(results)]
+
+
+def run_sweep(specs: Sequence[PointSpec], *,
+              workers: Union[None, int, str] = None,
+              base_seed: Optional[int] = None,
+              progress: Optional[Callable[[PointResult, int, int], None]] = None,
+              ) -> List[PointResult]:
+    """Execute every spec and return results in spec order.
+
+    Parameters
+    ----------
+    specs:
+        The sweep's points; executed independently, submitted in order.
+    workers:
+        Process count (``1`` = inline in this process, no pool).  ``None``
+        resolves via ``REPRO_WORKERS`` (default 1); ``"auto"`` uses the
+        CPU count.
+    base_seed:
+        Base seed for specs carrying a ``seed_key`` (per-point seeds are
+        derived, not shared, so results are worker-count independent).
+    progress:
+        Called as ``progress(result, n_completed, n_total)`` after each
+        point completes.  Completion order is nondeterministic under a
+        pool; only the returned list's order is guaranteed.
+
+    Returns
+    -------
+    ``PointResult`` list in the same order as ``specs``, regardless of
+    completion order — with per-point seeding this makes sweep outputs
+    byte-identical across worker counts.
+    """
+    specs = list(specs)
+    payloads = _payloads(specs, base_seed)
+    count = resolve_workers(workers)
+    if count == 1 or len(specs) <= 1:
+        return _run_inline(payloads, progress)
+    return _run_pool(payloads, min(count, max(1, len(specs))), progress)
+
+
+def run_named_sweep(experiment: str, variants: Dict[Any, Dict[str, Any]], *,
+                    workers: Union[None, int, str] = None,
+                    base_seed: Optional[int] = None,
+                    progress: Optional[Callable[[PointResult, int, int], None]] = None,
+                    ) -> Dict[Any, Any]:
+    """Run one sweep point per ``variants`` entry; return ``{key: value}``.
+
+    ``variants`` maps a display key (a string, tuple, …) to the keyword
+    arguments of one ``experiment`` run; the key also labels the point.
+    This is the shape of every comparison series (placements × one
+    workload, policies × one trace, …): insertion order is preserved and
+    the values come back matched to their keys for any worker count.
+    """
+    keys = list(variants)
+    values = sweep_values(
+        [
+            make_spec(experiment, label=f"{experiment}[{key}]",
+                      **variants[key])
+            for key in keys
+        ],
+        workers=workers,
+        base_seed=base_seed,
+        progress=progress,
+    )
+    return dict(zip(keys, values))
+
+
+def sweep_values(specs: Sequence[PointSpec], *,
+                 workers: Union[None, int, str] = None,
+                 base_seed: Optional[int] = None,
+                 progress: Optional[Callable[[PointResult, int, int], None]] = None,
+                 ) -> List[Any]:
+    """Like :func:`run_sweep`, returning just the point values in order."""
+    return [
+        result.value
+        for result in run_sweep(
+            specs, workers=workers, base_seed=base_seed, progress=progress
+        )
+    ]

@@ -20,10 +20,21 @@ from typing import List, Sequence, TypeVar
 T = TypeVar("T")
 
 
-def _derive_seed(seed: int, key: str) -> int:
-    """Derive a child seed from ``(seed, key)``, stable across platforms."""
+def derive_seed(seed: int, key: str) -> int:
+    """Derive a child seed from ``(seed, key)``, stable across platforms.
+
+    This is the seed-derivation primitive behind
+    :meth:`DeterministicRNG.spawn` and the sweep engine's per-point seeds
+    (:func:`repro.experiments.runner.derive_point_seed`): SHA-256 of
+    ``"{seed}:{key}"``, so the result depends only on the two inputs —
+    never on process, platform or hash randomization.
+    """
     digest = hashlib.sha256(f"{seed}:{key}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+#: Backwards-compatible alias (pre-PR-4 internal name).
+_derive_seed = derive_seed
 
 
 class DeterministicRNG:
@@ -86,7 +97,7 @@ class DeterministicRNG:
         many draws the parent has made, so adding draws to one part of an
         experiment never changes the values seen by another part.
         """
-        return DeterministicRNG(_derive_seed(self.seed, key))
+        return DeterministicRNG(derive_seed(self.seed, key))
 
     def __repr__(self) -> str:
         return f"DeterministicRNG(seed={self.seed})"

@@ -51,11 +51,14 @@ from repro.scheduler.policies import (
     make_policy,
 )
 from repro.scheduler.swf import (
+    KNOWN_TRACES,
     SWFRecord,
     SWFTrace,
     TraceJobSpec,
     dump_swf,
+    fetch_trace,
     load_swf,
+    load_trace,
     parse_swf,
     save_swf,
 )
@@ -90,4 +93,7 @@ __all__ = [
     "load_swf",
     "dump_swf",
     "save_swf",
+    "KNOWN_TRACES",
+    "fetch_trace",
+    "load_trace",
 ]

@@ -15,7 +15,7 @@ the page-cache residency queries the cache-locality placement relies on.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.des.environment import Environment
 from repro.errors import SchedulingError
@@ -53,6 +53,12 @@ class NodeState:
         self.free_cores = int(host.cores)
         #: Running jobs, keyed by job id.
         self.running: Dict[int, Job] = {}
+        #: Cached release schedule for :meth:`earliest_fit_time` — the
+        #: running jobs' estimated completions, sorted.  Invalidated on
+        #: every allocate/release; between those the schedule is
+        #: immutable, while backfilling policies query it once per node
+        #: per scheduling pass (the old code re-sorted every call).
+        self._release_schedule: Optional[List[Tuple[float, int]]] = None
 
     # --------------------------------------------------------------- queries
     @property
@@ -87,27 +93,37 @@ class NodeState:
         (``start + estimated_runtime``, clamped to ``now`` for overrunning
         jobs) and returns the time at which enough cores accumulate;
         ``inf`` when the node can never fit the request.
+
+        The sorted completion schedule is cached across calls and only
+        rebuilt after an allocate/release.  The clamp to ``now`` happens
+        at query time: ``max(now, t)`` is monotone, so the raw-sorted
+        order is also clamped-sorted order, and entries tied at the same
+        (clamped) time all report that same time — the returned fit time
+        is identical to re-sorting the clamped schedule on every call.
+        (A job's ``start_time`` is still unset when the policy runs in
+        the dispatch pass that allocated it; it is substituted with the
+        build-time ``now``, which is exactly the timestamp the process
+        will record when it first runs.)
         """
         if cores > self.total_cores:
             return float("inf")
         free = self.free_cores
         if free >= cores:
             return now
-        releases = sorted(
-            (
-                max(
-                    now,
+        releases = self._release_schedule
+        if releases is None:
+            releases = self._release_schedule = sorted(
+                (
                     (job.start_time if job.start_time is not None else now)
                     + job.estimated_runtime,
-                ),
-                job.cores,
+                    job.cores,
+                )
+                for job in self.running.values()
             )
-            for job in self.running.values()
-        )
         for time, released in releases:
             free += released
             if free >= cores:
-                return time
+                return time if time > now else now
         return float("inf")
 
     # ------------------------------------------------------------ accounting
@@ -120,12 +136,14 @@ class NodeState:
             )
         self.free_cores -= job.cores
         self.running[job.id] = job
+        self._release_schedule = None
 
     def release(self, job: Job) -> None:
         """Release the job's cores."""
         if job.id in self.running:
             del self.running[job.id]
             self.free_cores += job.cores
+            self._release_schedule = None
 
     def __repr__(self) -> str:
         return (
@@ -282,12 +300,22 @@ class ClusterScheduler:
                 )
             yield self.env.any_of(waits)
 
-            for job_id, process in list(self._running_procs.items()):
+            # Reap completed job processes.  The dict is only mutated
+            # after the scan, so no per-poll ``list(items())`` snapshot is
+            # needed; the (usually tiny) finished list is allocated only
+            # when something actually completed.
+            finished = None
+            for job_id, process in self._running_procs.items():
                 if process.is_alive:
                     continue
                 if not process.ok:
                     raise process.value
-                del self._running_procs[job_id]
+                if finished is None:
+                    finished = []
+                finished.append(job_id)
+            if finished is not None:
+                for job_id in finished:
+                    del self._running_procs[job_id]
 
     def _dispatch(self) -> None:
         """Start every job the policy allows right now."""

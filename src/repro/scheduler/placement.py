@@ -17,7 +17,7 @@ runs on, among the nodes with enough free cores:
 from __future__ import annotations
 
 import zlib
-from typing import Sequence, TYPE_CHECKING, Union
+from typing import Dict, Sequence, TYPE_CHECKING, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.scheduler.job import Job
@@ -91,23 +91,53 @@ class CacheLocalityPlacement(PlacementStrategy):
 
     name = "cache"
 
+    def __init__(self) -> None:
+        #: Memoized rendezvous weights, keyed by ``(dataset_key, node)``.
+        #: Bounded by #datasets × #nodes, and hit on every cold dispatch —
+        #: without it each dispatch re-hashed every candidate node.
+        self._weights: Dict[Tuple[str, str], int] = {}
+
     def score(self, job: Job, node: "NodeState") -> float:
         """Bytes of the job's input files cached on ``node``."""
         return node.cached_bytes_of(job.input_files())
 
+    def _weight(self, dataset_key: str, node_name: str) -> int:
+        key = (dataset_key, node_name)
+        weight = self._weights.get(key)
+        if weight is None:
+            weight = self._weights[key] = _stable_hash(
+                f"{dataset_key}|{node_name}"
+            )
+        return weight
+
     def select_node(self, job: Job, candidates: Sequence["NodeState"],
                     now: float = 0.0) -> "NodeState":
-        scored = [(self.score(job, node), node) for node in candidates]
-        best_score = max(score for score, _ in scored)
-        if best_score > 0:
-            return min(
-                (pair for pair in scored if pair[0] == best_score),
-                key=lambda pair: (-pair[1].free_cores, pair[1].n_running, pair[1].name),
-            )[1]
-        dataset_key = "|".join(sorted(f.name for f in job.input_files()))
+        # Dispatch hot path: one pass over the candidates, with the job's
+        # input-file list materialised once (``job.input_files()`` builds
+        # a fresh list per call, and the old per-node ``self.score(job,
+        # node)`` rebuilt it for every candidate).  Selection semantics
+        # are unchanged: highest cached-byte score wins, ties broken by
+        # (most free cores, fewest running jobs, name) keeping the
+        # earliest candidate on full ties, exactly as the old
+        # build-then-min implementation did.
+        files = job.input_files()
+        best_node = None
+        best_score = 0.0
+        best_tie = None
+        for node in candidates:
+            score = node.cached_bytes_of(files)
+            if score <= 0.0:
+                continue
+            tie = (-node.free_cores, node.n_running, node.name)
+            if (best_node is None or score > best_score
+                    or (score == best_score and tie < best_tie)):
+                best_node, best_score, best_tie = node, score, tie
+        if best_node is not None:
+            return best_node
+        dataset_key = "|".join(sorted(f.name for f in files))
         return max(
             candidates,
-            key=lambda node: (_stable_hash(f"{dataset_key}|{node.name}"), node.name),
+            key=lambda node: (self._weight(dataset_key, node.name), node.name),
         )
 
 

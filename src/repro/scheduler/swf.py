@@ -31,9 +31,14 @@ that only want the arrival pattern.
 
 from __future__ import annotations
 
+import gzip
+import os
+import tempfile
+import urllib.request
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+from urllib.parse import urlsplit
 
 from repro.errors import ConfigurationError
 from repro.scheduler.arrivals import TraceArrivalProcess
@@ -343,6 +348,111 @@ def dump_swf(trace: SWFTrace) -> str:
 def save_swf(trace: SWFTrace, path: Union[str, Path]) -> None:
     """Write a trace to ``path`` in SWF format."""
     Path(path).write_text(dump_swf(trace))
+
+
+# ----------------------------------------------------------------- archive
+#: Well-known Parallel Workloads Archive traces, by short name.  The
+#: archive serves cleaned logs as gzipped SWF; :func:`fetch_trace`
+#: downloads, decompresses and caches them locally.
+KNOWN_TRACES: Dict[str, str] = {
+    "KTH-SP2": (
+        "https://www.cs.huji.ac.il/labs/parallel/workload/"
+        "l_kth_sp2/KTH-SP2-1996-2.1-cln.swf.gz"
+    ),
+    "SDSC-BLUE": (
+        "https://www.cs.huji.ac.il/labs/parallel/workload/"
+        "l_sdsc_blue/SDSC-BLUE-2000-4.2-cln.swf.gz"
+    ),
+    "CTC-SP2": (
+        "https://www.cs.huji.ac.il/labs/parallel/workload/"
+        "l_ctc_sp2/CTC-SP2-1996-3.1-cln.swf.gz"
+    ),
+}
+
+
+def default_cache_dir() -> Path:
+    """Trace cache directory: ``$REPRO_CACHE_DIR``, else ``~/.cache/repro``
+    (honouring ``$XDG_CACHE_HOME``)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+#: Seconds before a stalled archive download errors out.
+FETCH_TIMEOUT = 60.0
+
+
+def fetch_trace(name_or_url: Union[str, Path], *,
+                cache_dir: Union[None, str, Path] = None,
+                refresh: bool = False,
+                timeout: float = FETCH_TIMEOUT) -> Path:
+    """Download-and-cache a workload trace; return the local ``.swf`` path.
+
+    ``name_or_url`` is a :data:`KNOWN_TRACES` short name (``"KTH-SP2"``),
+    any URL to an SWF file (``.gz`` is decompressed transparently), or a
+    local filesystem path (returned as-is).  Downloads land in
+    ``cache_dir`` (default :func:`default_cache_dir`) under the trace's
+    file name; a cached copy short-circuits the network entirely, so
+    replays against archive traces are a one-time download.  ``refresh``
+    forces a re-download.
+
+    The download is written to a uniquely named temporary sibling and
+    atomically renamed into place, so an interrupted fetch never leaves a
+    truncated trace in the cache and concurrent fetches (e.g. two sweep
+    workers racing on a cold cache) cannot corrupt each other — the last
+    rename wins with a complete file either way.
+    """
+    url = KNOWN_TRACES.get(str(name_or_url), str(name_or_url))
+    if "://" not in url:
+        path = Path(url)
+        if not path.exists():
+            raise ConfigurationError(
+                f"trace {name_or_url!r} is neither a known archive trace "
+                f"({sorted(KNOWN_TRACES)}), a URL, nor an existing file"
+            )
+        return path
+
+    filename = Path(urlsplit(url).path).name
+    gzipped = filename.endswith(".gz")
+    if gzipped:
+        filename = filename[: -len(".gz")]
+    if not filename:
+        raise ConfigurationError(f"cannot derive a file name from {url!r}")
+
+    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    target = directory / filename
+    if target.exists() and not refresh:
+        return target
+
+    directory.mkdir(parents=True, exist_ok=True)
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        payload = response.read()
+    if gzipped:
+        payload = gzip.decompress(payload)
+    fd, partial_name = tempfile.mkstemp(
+        prefix=target.name + ".", suffix=".part", dir=directory
+    )
+    partial = Path(partial_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        partial.replace(target)
+    except BaseException:
+        partial.unlink(missing_ok=True)
+        raise
+    return target
+
+
+def load_trace(name_or_url: Union[str, Path], *,
+               cache_dir: Union[None, str, Path] = None,
+               refresh: bool = False,
+               timeout: float = FETCH_TIMEOUT) -> SWFTrace:
+    """Fetch (cached) and parse a trace in one call."""
+    return load_swf(fetch_trace(name_or_url, cache_dir=cache_dir,
+                                refresh=refresh, timeout=timeout))
 
 
 def records_from_specs(specs: Iterable[TraceJobSpec]) -> List[SWFRecord]:

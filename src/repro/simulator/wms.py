@@ -141,19 +141,36 @@ class WorkflowExecutor:
 
         while pending or running:
             # Launch every task whose dependencies are satisfied, up to the
-            # concurrency bound (suspended executors stop launching).
+            # concurrency bound (suspended executors stop launching).  The
+            # scan never mutates ``pending`` — startable tasks are
+            # collected first and moved after — so no per-wake
+            # ``list(items())`` snapshot is allocated; dependency
+            # satisfaction cannot change mid-pass (``_completed`` only
+            # grows in the reap phase below).
             if not self._preempting:
-                for name, task in list(pending.items()):
-                    if (self.max_concurrent_tasks is not None
-                            and len(running) >= self.max_concurrent_tasks):
+                startable = None
+                bound = self.max_concurrent_tasks
+                slots = (
+                    None if bound is None else max(0, bound - len(running))
+                )
+                for task in pending.values():
+                    if slots is not None and (
+                        len(startable) if startable is not None else 0
+                    ) >= slots:
                         break
                     deps = self.workflow.dependencies(task)
                     if all(dep.name in self._completed for dep in deps):
+                        if startable is None:
+                            startable = []
+                        startable.append(task)
+                if startable is not None:
+                    for task in startable:
                         process = self.env.process(
-                            self._execute_task(task), name=f"{self.label}:{name}"
+                            self._execute_task(task),
+                            name=f"{self.label}:{task.name}",
                         )
-                        running[name] = process
-                        del pending[name]
+                        running[task.name] = process
+                        del pending[task.name]
 
             if not running:
                 if self._preempting:
@@ -168,20 +185,28 @@ class WorkflowExecutor:
                     f"tasks {sorted(pending)} have unsatisfied dependencies"
                 )
 
-            yield self.env.any_of(list(running.values()))
+            # AnyOf copies the iterable itself; no list() snapshot needed.
+            yield self.env.any_of(running.values())
 
-            for name, process in list(running.items()):
+            # Reap finished tasks: scan without copying, mutate after.
+            finished = None
+            for name, process in running.items():
                 if process.is_alive:
                     continue
                 if not process.ok:
                     raise process.value
-                del running[name]
-                if process.value == self.PREEMPTED:
-                    # The task was interrupted: it re-runs on resume.
-                    pending[name] = self._tasks[name]
-                else:
-                    self._completed.add(name)
-                    self._compute_done.pop(name, None)
+                if finished is None:
+                    finished = []
+                finished.append((name, process.value))
+            if finished is not None:
+                for name, value in finished:
+                    del running[name]
+                    if value == self.PREEMPTED:
+                        # The task was interrupted: it re-runs on resume.
+                        pending[name] = self._tasks[name]
+                    else:
+                        self._completed.add(name)
+                        self._compute_done.pop(name, None)
 
         self.end_time = self.env.now
         return self.end_time - self.start_time

@@ -1,0 +1,247 @@
+"""Sweep-engine tests: determinism, seeding, failure paths, clean shutdown.
+
+The engine's contract (see :mod:`repro.experiments.runner`):
+
+* results come back in spec order and are byte-identical for any worker
+  count — proven here both on synthetic experiments and on the real
+  exp5/exp6 sweep pipelines;
+* per-point seeds derive from ``(base_seed, seed_key)`` only;
+* a point failing in a worker surfaces as :class:`SweepPointError` with
+  the failing :class:`PointSpec` attached;
+* ``KeyboardInterrupt`` cancels the queue and shuts the pool down
+  cleanly (no worker processes left behind).
+
+The synthetic experiments below are registered at import time with plain
+callables; the pool uses a fork context on Linux, so workers inherit the
+registrations.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    PointSpec,
+    SweepPointError,
+    derive_point_seed,
+    make_spec,
+    register_experiment,
+    resolve_workers,
+    run_sweep,
+    sweep_values,
+)
+from repro.rng import derive_seed
+
+
+# --------------------------------------------------------- test experiments
+def _square(x):
+    return x * x
+
+
+def _echo_seed(tag, seed=None):
+    return (tag, seed)
+
+
+def _boom(x):
+    raise ValueError(f"boom on {x}")
+
+
+def _nap(duration):
+    time.sleep(duration)
+    return duration
+
+
+register_experiment("test-square", _square)
+register_experiment("test-echo-seed", _echo_seed)
+register_experiment("test-boom", _boom)
+register_experiment("test-nap", _nap)
+
+
+def _no_children(timeout=10.0):
+    """True once no worker subprocesses remain (poll up to ``timeout``)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not multiprocessing.active_children():
+            return True
+        time.sleep(0.05)
+    return not multiprocessing.active_children()
+
+
+# ------------------------------------------------------------------- config
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() == 1
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(2) == 2
+
+    def test_environment_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers() == 3
+
+    def test_auto_uses_cpu_count(self):
+        import os
+
+        assert resolve_workers("auto") == max(1, os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("bad", [0, -1, "zero"])
+    def test_invalid_counts_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(bad)
+
+
+class TestSpecs:
+    def test_params_are_sorted_and_picklable(self):
+        import pickle
+
+        spec = make_spec("test-square", x=3)
+        other = make_spec("test-square", x=3)
+        assert spec == other
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        multi = make_spec("exp2", simulator="real", n_apps=4, nfs=False)
+        assert [name for name, _ in multi.params] == sorted(
+            name for name, _ in multi.params
+        )
+
+    def test_unknown_experiment_fails_with_spec(self):
+        with pytest.raises(SweepPointError) as err:
+            run_sweep([make_spec("no-such-experiment")])
+        assert err.value.spec.experiment == "no-such-experiment"
+
+    def test_builtin_registry_targets_resolve(self):
+        from repro.experiments.runner import experiment_fn
+
+        for name in ("exp1", "exp2", "exp3", "exp4", "exp5-point", "exp6",
+                     "exp7"):
+            assert callable(experiment_fn(name)), name
+        assert set(EXPERIMENTS) >= {"exp2", "exp5-point", "exp6", "exp7"}
+
+    def test_register_rejects_bad_target(self):
+        with pytest.raises(ConfigurationError):
+            register_experiment("broken", "not-a-module-path")
+
+
+# -------------------------------------------------------------- determinism
+class TestDeterminism:
+    def test_results_in_spec_order_any_worker_count(self):
+        specs = [make_spec("test-square", x=x) for x in range(12)]
+        inline = sweep_values(specs, workers=1)
+        pooled = sweep_values(specs, workers=4)
+        assert inline == [x * x for x in range(12)]
+        assert pooled == inline
+
+    def test_progress_reports_every_point(self):
+        seen = []
+        results = run_sweep(
+            [make_spec("test-square", x=x) for x in range(5)],
+            workers=1,
+            progress=lambda result, done, total: seen.append(
+                (result.index, done, total)
+            ),
+        )
+        assert [r.index for r in results] == list(range(5))
+        assert [done for _, done, _ in seen] == [1, 2, 3, 4, 5]
+        assert all(total == 5 for _, _, total in seen)
+
+    def test_seed_derivation_is_order_and_worker_independent(self):
+        specs = [
+            make_spec("test-echo-seed", tag=tag, seed_key=f"point:{tag}")
+            for tag in ("a", "b", "c", "d")
+        ]
+        inline = sweep_values(specs, workers=1, base_seed=42)
+        pooled = sweep_values(specs, workers=3, base_seed=42)
+        assert inline == pooled
+        assert inline == [
+            (tag, derive_point_seed(42, f"point:{tag}"))
+            for tag in ("a", "b", "c", "d")
+        ]
+        # Reversing the sweep order changes nothing about each point's seed.
+        reversed_values = sweep_values(list(reversed(specs)), workers=1,
+                                       base_seed=42)
+        assert reversed_values == list(reversed(inline))
+        # The primitive matches repro.rng's derivation.
+        assert derive_point_seed(42, "point:a") == derive_seed(42, "point:a")
+
+    def test_run_named_sweep_matches_keys_to_values(self):
+        from repro.experiments.runner import run_named_sweep
+
+        variants = {("sq", x): dict(x=x) for x in (3, 1, 2)}
+        results = run_named_sweep("test-square", variants, workers=2)
+        assert list(results) == [("sq", 3), ("sq", 1), ("sq", 2)]
+        assert results == {("sq", 3): 9, ("sq", 1): 1, ("sq", 2): 4}
+
+    def test_seed_key_without_base_seed_is_an_error(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep([make_spec("test-echo-seed", tag="a", seed_key="k")])
+
+    def test_exp5_sweep_outputs_byte_identical_across_worker_counts(self):
+        from repro.experiments.exp5_scaling import run_scaling
+        from repro.units import GB, MB
+
+        def table(curves):
+            return "\n".join(
+                f"{label}|{p.n_apps}|{p.simulated_makespan!r}"
+                for label, points in curves.items()
+                for p in points
+            ).encode()
+
+        kwargs = dict(
+            configs=(("wrench-cache", False),),
+            input_size=1 * GB,
+            chunk_size=100 * MB,
+        )
+        serial = run_scaling((1, 2), workers=1, **kwargs)
+        pooled = run_scaling((1, 2), workers=4, **kwargs)
+        assert table(serial) == table(pooled)
+
+    def test_exp6_sweep_outputs_byte_identical_across_worker_counts(self):
+        from repro.experiments.exp6_cluster import exp6_report, exp6_series
+
+        kwargs = dict(n_jobs=24, n_nodes=4, n_datasets=6)
+        serial = exp6_series(("round-robin", "cache"), workers=1, **kwargs)
+        pooled = exp6_series(("round-robin", "cache"), workers=4, **kwargs)
+        # The rendered report (placement, policy, hit ratio, makespan,
+        # waits, slowdown, utilization, throughput) is the result table;
+        # it contains no wall-clock column and must match byte for byte.
+        assert exp6_report(serial).encode() == exp6_report(pooled).encode()
+
+
+# ------------------------------------------------------------ failure paths
+class TestFailurePaths:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_worker_exception_surfaces_failing_spec(self, workers):
+        specs = [
+            make_spec("test-square", x=1, label="ok-point"),
+            make_spec("test-boom", x=99, label="bad-point"),
+            make_spec("test-square", x=2),
+        ]
+        with pytest.raises(SweepPointError) as err:
+            run_sweep(specs, workers=workers)
+        assert err.value.spec.label == "bad-point"
+        assert err.value.index == 1
+        assert "ValueError" in str(err.value)
+        assert "boom on 99" in str(err.value)
+        if workers > 1:
+            assert _no_children()
+
+    def test_keyboard_interrupt_shuts_the_pool_down_cleanly(self):
+        specs = [make_spec("test-nap", duration=0.2) for _ in range(8)]
+
+        def interrupt_after_first(result, done, total):
+            raise KeyboardInterrupt
+
+        started = time.monotonic()
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(specs, workers=2, progress=interrupt_after_first)
+        # Queued points were cancelled (8 x 0.2s would take ~0.8s on two
+        # workers; the interrupt path only waits out the in-flight ones)
+        # and no worker process is left behind.
+        assert time.monotonic() - started < 5.0
+        assert _no_children()

@@ -1,0 +1,101 @@
+"""Offline tests for the Parallel Workloads Archive fetch-and-cache helper.
+
+No test touches the network: downloads are exercised through ``file://``
+URLs pointing at the bundled ``benchmarks/data/sample.swf``, and the
+cache-hit path is proven by monkeypatching ``urllib.request.urlopen`` to
+explode if called.
+"""
+
+from __future__ import annotations
+
+import gzip
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scheduler.swf import (
+    KNOWN_TRACES,
+    default_cache_dir,
+    fetch_trace,
+    load_trace,
+)
+
+SAMPLE = Path(__file__).resolve().parents[1] / "benchmarks" / "data" / "sample.swf"
+
+
+def _forbid_network(monkeypatch):
+    def no_network(*args, **kwargs):
+        raise AssertionError("network access attempted")
+
+    monkeypatch.setattr(urllib.request, "urlopen", no_network)
+
+
+class TestFetchTrace:
+    def test_local_path_passes_through(self, monkeypatch):
+        _forbid_network(monkeypatch)
+        assert fetch_trace(SAMPLE) == SAMPLE
+        assert fetch_trace(str(SAMPLE)) == SAMPLE
+
+    def test_missing_local_path_is_an_error(self, monkeypatch):
+        _forbid_network(monkeypatch)
+        with pytest.raises(ConfigurationError):
+            fetch_trace("/no/such/trace.swf")
+
+    def test_url_download_lands_in_cache(self, tmp_path):
+        url = SAMPLE.resolve().as_uri()
+        target = fetch_trace(url, cache_dir=tmp_path)
+        assert target == tmp_path / "sample.swf"
+        assert target.read_text() == SAMPLE.read_text()
+        # No stray partial file remains.
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_gzipped_url_is_decompressed(self, tmp_path):
+        gz = tmp_path / "src" / "sample.swf.gz"
+        gz.parent.mkdir()
+        gz.write_bytes(gzip.compress(SAMPLE.read_bytes()))
+        cache = tmp_path / "cache"
+        target = fetch_trace(gz.resolve().as_uri(), cache_dir=cache)
+        assert target == cache / "sample.swf"
+        assert target.read_text() == SAMPLE.read_text()
+
+    def test_cached_copy_short_circuits_the_network(self, tmp_path, monkeypatch):
+        url = SAMPLE.resolve().as_uri()
+        first = fetch_trace(url, cache_dir=tmp_path)
+        _forbid_network(monkeypatch)
+        assert fetch_trace(url, cache_dir=tmp_path) == first
+
+    def test_known_trace_name_resolves_to_its_cached_file(self, tmp_path,
+                                                          monkeypatch):
+        # Pre-seed the cache under the archive file name; the short name
+        # must then resolve without any download.
+        cached = tmp_path / "KTH-SP2-1996-2.1-cln.swf"
+        cached.write_text(SAMPLE.read_text())
+        _forbid_network(monkeypatch)
+        assert fetch_trace("KTH-SP2", cache_dir=tmp_path) == cached
+
+    def test_refresh_redownloads(self, tmp_path):
+        url = SAMPLE.resolve().as_uri()
+        target = fetch_trace(url, cache_dir=tmp_path)
+        target.write_text("stale")
+        assert fetch_trace(url, cache_dir=tmp_path).read_text() == "stale"
+        refreshed = fetch_trace(url, cache_dir=tmp_path, refresh=True)
+        assert refreshed.read_text() == SAMPLE.read_text()
+
+    def test_load_trace_parses_the_fetched_file(self, tmp_path):
+        trace = load_trace(SAMPLE.resolve().as_uri(), cache_dir=tmp_path)
+        assert trace.n_jobs == 84
+        assert not trace.skipped
+
+    def test_known_traces_point_at_gzipped_swf(self):
+        for name, url in KNOWN_TRACES.items():
+            assert url.startswith("https://"), name
+            assert url.endswith(".swf.gz"), name
+
+    def test_default_cache_dir_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro"
