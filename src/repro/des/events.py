@@ -175,7 +175,13 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):  # noqa: F821
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        # Timeouts are the single most allocated event type (every
+        # transfer reschedule creates one), so the base initializer is
+        # inlined rather than chained through super().__init__.
+        self.env = env
+        self.callbacks = []
+        self.defused = False
+        self._defunct = False
         self._delay = delay
         self._ok = True
         self._value = value

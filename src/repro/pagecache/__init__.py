@@ -5,6 +5,10 @@ The model follows Section III of the paper:
 * :class:`~repro.pagecache.block.Block` — the *data block* abstraction: a
   set of file pages cached by a single I/O operation, carrying the file
   name, size, entry time, last access time and dirty flag (Figure 2).
+* :class:`~repro.pagecache.extents.ExtentRun` — the storage unit of the
+  LRU lists: a maximal row of consecutive same-file, same-state blocks,
+  coalesced losslessly (fragments keep their exact sizes; joining runs
+  performs no byte arithmetic).
 * :class:`~repro.pagecache.lru.LRUList` and
   :class:`~repro.pagecache.lru.PageCacheLists` — the kernel's two-list
   (active/inactive) LRU structure, balanced so that the active list never
@@ -19,17 +23,20 @@ The model follows Section III of the paper:
 
 from repro.pagecache.block import Block
 from repro.pagecache.config import PageCacheConfig
+from repro.pagecache.extents import ExtentRun
 from repro.pagecache.lru import LRUList, PageCacheLists
 from repro.pagecache.memory_manager import MemoryManager
 from repro.pagecache.io_controller import IOController
-from repro.pagecache.stats import CacheStatistics
+from repro.pagecache.stats import CacheStatistics, ExtentOccupancy
 
 __all__ = [
     "Block",
+    "ExtentRun",
     "PageCacheConfig",
     "LRUList",
     "PageCacheLists",
     "MemoryManager",
     "IOController",
     "CacheStatistics",
+    "ExtentOccupancy",
 ]

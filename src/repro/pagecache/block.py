@@ -7,6 +7,15 @@ therefore share their metadata.  A block records the file it belongs to,
 its size, its entry (creation) time in the cache, its last access time and
 whether it is dirty.  Blocks may be split into smaller blocks when an I/O
 operation or an eviction/flush decision only covers part of a block.
+
+Since the extent rebuild of the LRU lists, blocks are the *fragments* of
+:class:`~repro.pagecache.extents.ExtentRun` rows: the run — a maximal row
+of consecutive same-file, same-state blocks — is the LRU-list node, and
+each block records the run holding it (``_run``) plus its per-list
+insertion stamp (``_stamp``), which breaks last-access ties in the LRU
+order.  Blocks keep their exact individual sizes inside the run, which is
+what makes run coalescing lossless: joining runs moves fragments around
+without performing any byte arithmetic.
 """
 
 from __future__ import annotations
@@ -38,7 +47,7 @@ class Block:
     """
 
     __slots__ = ("id", "filename", "size", "entry_time", "last_access", "dirty",
-                 "storage", "_prev", "_next", "_list", "_stamp")
+                 "storage", "_run", "_stamp")
 
     def __init__(self, filename: str, size: float, entry_time: float,
                  last_access: Optional[float] = None, dirty: bool = False,
@@ -52,13 +61,11 @@ class Block:
         self.last_access = float(entry_time if last_access is None else last_access)
         self.dirty = bool(dirty)
         self.storage = storage
-        # Intrusive LRU-list links, owned by repro.pagecache.lru.LRUList: the
-        # neighbouring blocks in list order, the list holding the block (None
-        # while uncached) and the per-list insertion stamp that breaks
-        # last-access ties.  A block belongs to at most one list at a time.
-        self._prev: Optional["Block"] = None
-        self._next: Optional["Block"] = None
-        self._list: Any = None
+        # Owned by repro.pagecache.lru.LRUList: the extent run holding the
+        # block (None while uncached) and the per-list insertion stamp that
+        # breaks last-access ties.  A block belongs to at most one run — and
+        # therefore one list — at a time.
+        self._run: Any = None
         self._stamp = 0
 
     # ------------------------------------------------------------------- api

@@ -15,7 +15,9 @@ stock Linux kernel (the values used on the paper's CentOS 8.1 cluster):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import warnings
+from dataclasses import dataclass, replace
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.units import MB
@@ -65,14 +67,12 @@ class PageCacheConfig:
     balance_lists:
         Whether to enforce ``active_to_inactive_ratio`` after cache updates.
     coalesce_extents:
-        Whether adjacent indistinguishable clean blocks of one file merge
-        into a single extent node (see :mod:`repro.pagecache.lru`).
-        Coalescing is byte-level lossless but not float-exact (consuming
-        one merged extent performs different float arithmetic than
-        consuming its parts), so replays are only reproducible ulp-for-ulp
-        with the same setting; it defaults to off and is worth enabling on
-        fragmentation-heavy workloads where block counts, not replay
-        stability, dominate.
+        Deprecated and ignored.  The page cache stores extent runs
+        natively (see :mod:`repro.pagecache.extents`): coalescing is
+        lossless by construction and always on, so the opt-in knob of the
+        PR 3 block-mode cache no longer selects anything.  Passing any
+        value is accepted for backwards compatibility with existing
+        experiment scripts and emits a :class:`DeprecationWarning`.
     """
 
     dirty_ratio: float = 0.20
@@ -86,9 +86,19 @@ class PageCacheConfig:
     periodic_flushing: bool = True
     active_to_inactive_ratio: float = 2.0
     balance_lists: bool = True
-    coalesce_extents: bool = False
+    #: Deprecated no-op knob kept so ``PageCacheConfig(coalesce_extents=...)``
+    #: call sites (and ``with_updates`` copies of them) keep working.
+    coalesce_extents: Optional[bool] = None
 
     def __post_init__(self) -> None:
+        if self.coalesce_extents is not None:
+            warnings.warn(
+                "PageCacheConfig(coalesce_extents=...) is deprecated and "
+                "ignored: the page cache stores extent runs natively and "
+                "coalescing is lossless and always on",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         self.validate()
 
     def validate(self) -> None:

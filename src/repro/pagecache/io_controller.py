@@ -100,13 +100,13 @@ class IOController:
         # Memory needed: one copy of the chunk in anonymous memory plus the
         # newly cached data.
         required_mem = (chunk_size if use_anonymous_memory else 0.0) + disk_read
-        flush_amount = required_mem - mm.free_mem - mm.evictable
+        flush_amount = required_mem - mm._free - mm.evictable
         if flush_amount > 0:
             yield from mm.flush(flush_amount, exclude_file=filename)
-        evict_amount = required_mem - mm.free_mem
+        evict_amount = required_mem - mm._free
         if evict_amount > 0:
             mm.evict(evict_amount, exclude_file=filename)
-            still_needed = required_mem - mm.free_mem
+            still_needed = required_mem - mm._free
             if still_needed > 0:
                 # Last resort when the file being read is the only evictable
                 # data (e.g. a file larger than the remaining memory streams
@@ -139,12 +139,13 @@ class IOController:
         total_flushed = 0.0
         mem_amt = 0.0
 
-        remain_dirty = mm.dirty_capacity - mm.dirty
+        remain_dirty = mm.dirty_capacity - mm.lists.dirty_size
         if remain_dirty > 0:
             # There is room below the dirty threshold: write to memory.
-            mm.evict(min(chunk_size, remain_dirty) - mm.free_mem,
-                     exclude_file=filename)
-            mem_amt = min(chunk_size, max(0.0, mm.free_mem))
+            evict_amount = min(chunk_size, remain_dirty) - mm._free
+            if evict_amount > 0:
+                mm.evict(evict_amount, exclude_file=filename)
+            mem_amt = min(chunk_size, max(0.0, mm._free))
             if mem_amt > 0:
                 yield from mm.write_to_cache(filename, mem_amt, storage)
 
@@ -154,8 +155,10 @@ class IOController:
             flushed = yield from mm.flush(chunk_size - mem_amt,
                                           exclude_file=None)
             total_flushed += flushed
-            mm.evict(chunk_size - mem_amt - mm.free_mem, exclude_file=filename)
-            to_cache = min(remaining, max(0.0, mm.free_mem))
+            evict_amount = chunk_size - mem_amt - mm._free
+            if evict_amount > 0:
+                mm.evict(evict_amount, exclude_file=filename)
+            to_cache = min(remaining, max(0.0, mm._free))
             if to_cache <= _EPSILON:
                 # No progress is possible through the cache (e.g. dirty data
                 # of this very file fills memory): fall back to writing the

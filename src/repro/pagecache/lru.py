@@ -1,4 +1,4 @@
-"""Two-list LRU structure of the Linux page cache.
+"""Two-list LRU structure of the Linux page cache, stored as extent runs.
 
 The kernel flags pages for eviction with a two-list strategy: newly
 accessed data enters the *inactive* list; data accessed again is promoted
@@ -6,47 +6,43 @@ to the *active* list; the active list is kept at most twice the size of the
 inactive list by demoting its least recently used entries.  Only clean data
 on the inactive list is eligible for eviction.
 
-:class:`LRUList` keeps :class:`~repro.pagecache.block.Block` objects ordered
-by last access time (oldest first) on an **intrusive doubly-linked list**:
-membership tests, removals, appends and LRU pops are O(1), and per-file /
-per-state (clean vs dirty) index sets make the queries the hot I/O paths
-issue — "the blocks of *this file*", "the dirty blocks", "the evictable
-clean blocks" — proportional to the size of their answer instead of the
-size of the cache.  The pre-PR-3 implementation stored blocks in a plain
-Python list, making every one of those operations O(n) in the number of
-cached blocks and the simulation quadratic in cache churn.
+:class:`LRUList` keeps :class:`~repro.pagecache.block.Block` fragments
+ordered by last access time (oldest first), grouped into
+:class:`~repro.pagecache.extents.ExtentRun` rows: maximal sequences of
+consecutive same-file, same-state fragments.  The run is the node of the
+intrusive doubly-linked list, the unit held by the per-file index and the
+unit enqueued in the flush/eviction state heaps, so the structural cost of
+the cache scales with the number of *streams* the workload keeps live, not
+with ``bytes / chunk_size``:
 
-Ordering invariant.  The list is always sorted by ``last_access``
-(non-decreasing); ties are broken by insertion order into the list, which
-the implementation materialises as a per-list monotone *stamp* assigned at
-every insertion.  The total order is therefore ``(last_access, stamp)``,
-and the index sets can recover exact list order by sorting on that key —
-this is what guarantees the rewrite is observationally identical to the
-old list walk (the parity suite in ``tests/test_pagecache_parity.py``
-replays golden traces recorded from the old implementation).
+* appending a fragment that continues the tail run (the sequential
+  read/write hot path) touches no list links, no index and no heap — it is
+  a single list append plus accounting;
+* the flush/eviction cursors carve fragments off the front of one run at a
+  time, with heap traffic per *run*, not per fragment;
+* the read path walks only the touched file's runs through a lazy cursor
+  (:meth:`LRUList.file_cursor`), so a chunked re-read of a cached file
+  costs the fragments it consumes instead of a per-chunk snapshot of every
+  cached block of the file (the pre-extent implementation's remaining
+  quadratic regime).
 
-Extent coalescing (opt-in).  Workflow I/O shreds files into many blocks
-(one per chunk, plus flush/eviction splits).  With ``coalesce=True``,
-adjacent blocks of the same file merge back into a single *extent* node
-when doing so is *byte-level* unobservable: both clean (dirty blocks keep
-their identity so the background flusher writes them back individually),
-same backing storage, and equal ``last_access`` (equal position keys —
-merging cannot reorder them relative to any other block, present or
-future).  The merged extent keeps the earlier block's position and stamp
-and the minimum ``entry_time`` (matching how cache hits merge clean
-data).  Flush splits, eviction splits and same-tick insertions re-merge
-this way, bounding the fragmentation those paths create.
+Ordering invariant.  Fragments are totally ordered by
+``(last_access, stamp)``, where the per-list monotone *stamp* is assigned
+at every insertion and breaks last-access ties in insertion order; a run
+occupies a contiguous range of that order, and runs never overlap.  This
+is exactly the order the pre-extent implementation maintained one list
+node per block, which is what the parity suite
+(``tests/test_pagecache_parity.py``) pins.
 
-Coalescing defaults to **off** because it is byte-equivalent but not
-*float-exact*: consuming one merged extent of ``a + b`` bytes performs
-different float arithmetic than consuming ``a`` then ``b`` (addition is
-not associative), and the resulting last-ulp differences in transfer
-sizes can — on chaotic, heavily tied workloads such as paper-scale trace
-replays — flip a discrete scheduling decision and visibly shift
-makespans.  The parity suite replays golden traces with coalescing both
-off (bit-identical) and on (byte-equivalent); enable it via
-``PageCacheConfig(coalesce_extents=True)`` when replay stability matters
-less than memory/speed on fragmentation-heavy workloads.
+Losslessness.  Runs coalesce — a fragment joining the tail of an existing
+run, flush splits re-joining their clean neighbours — by *moving
+fragments between rows*, never by summing their sizes.  Fragment sizes,
+and therefore every byte amount any operation observes or any accounting
+total accumulates, are bit-identical to the one-block-per-node
+representation.  PR 3's opt-in ``coalesce_extents`` merged blocks by
+adding their sizes, which re-associated float additions and could flip
+discrete scheduling decisions at paper scale; that mode is gone, and the
+run representation is default-on because there is no arithmetic to lose.
 
 :class:`PageCacheLists` pairs an inactive and an active list and implements
 promotion, demotion and balancing.
@@ -54,11 +50,18 @@ promotion, demotion and balancing.
 
 from __future__ import annotations
 
-from heapq import heapify, heappop, heappush
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.errors import CacheConsistencyError
 from repro.pagecache.block import Block
+from repro.pagecache.extents import (
+    _COMPACT_THRESHOLD,
+    ExtentRun,
+    FileCursor,
+    RunIndex,
+    StateCursor,
+    StateHeap,
+)
 from repro.pagecache.tolerances import (
     BYTE_EPSILON,
     DRIFT_TOLERANCE,
@@ -66,176 +69,51 @@ from repro.pagecache.tolerances import (
 )
 
 
-def _order_key(block: Block):
-    """Exact list-position key of a block within its list."""
-    return (block.last_access, block._stamp)
-
-
-class _OrderedIndex:
-    """A set of blocks that can recover exact list order lazily.
-
-    Backed by an insertion-ordered dict.  Appends of the newest block keep
-    the dict in list order for free; only a genuinely out-of-order insert
-    (a demotion or split re-insert landing before an indexed block) marks
-    the index stale, and the next ordered query re-sorts once.  In steady
-    state ordered queries are therefore O(k) in the answer size, with no
-    per-query sorting.
-    """
-
-    __slots__ = ("entries", "stale")
-
-    def __init__(self):
-        self.entries: Dict[Block, None] = {}
-        self.stale = False
-
-    def __len__(self) -> int:
-        return len(self.entries)
-
-    def __contains__(self, block: object) -> bool:
-        return block in self.entries
-
-    def add_newest(self, block: Block) -> None:
-        """Index a block known to follow every member in list order."""
-        self.entries[block] = None
-
-    def add(self, block: Block) -> None:
-        """Index a block at an arbitrary list position."""
-        entries = self.entries
-        if entries and not self.stale:
-            last = next(reversed(entries))
-            if (block.last_access, block._stamp) < (last.last_access,
-                                                    last._stamp):
-                self.stale = True
-        entries[block] = None
-
-    def discard(self, block: Block) -> None:
-        self.entries.pop(block, None)
-
-    def ordered(self) -> List[Block]:
-        """The indexed blocks in exact list order (snapshot)."""
-        if self.stale:
-            self.entries = dict.fromkeys(sorted(self.entries, key=_order_key))
-            self.stale = False
-        return list(self.entries)
-
-
-class _StateHeap:
-    """Lazy-deletion priority queue over one state (dirty or clean).
-
-    Entries are ``(last_access, stamp, block)`` — the exact list-position
-    key — pushed at insertion/state-change time.  An entry is *live* while
-    the block is still in the owning list, still carries the entry's stamp
-    (re-insertion assigns a fresh stamp) and still has the heap's state;
-    everything else is a tombstone, skipped on pop and swept out when
-    tombstones outnumber live entries.  This gives the flush/eviction
-    paths the next dirty/clean block in exact LRU order in O(log n)
-    without scanning the cache or re-sorting an index.
-
-    ``live`` counts the blocks currently in this state (maintained by the
-    owning list at membership changes, not by heap operations).
-    """
-
-    __slots__ = ("owner", "dirty", "heap", "live")
-
-    def __init__(self, owner: "LRUList", dirty: bool):
-        self.owner = owner
-        self.dirty = dirty
-        self.heap: List[Tuple[float, int, Block]] = []
-        self.live = 0
-
-    def _is_live(self, entry: Tuple[float, int, Block]) -> bool:
-        block = entry[2]
-        return (block._list is self.owner and block._stamp == entry[1]
-                and block.dirty is self.dirty)
-
-    def push(self, block: Block) -> None:
-        heappush(self.heap, (block.last_access, block._stamp, block))
-        # Sweep tombstones once they dominate; keeps the heap O(live).
-        if len(self.heap) > 2 * self.live + 64:
-            self.heap = [e for e in self.heap if self._is_live(e)]
-            heapify(self.heap)
-
-    def pop_live(self) -> Optional[Tuple[float, int, Block]]:
-        """Pop and return the least recently used live entry, if any."""
-        heap = self.heap
-        while heap:
-            entry = heappop(heap)
-            if self._is_live(entry):
-                return entry
-        return None
-
-    def ordered_live(self) -> List[Block]:
-        """Live blocks in exact list order (snapshot; O(n log n))."""
-        return [e[2] for e in sorted(self.heap) if self._is_live(e)]
-
-
-class _StateCursor:
-    """Consuming LRU-order cursor over a :class:`_StateHeap`.
-
-    ``next()`` pops the next live block that is not excluded; excluded
-    blocks are held aside and pushed back on ``close()`` (their entries
-    are unchanged, so they stay valid).  The caller must *consume* every
-    returned block — remove it from the list or flip its state — before
-    asking for the next one; that is what keeps popped entries dead.
-    """
-
-    __slots__ = ("state", "excluded", "held")
-
-    def __init__(self, state: _StateHeap, excluded: FrozenSet[str]):
-        self.state = state
-        self.excluded = excluded
-        self.held: List[Tuple[float, int, Block]] = []
-
-    def next(self) -> Optional[Block]:
-        excluded = self.excluded
-        while True:
-            entry = self.state.pop_live()
-            if entry is None:
-                return None
-            if entry[2].filename in excluded:
-                self.held.append(entry)
-                continue
-            return entry[2]
-
-    def close(self) -> None:
-        heap = self.state.heap
-        for entry in self.held:
-            heappush(heap, entry)
-        self.held = []
-
-
 class LRUList:
-    """An LRU-ordered intrusive list of data blocks (oldest first).
+    """An LRU-ordered list of data-block fragments, stored as extent runs.
 
-    Appending a block with a monotonically increasing access time is O(1);
-    out-of-order insertions (e.g. demotions from the active list) fall
-    back to a position scan from whichever end is closer in time.
-    Removal, membership and LRU pops are O(1); per-file and clean/dirty
-    queries return their answers in exact list order via the index sets.
+    Appending a fragment with a monotonically increasing access time is
+    O(1); out-of-order insertions (e.g. demotions from the active list)
+    fall back to a position scan over *runs* from whichever end is closer
+    in time, plus a binary search inside the located run.  Removal of a
+    run-front fragment and LRU pops are O(1) amortized; per-file and
+    clean/dirty queries return their answers in exact list order.
     """
 
-    __slots__ = ("name", "coalesce", "merges", "_head", "_tail", "_length",
-                 "_size", "_dirty", "_per_file", "_file_blocks",
-                 "_dirty_heap", "_clean_heap", "_next_stamp")
+    __slots__ = ("name", "merges", "_head", "_tail", "_length", "_size",
+                 "_dirty", "_per_file", "_file_runs", "_dirty_heap",
+                 "_clean_heap", "_next_stamp", "_run_count",
+                 "_pending_repush", "_run_pool")
 
-    def __init__(self, name: str = "lru", coalesce: bool = False):
+    def __init__(self, name: str = "lru"):
         self.name = name
-        #: Whether adjacent indistinguishable clean blocks merge into extents.
-        self.coalesce = coalesce
-        #: Number of extent merges performed (observability/benchmarks).
+        #: Number of fragments that joined an existing run instead of
+        #: becoming a list node of their own (observability/benchmarks).
         self.merges = 0
-        self._head: Optional[Block] = None
-        self._tail: Optional[Block] = None
+        self._head: Optional[ExtentRun] = None
+        self._tail: Optional[ExtentRun] = None
         self._length = 0
+        self._run_count = 0
         self._size = 0.0
         self._dirty = 0.0
         self._per_file: Dict[str, float] = {}
-        #: filename -> index of its blocks in this list.
-        self._file_blocks: Dict[str, _OrderedIndex] = {}
-        #: Lazy-deletion heaps serving "next dirty/clean block in LRU
+        #: filename -> index of its runs in this list.
+        self._file_runs: Dict[str, RunIndex] = {}
+        #: Lazy-deletion heaps serving "next dirty/clean run in LRU
         #: order" to the flush and eviction paths.
-        self._dirty_heap = _StateHeap(self, True)
-        self._clean_heap = _StateHeap(self, False)
+        self._dirty_heap = StateHeap(self, True)
+        self._clean_heap = StateHeap(self, False)
+        #: Runs whose front key changed since their last heap push; they
+        #: are re-pushed in bulk before the next heap consumer runs, so
+        #: front carving costs no per-fragment heap traffic.  A dict is
+        #: used as an insertion-ordered set to keep runs deterministic.
+        self._pending_repush: Dict[ExtentRun, None] = {}
+        #: Dead run objects kept for reuse: runs are the cache's highest-
+        #: churn allocation (one per stream boundary), and pooling them
+        #: halves the garbage-collector traffic of chunk-heavy runs.
+        #: Stale references are fenced by the per-run ``_epoch`` bumped
+        #: at death.  Pools are per list so fragment stamps stay unique.
+        self._run_pool: List[ExtentRun] = []
         self._next_stamp = 0
 
     # ----------------------------------------------------------------- sizes
@@ -254,25 +132,41 @@ class LRUList:
         """Bytes of clean (evictable) data held by the list."""
         return max(0.0, self._size - self._dirty)
 
+    @property
+    def run_count(self) -> int:
+        """Number of extent runs (list nodes) currently held."""
+        return self._run_count
+
     def __len__(self) -> int:
         return self._length
 
     def __iter__(self) -> Iterator[Block]:
-        node = self._head
-        while node is not None:
-            # Capture the link before yielding so callers may remove the
-            # current block while iterating.
-            succ = node._next
-            yield node
-            node = succ
+        run = self._head
+        while run is not None:
+            # Capture the link and the live fragments before yielding so
+            # callers may consume the current fragment while iterating.
+            succ = run._next
+            for frag in run.frags[run.head:]:
+                yield frag
+            run = succ
 
     def __contains__(self, block: object) -> bool:
-        return getattr(block, "_list", None) is self
+        run = getattr(block, "_run", None)
+        return run is not None and run._list is self
 
     @property
     def blocks(self) -> List[Block]:
-        """The blocks in LRU order (oldest first).  O(n) snapshot."""
+        """The fragments in LRU order (oldest first).  O(n) snapshot."""
         return list(self)
+
+    def runs(self) -> List[ExtentRun]:
+        """The extent runs in LRU order (oldest first).  O(runs) snapshot."""
+        result = []
+        run = self._head
+        while run is not None:
+            result.append(run)
+            run = run._next
+        return result
 
     # ------------------------------------------------------------ accounting
     def _account_add(self, block: Block) -> None:
@@ -283,80 +177,49 @@ class LRUList:
             self._per_file.get(block.filename, 0.0) + block.size
         )
 
-    def _account_remove(self, block: Block) -> None:
-        self._size -= block.size
-        if block.dirty:
-            self._dirty -= block.size
-        remaining = self._per_file.get(block.filename, 0.0) - block.size
-        if remaining <= BYTE_EPSILON:
-            self._per_file.pop(block.filename, None)
-        else:
-            self._per_file[block.filename] = remaining
-        if self._size < -NEGATIVE_TOLERANCE or self._dirty < -NEGATIVE_TOLERANCE:
-            raise CacheConsistencyError(
-                f"negative accounting in LRU list {self.name!r}: "
-                f"size={self._size}, dirty={self._dirty}"
-            )
-        self._size = max(0.0, self._size)
-        self._dirty = max(0.0, self._dirty)
+    # ----------------------------------------------------------- run plumbing
+    def _alloc_run(self, filename: str, dirty: bool) -> ExtentRun:
+        """A fresh (or recycled) unlinked run for ``filename``."""
+        pool = self._run_pool
+        if pool:
+            run = pool.pop()
+            run.filename = filename
+            run.dirty = dirty
+            return run
+        return ExtentRun(filename, dirty)
 
-    # -------------------------------------------------------------- indexing
-    def _index_add(self, block: Block, *, newest: bool) -> None:
-        per_file = self._file_blocks.get(block.filename)
-        if per_file is None:
-            per_file = self._file_blocks[block.filename] = _OrderedIndex()
-        if newest:
-            per_file.add_newest(block)
-        else:
-            per_file.add(block)
-        state = self._dirty_heap if block.dirty else self._clean_heap
-        state.live += 1
-        state.push(block)
-
-    def _index_remove(self, block: Block) -> None:
-        per_file = self._file_blocks.get(block.filename)
-        if per_file is not None:
-            per_file.discard(block)
-            if not per_file:
-                del self._file_blocks[block.filename]
-        # The heap entry dies lazily; only the live count is updated.
-        if block.dirty:
-            self._dirty_heap.live -= 1
-        else:
-            self._clean_heap.live -= 1
-
-    # --------------------------------------------------------------- linking
-    def _link_between(self, block: Block, pred: Optional[Block],
-                      succ: Optional[Block]) -> None:
-        if block._list is not None:
-            raise CacheConsistencyError(
-                f"block {block!r} is already in LRU list {block._list.name!r}"
-            )
-        block._prev = pred
-        block._next = succ
+    def _link_run(self, run: ExtentRun, pred: Optional[ExtentRun],
+                  succ: Optional[ExtentRun], *, newest: bool) -> None:
+        """Link a freshly built, non-empty run between ``pred`` and ``succ``."""
+        run._prev = pred
+        run._next = succ
         if pred is not None:
-            pred._next = block
+            pred._next = run
         else:
-            self._head = block
+            self._head = run
         if succ is not None:
-            succ._prev = block
+            succ._prev = run
         else:
-            self._tail = block
-        block._list = self
-        block._stamp = self._next_stamp
-        self._next_stamp += 1
-        self._length += 1
-        self._account_add(block)
-        # A block linked at the tail is the newest in list order, so every
-        # index can append it without going stale.
-        self._index_add(block, newest=succ is None)
+            self._tail = run
+        run._list = self
+        self._run_count += 1
+        index = self._file_runs.get(run.filename)
+        if index is None:
+            index = self._file_runs[run.filename] = RunIndex()
+        if newest:
+            index.add_newest(run)
+        else:
+            index.add(run, self)
+        heap = self._dirty_heap if run.dirty else self._clean_heap
+        heap.live += 1
+        # The heap entry is deferred to the pending set: consumers flush
+        # it before popping, and a run consumed to death by the read path
+        # in the meantime never touches the heap at all.
+        self._pending_repush[run] = None
 
-    def _unlink(self, block: Block, *, account: bool = True) -> None:
-        if block._list is not self:
-            raise CacheConsistencyError(
-                f"block {block!r} is not in LRU list {self.name!r}"
-            )
-        pred, succ = block._prev, block._next
+    def _kill_run(self, run: ExtentRun) -> None:
+        """Unlink an exhausted run; its heap entries die lazily."""
+        pred, succ = run._prev, run._next
         if pred is not None:
             pred._next = succ
         else:
@@ -365,148 +228,371 @@ class LRUList:
             succ._prev = pred
         else:
             self._tail = pred
-        block._prev = block._next = None
-        block._list = None
-        self._length -= 1
-        self._index_remove(block)
-        if account:
-            self._account_remove(block)
+        run._prev = run._next = None
+        run._list = None
+        self._run_count -= 1
+        index = self._file_runs.get(run.filename)
+        if index is not None:
+            index.discard(run, self)
+            if not index:
+                del self._file_runs[run.filename]
+        heap = self._dirty_heap if run.dirty else self._clean_heap
+        heap.live -= 1
+        self._pending_repush.pop(run, None)
+        # Retire the object: the epoch bump turns every outstanding
+        # reference (index entries, cursors) into a tombstone, so the
+        # object can be reused immediately.
+        run._epoch += 1
+        if run.frags:
+            run.frags.clear()
+        run.head = 0
+        pool = self._run_pool
+        if len(pool) < 512:
+            pool.append(run)
 
-    # ------------------------------------------------------------ coalescing
-    def _mergeable(self, first: Block, second: Block) -> bool:
-        """True when two adjacent blocks are observationally one extent.
+    def _split_run(self, run: ExtentRun, idx: int) -> ExtentRun:
+        """Move ``run.frags[idx:]`` into a new run linked right after it.
 
-        Equal ``last_access`` means equal position keys: merging cannot
-        change the order of any present or future block relative to the
-        pair.  Clean-only keeps the background flusher's per-block
-        write-back pattern (and dirty expiration) untouched; the merged
-        ``entry_time`` takes the minimum, exactly as cache hits do when
-        they merge clean data.
+        ``idx`` must be strictly inside the live fragment range, so both
+        halves stay non-empty.  The left half keeps its front (and its
+        heap entries); the right half is a new run with its own entry.
         """
-        return (
-            not first.dirty
-            and not second.dirty
-            and first.filename == second.filename
-            and first.last_access == second.last_access
-            and first.storage is second.storage
-        )
+        right = self._alloc_run(run.filename, run.dirty)
+        moved = run.frags[idx:]
+        right.frags = moved
+        for frag in moved:
+            frag._run = right
+        del run.frags[idx:]
+        self._link_run(right, run, run._next, newest=False)
+        return right
 
-    def _try_merge_with_prev(self, block: Block) -> Block:
-        """Absorb ``block`` into its predecessor if indistinguishable.
+    def _flush_pending(self) -> None:
+        """Re-push runs whose front key changed since their last push."""
+        pending = self._pending_repush
+        if not pending:
+            return
+        dirty_heap, clean_heap = self._dirty_heap, self._clean_heap
+        for run in pending:
+            if run._list is self and run.head < len(run.frags):
+                (dirty_heap if run.dirty else clean_heap).push(run)
+        pending.clear()
 
-        Returns the surviving block (the predecessor after a merge, else
-        ``block``).  Byte totals and per-file accounting are unchanged by
-        construction.
-        """
-        if not self.coalesce:
-            return block
-        pred = block._prev
-        if pred is None or not self._mergeable(pred, block):
-            return block
-        self._unlink(block, account=False)
-        pred.size += block.size
-        if block.entry_time < pred.entry_time:
-            pred.entry_time = block.entry_time
-        self.merges += 1
-        return pred
+    # ------------------------------------------------------------- insertion
+    def _place_in_gap(self, block: Block, pred: Optional[ExtentRun],
+                      succ: Optional[ExtentRun]) -> None:
+        """Link ``block`` between two runs, joining a compatible neighbour."""
+        block._stamp = self._next_stamp
+        self._next_stamp += 1
+        if (pred is not None and pred.filename == block.filename
+                and pred.dirty is block.dirty):
+            pred.frags.append(block)
+            block._run = pred
+            self.merges += 1
+        elif (succ is not None and succ.filename == block.filename
+                and succ.dirty is block.dirty):
+            # The block becomes the new front of the successor run.
+            if succ.head:
+                succ.head -= 1
+                succ.frags[succ.head] = block
+            else:
+                succ.frags.insert(0, block)
+            block._run = succ
+            self._pending_repush[succ] = None
+            self.merges += 1
+        else:
+            run = self._alloc_run(block.filename, block.dirty)
+            run.frags.append(block)
+            block._run = run
+            self._link_run(run, pred, succ, newest=False)
+        self._length += 1
+        self._account_add(block)
+
+    def _place_inside(self, block: Block, run: ExtentRun, key: float) -> None:
+        """Link ``block`` at its ordered position inside ``run``'s span."""
+        frags = run.frags
+        lo, hi = run.head, len(frags)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if frags[mid].last_access <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        # run.front() <= key < run.back() guarantees an interior position,
+        # so neither the run's front nor its heap entries change.
+        block._stamp = self._next_stamp
+        self._next_stamp += 1
+        if run.filename == block.filename and run.dirty is block.dirty:
+            frags.insert(lo, block)
+            block._run = run
+            self.merges += 1
+        else:
+            right = self._split_run(run, lo)
+            single = self._alloc_run(block.filename, block.dirty)
+            single.frags.append(block)
+            block._run = single
+            self._link_run(single, run, right, newest=False)
+        self._length += 1
+        self._account_add(block)
+
+    def _insert_positioned(self, block: Block) -> None:
+        """Insert at the ordered position, scanning from the closer end."""
+        key = block.last_access
+        head_run, tail_run = self._head, self._tail
+        if (key - head_run.front().last_access) <= (
+                tail_run.back().last_access - key):
+            # Scan forward for the first run reaching strictly past `key`.
+            run = head_run
+            while run.back().last_access <= key:
+                run = run._next  # cannot fall off: tail.back() > key
+            if run.front().last_access > key:
+                self._place_in_gap(block, run._prev, run)
+            else:
+                self._place_inside(block, run, key)
+        else:
+            # Scan backward for the last run starting at or before `key`.
+            run = tail_run
+            while run is not None and run.front().last_access > key:
+                run = run._prev
+            if run is None:
+                self._place_in_gap(block, None, self._head)
+            elif run.back().last_access <= key:
+                self._place_in_gap(block, run, run._next)
+            else:
+                self._place_inside(block, run, key)
 
     # ------------------------------------------------------------- mutations
     def append(self, block: Block) -> None:
-        """Add ``block`` as the most recently used entry (O(1))."""
-        tail = self._tail
-        if tail is not None and block.last_access < tail.last_access:
-            self.insert_ordered(block)
-            return
-        self._link_between(block, tail, None)
-        self._try_merge_with_prev(block)
+        """Add ``block`` at its ordered position (O(1) at the tail).
 
-    def insert_ordered(self, block: Block) -> None:
-        """Insert ``block`` keeping the list ordered by last access time.
-
-        The block lands after every block with ``last_access`` less than
-        or equal to its own (ties resolve to insertion order), scanning
-        from whichever end of the list is closer in access time.
+        The block lands after every fragment with ``last_access`` less
+        than or equal to its own (ties resolve to insertion order); an
+        out-of-order block falls back to a position scan over runs from
+        whichever end of the list is closer in time.  This is the
+        hottest structural operation of the simulator, so the tail path
+        is fully inlined: join the tail run or link a fresh one, then
+        account — no helper calls.
         """
-        key = block.last_access
-        head, tail = self._head, self._tail
-        if head is None or key >= tail.last_access:
-            self._link_between(block, tail, None)
-        elif (key - head.last_access) <= (tail.last_access - key):
-            # Scan forward for the first block strictly newer than `key`.
-            succ = head
-            while succ is not None and succ.last_access <= key:
-                succ = succ._next
-            self._link_between(block, succ._prev if succ else self._tail, succ)
+        if block._run is not None:
+            raise CacheConsistencyError(
+                f"block {block!r} is already in an LRU list"
+            )
+        tail = self._tail
+        if tail is not None and block.last_access < tail.frags[-1].last_access:
+            self._insert_positioned(block)
+            return
+        block._stamp = self._next_stamp
+        self._next_stamp += 1
+        dirty = block.dirty
+        filename = block.filename
+        if (tail is not None and tail.filename == filename
+                and tail.dirty is dirty):
+            tail.frags.append(block)
+            block._run = tail
+            self.merges += 1
         else:
-            # Scan backward for the last block at or before `key`.
-            pred = tail
-            while pred is not None and pred.last_access > key:
-                pred = pred._prev
-            self._link_between(block, pred, pred._next if pred else self._head)
-        self._try_merge_with_prev(block)
+            pool = self._run_pool
+            if pool:
+                run = pool.pop()
+                run.filename = filename
+                run.dirty = dirty
+            else:
+                run = ExtentRun(filename, dirty)
+            run.frags.append(block)
+            block._run = run
+            run._prev = tail
+            if tail is not None:
+                tail._next = run
+            else:
+                self._head = run
+            self._tail = run
+            run._list = self
+            self._run_count += 1
+            index = self._file_runs.get(filename)
+            if index is None:
+                index = self._file_runs[filename] = RunIndex()
+            index.runs.append(run)
+            index.epochs.append(run._epoch)
+            index.live += 1
+            heap = self._dirty_heap if dirty else self._clean_heap
+            heap.live += 1
+            self._pending_repush[run] = None
+        self._length += 1
+        size = block.size
+        self._size += size
+        if dirty:
+            self._dirty += size
+        per_file = self._per_file
+        per_file[filename] = per_file.get(filename, 0.0) + size
+
+    #: ``insert_ordered`` is the historical name of the ordered insert;
+    #: the tail-append fast path and the ordered fallback live in
+    #: :meth:`append`, which implements both.
+    insert_ordered = append
+
+    def _detach(self, block: Block, *, account: bool = True) -> None:
+        run = block._run
+        if run is None or run._list is not self:
+            raise CacheConsistencyError(
+                f"block {block!r} is not in LRU list {self.name!r}"
+            )
+        frags = run.frags
+        head = run.head
+        if frags[head] is block:
+            frags[head] = None
+            head += 1
+            run.head = head
+            if head >= len(frags):
+                self._kill_run(run)
+            else:
+                if head >= _COMPACT_THRESHOLD and head * 2 >= len(frags):
+                    run.compact()
+                self._pending_repush[run] = None
+        elif frags[-1] is block:
+            frags.pop()
+        else:
+            idx = frags.index(block, head + 1, len(frags) - 1)
+            del frags[idx]
+        block._run = None
+        self._length -= 1
+        if account:
+            size = block.size
+            self._size -= size
+            if block.dirty:
+                self._dirty -= size
+            filename = block.filename
+            per_file = self._per_file
+            remaining = per_file.get(filename, 0.0) - size
+            if remaining <= BYTE_EPSILON:
+                per_file.pop(filename, None)
+            else:
+                per_file[filename] = remaining
+            if (self._size < -NEGATIVE_TOLERANCE
+                    or self._dirty < -NEGATIVE_TOLERANCE):
+                raise CacheConsistencyError(
+                    f"negative accounting in LRU list {self.name!r}: "
+                    f"size={self._size}, dirty={self._dirty}"
+                )
+            self._size = max(0.0, self._size)
+            self._dirty = max(0.0, self._dirty)
 
     def remove(self, block: Block) -> None:
-        """Remove ``block`` from the list (O(1))."""
-        self._unlink(block)
+        """Remove ``block`` from the list (O(1) at a run boundary)."""
+        self._detach(block)
 
     def pop_lru(self) -> Block:
-        """Remove and return the least recently used block (O(1))."""
-        block = self._head
-        if block is None:
+        """Remove and return the least recently used fragment (O(1))."""
+        run = self._head
+        if run is None:
             raise CacheConsistencyError(f"LRU list {self.name!r} is empty")
-        self._unlink(block)
+        block = run.frags[run.head]
+        self._detach(block)
         return block
 
     def peek_lru(self) -> Block:
-        """The least recently used block, without removing it (O(1))."""
+        """The least recently used fragment, without removing it (O(1))."""
         if self._head is None:
             raise CacheConsistencyError(f"LRU list {self.name!r} is empty")
-        return self._head
+        return self._head.front()
 
     def mark_clean(self, block: Block) -> None:
         """Clear the dirty flag of ``block``, fixing the dirty accounting.
 
-        The freshly cleaned block may coalesce with an adjacent clean
-        extent; callers that need the block's pre-merge size must read it
-        before calling.
+        The fragment keeps its exact position and stamp in the LRU order
+        — only its state changes.  Structurally it moves out of its dirty
+        run into the adjacent clean run when one borders it (the
+        background flusher cleaning a run front-to-back grows one clean
+        run instead of shredding the list), or into a clean run of its
+        own, splitting the dirty run when it sat in the middle (a true
+        state boundary).
         """
-        if block._list is not self:
+        run = block._run
+        if run is None or run._list is not self:
             raise CacheConsistencyError(
                 f"block {block!r} is not in LRU list {self.name!r}"
             )
-        if block.dirty:
-            block.dirty = False
-            self._dirty = max(0.0, self._dirty - block.size)
-            self._dirty_heap.live -= 1
-            self._clean_heap.live += 1
-            self._clean_heap.push(block)
-            # The freshly cleaned block may now be indistinguishable from
-            # either neighbour; merging the successor into the survivor is
-            # the same operation as merging the survivor into its
-            # predecessor, viewed from the successor.
-            survivor = self._try_merge_with_prev(block)
-            succ = survivor._next
-            if succ is not None:
-                self._try_merge_with_prev(succ)
+        if not block.dirty:
+            return
+        block.dirty = False
+        self._dirty = max(0.0, self._dirty - block.size)
+        frags = run.frags
+        head = run.head
+        if len(frags) - head == 1:
+            prev = run._prev
+            if (prev is not None and prev.filename == run.filename
+                    and not prev.dirty):
+                prev.frags.append(block)
+                block._run = prev
+                self._kill_run(run)
+                self.merges += 1
+            else:
+                run.dirty = False
+                self._dirty_heap.live -= 1
+                self._clean_heap.live += 1
+                self._pending_repush[run] = None
+        elif frags[head] is block:
+            frags[head] = None
+            run.head = head + 1
+            self._pending_repush[run] = None
+            prev = run._prev
+            if (prev is not None and prev.filename == run.filename
+                    and not prev.dirty):
+                prev.frags.append(block)
+                block._run = prev
+                self.merges += 1
+            else:
+                clean = self._alloc_run(run.filename, False)
+                clean.frags.append(block)
+                block._run = clean
+                self._link_run(clean, prev, run, newest=False)
+        elif frags[-1] is block:
+            frags.pop()
+            succ = run._next
+            if (succ is not None and succ.filename == run.filename
+                    and not succ.dirty):
+                if succ.head:
+                    succ.head -= 1
+                    succ.frags[succ.head] = block
+                else:
+                    succ.frags.insert(0, block)
+                block._run = succ
+                self._pending_repush[succ] = None
+                self.merges += 1
+            else:
+                clean = self._alloc_run(run.filename, False)
+                clean.frags.append(block)
+                block._run = clean
+                self._link_run(clean, run, run._next, newest=False)
+        else:
+            idx = frags.index(block, head + 1, len(frags) - 1)
+            right = self._split_run(run, idx + 1)
+            frags.pop()  # `block`, now the left half's back
+            clean = self._alloc_run(run.filename, False)
+            clean.frags.append(block)
+            block._run = clean
+            self._link_run(clean, run, right, newest=False)
 
     def clear(self) -> List[Block]:
-        """Remove all blocks and return them."""
+        """Remove all fragments and return them."""
         blocks = []
-        node = self._head
-        while node is not None:
-            succ = node._next
-            node._prev = node._next = None
-            node._list = None
-            blocks.append(node)
-            node = succ
+        run = self._head
+        while run is not None:
+            succ = run._next
+            for frag in run.frags[run.head:]:
+                frag._run = None
+                blocks.append(frag)
+            run._prev = run._next = None
+            run._list = None
+            run = succ
         self._head = self._tail = None
         self._length = 0
+        self._run_count = 0
         self._size = 0.0
         self._dirty = 0.0
         self._per_file = {}
-        self._file_blocks = {}
-        self._dirty_heap = _StateHeap(self, True)
-        self._clean_heap = _StateHeap(self, False)
+        self._file_runs = {}
+        self._dirty_heap = StateHeap(self, True)
+        self._clean_heap = StateHeap(self, False)
+        self._pending_repush = {}
         return blocks
 
     # --------------------------------------------------------------- queries
@@ -518,97 +604,178 @@ class LRUList:
         """Mapping ``filename -> cached bytes`` for this list."""
         return dict(self._per_file)
 
-    def blocks_of_file(self, filename: str) -> List[Block]:
-        """Blocks of ``filename``, in LRU order (O(k) in the answer)."""
-        per_file = self._file_blocks.get(filename)
-        if per_file is None:
+    def runs_of_file(self, filename: str) -> List[ExtentRun]:
+        """Runs of ``filename``, in LRU order (O(k) in the answer)."""
+        index = self._file_runs.get(filename)
+        if index is None:
             return []
-        return per_file.ordered()
+        return index.ordered(self)
+
+    def blocks_of_file(self, filename: str) -> List[Block]:
+        """Fragments of ``filename``, in LRU order (O(k) in the answer)."""
+        blocks: List[Block] = []
+        for run in self.runs_of_file(filename):
+            blocks.extend(run.frags[run.head:])
+        return blocks
 
     def dirty_blocks(self, exclude_file: Optional[str] = None) -> List[Block]:
-        """Dirty blocks in LRU order, optionally excluding one file."""
-        blocks = self._dirty_heap.ordered_live()
-        if exclude_file is None:
-            return blocks
-        return [block for block in blocks if block.filename != exclude_file]
+        """Dirty fragments in LRU order, optionally excluding one file."""
+        self._flush_pending()
+        blocks: List[Block] = []
+        for run in self._dirty_heap.ordered_live():
+            if run.filename != exclude_file:
+                blocks.extend(run.frags[run.head:])
+        return blocks
 
     def clean_blocks(self, exclude_files: Iterable[str] = ()) -> List[Block]:
-        """Clean blocks in LRU order, optionally excluding some files."""
+        """Clean fragments in LRU order, optionally excluding some files."""
+        self._flush_pending()
         excluded = set(exclude_files)
-        blocks = self._clean_heap.ordered_live()
-        if not excluded:
-            return blocks
-        return [block for block in blocks if block.filename not in excluded]
+        blocks: List[Block] = []
+        for run in self._clean_heap.ordered_live():
+            if run.filename not in excluded:
+                blocks.extend(run.frags[run.head:])
+        return blocks
 
     def expired_blocks(self, now: float, expiration: float) -> List[Block]:
-        """Dirty blocks whose entry time is older than ``expiration`` seconds."""
-        return [
-            block
-            for block in self._dirty_heap.ordered_live()
-            if block.is_expired(now, expiration)
-        ]
+        """Dirty fragments whose entry time is older than ``expiration``."""
+        self._flush_pending()
+        blocks: List[Block] = []
+        for run in self._dirty_heap.ordered_live():
+            for frag in run.frags[run.head:]:
+                if (now - frag.entry_time) >= expiration:
+                    blocks.append(frag)
+        return blocks
 
     # --------------------------------------------------------------- cursors
-    def clean_cursor(self, exclude_files: Iterable[str] = ()) -> _StateCursor:
-        """Consuming cursor over clean blocks in LRU order (eviction).
+    def clean_cursor(self, exclude_files: Iterable[str] = ()) -> StateCursor:
+        """Consuming cursor over clean fragments in LRU order (eviction).
 
-        Every block the cursor returns must be removed from the list (or
-        re-inserted after a split) before requesting the next one; call
-        ``close()`` when done so excluded blocks return to the heap.
+        Every fragment the cursor returns must be removed from the list
+        (or re-inserted after a split) before requesting the next one;
+        call ``close()`` when done so excluded runs return to the heap.
         """
-        return _StateCursor(self._clean_heap, frozenset(exclude_files))
+        self._flush_pending()
+        return StateCursor(self._clean_heap, frozenset(exclude_files))
 
-    def dirty_cursor(self, exclude_file: Optional[str] = None) -> _StateCursor:
-        """Consuming cursor over dirty blocks in LRU order (flushing)."""
+    def dirty_cursor(self, exclude_file: Optional[str] = None) -> StateCursor:
+        """Consuming cursor over dirty fragments in LRU order (flushing)."""
+        self._flush_pending()
         excluded = frozenset() if exclude_file is None else frozenset((exclude_file,))
-        return _StateCursor(self._dirty_heap, excluded)
+        return StateCursor(self._dirty_heap, excluded)
 
+    def file_cursor(self, filename: str) -> FileCursor:
+        """Consuming cursor over one file's fragments in LRU order (reads).
+
+        Snapshot semantics: fragments linked after the cursor's creation
+        (re-accessed data appended to the list, split remainders) are not
+        returned, exactly as with an eager snapshot of the file's blocks,
+        but the cost is proportional to the fragments actually consumed.
+        """
+        index = self._file_runs.get(filename)
+        if index is not None:
+            # Re-establish list order now (no cursor is live yet); the
+            # walk itself then never needs to look at ordering again.
+            index.ensure_sorted(self)
+        return FileCursor(self, index, self._next_stamp)
+
+    # ------------------------------------------------------------ validation
     def assert_consistent(self) -> None:
-        """Validate accounting, link structure and index sets."""
+        """Validate accounting, run structure, indexes and heap liveness."""
         total = 0.0
         dirty = 0.0
         per_file: Dict[str, float] = {}
         count = 0
-        previous: Optional[Block] = None
-        for block in self:
-            if block._list is not self:
+        run_count = 0
+        dirty_runs = 0
+        previous_key = None
+        run = self._head
+        while run is not None:
+            if run._list is not self:
                 raise CacheConsistencyError(
-                    f"block {block!r} linked into {self.name!r} but owned "
-                    f"elsewhere"
+                    f"run {run!r} linked into {self.name!r} but owned elsewhere"
                 )
-            if previous is not None and (
-                block.last_access < previous.last_access
-                or block._prev is not previous
-            ):
+            if run._next is not None and run._next._prev is not run:
                 raise CacheConsistencyError(
-                    f"LRU list {self.name!r} ordering/link violation at "
-                    f"{block!r}"
+                    f"LRU list {self.name!r} link violation at {run!r}"
                 )
-            if block not in self._file_blocks.get(block.filename, ()):
+            frags = run.frags
+            if run.head >= len(frags):
                 raise CacheConsistencyError(
-                    f"block {block!r} missing from the per-file index of "
+                    f"empty run {run!r} stored in LRU list {self.name!r}"
+                )
+            index = self._file_runs.get(run.filename)
+            if index is None or run not in index:
+                raise CacheConsistencyError(
+                    f"run {run!r} missing from the per-file index of "
                     f"{self.name!r}"
                 )
-            total += block.size
-            if block.dirty:
-                dirty += block.size
-            per_file[block.filename] = per_file.get(block.filename, 0.0) + block.size
-            count += 1
-            previous = block
+            for frag in frags[run.head:]:
+                if frag is None or frag._run is not run:
+                    raise CacheConsistencyError(
+                        f"fragment ownership violation in run {run!r} of "
+                        f"{self.name!r}"
+                    )
+                if frag.filename != run.filename or frag.dirty is not run.dirty:
+                    raise CacheConsistencyError(
+                        f"non-homogeneous run {run!r} in {self.name!r}: "
+                        f"{frag!r}"
+                    )
+                if frag.size <= 0:
+                    raise CacheConsistencyError(
+                        f"non-positive fragment size in {self.name!r}: {frag!r}"
+                    )
+                key = (frag.last_access, frag._stamp)
+                if previous_key is not None and key <= previous_key:
+                    raise CacheConsistencyError(
+                        f"LRU list {self.name!r} ordering violation at {frag!r}"
+                    )
+                previous_key = key
+                total += frag.size
+                if frag.dirty:
+                    dirty += frag.size
+                per_file[frag.filename] = (
+                    per_file.get(frag.filename, 0.0) + frag.size
+                )
+                count += 1
+            run_count += 1
+            if run.dirty:
+                dirty_runs += 1
+            run = run._next
         if count != self._length:
             raise CacheConsistencyError(
                 f"LRU list {self.name!r} length drift: {self._length} vs {count}"
             )
-        if sum(len(index) for index in self._file_blocks.values()) != count:
+        if run_count != self._run_count:
+            raise CacheConsistencyError(
+                f"LRU list {self.name!r} run-count drift: "
+                f"{self._run_count} vs {run_count}"
+            )
+        if sum(len(index) for index in self._file_runs.values()) != run_count:
             raise CacheConsistencyError(
                 f"LRU list {self.name!r} per-file index drift"
             )
-        dirty_count = sum(1 for block in self if block.dirty)
-        if (self._dirty_heap.live != dirty_count
-                or self._clean_heap.live != count - dirty_count):
+        if (self._dirty_heap.live != dirty_runs
+                or self._clean_heap.live != run_count - dirty_runs):
             raise CacheConsistencyError(
                 f"LRU list {self.name!r} state-heap live-count drift"
             )
+        # Every run must stay reachable by the flush/eviction paths: a
+        # current-front heap entry, or a pending re-push that will create
+        # one before the next consumer runs.
+        reachable = set()
+        for heap in (self._dirty_heap, self._clean_heap):
+            for entry in heap.heap:
+                if heap._is_live(entry):
+                    reachable.add(id(entry[3]))
+        node = self._head
+        while node is not None:
+            if id(node) not in reachable and node not in self._pending_repush:
+                raise CacheConsistencyError(
+                    f"run {node!r} unreachable from the state heaps of "
+                    f"{self.name!r}"
+                )
+            node = node._next
         if abs(total - self._size) > DRIFT_TOLERANCE or \
                 abs(dirty - self._dirty) > DRIFT_TOLERANCE:
             raise CacheConsistencyError(
@@ -623,8 +790,9 @@ class LRUList:
 
     def __repr__(self) -> str:
         return (
-            f"<LRUList {self.name!r} blocks={self._length} "
-            f"size={self._size:.0f} dirty={self._dirty:.0f}>"
+            f"<LRUList {self.name!r} fragments={self._length} "
+            f"runs={self._run_count} size={self._size:.0f} "
+            f"dirty={self._dirty:.0f}>"
         )
 
 
@@ -635,9 +803,9 @@ class PageCacheLists:
                  "balance_enabled")
 
     def __init__(self, active_to_inactive_ratio: float = 2.0,
-                 balance: bool = True, coalesce: bool = False):
-        self.inactive = LRUList("inactive", coalesce=coalesce)
-        self.active = LRUList("active", coalesce=coalesce)
+                 balance: bool = True):
+        self.inactive = LRUList("inactive")
+        self.active = LRUList("active")
         self.active_to_inactive_ratio = active_to_inactive_ratio
         self.balance_enabled = balance
 
@@ -645,12 +813,12 @@ class PageCacheLists:
     @property
     def size(self) -> float:
         """Total cached bytes across both lists."""
-        return self.inactive.size + self.active.size
+        return self.inactive._size + self.active._size
 
     @property
     def dirty_size(self) -> float:
         """Total dirty bytes across both lists."""
-        return self.inactive.dirty_size + self.active.dirty_size
+        return self.inactive._dirty + self.active._dirty
 
     @property
     def clean_size(self) -> float:
@@ -659,8 +827,18 @@ class PageCacheLists:
 
     @property
     def merge_count(self) -> int:
-        """Extent merges performed across both lists."""
+        """Fragments absorbed into existing runs, across both lists."""
         return self.inactive.merges + self.active.merges
+
+    @property
+    def run_count(self) -> int:
+        """Extent runs held across both lists."""
+        return self.inactive._run_count + self.active._run_count
+
+    @property
+    def fragment_count(self) -> int:
+        """Fragments held across both lists."""
+        return self.inactive._length + self.active._length
 
     def cached_of_file(self, filename: str) -> float:
         """Bytes of ``filename`` cached across both lists."""
@@ -677,7 +855,7 @@ class PageCacheLists:
         return merged
 
     def all_blocks(self) -> List[Block]:
-        """All blocks, inactive list first (the order data is read back)."""
+        """All fragments, inactive list first (the order data is read back)."""
         return list(self.inactive) + list(self.active)
 
     # ------------------------------------------------------------- mutations
@@ -719,7 +897,7 @@ class PageCacheLists:
         if not self.balance_enabled:
             return 0.0
         ratio = self.active_to_inactive_ratio
-        excess = self.active.size - ratio * self.inactive.size
+        excess = self.active._size - ratio * self.inactive._size
         if excess <= BYTE_EPSILON:
             return 0.0
         # Demoting x bytes must yield active - x <= ratio * (inactive + x).

@@ -90,10 +90,22 @@ class MemoryManager:
         self._free = float(memory.size)
         self._anonymous = 0.0
         self._anonymous_by_owner: Dict[str, float] = {}
+        # With a "total" threshold base the dirty capacities are constants;
+        # precompute them so the per-chunk I/O paths skip the property
+        # arithmetic (the product is the same float either way).
+        if self.config.dirty_threshold_base == "total":
+            self._dirty_capacity_const: Optional[float] = (
+                self.config.dirty_ratio * self.total_memory
+            )
+            self._background_capacity_const: Optional[float] = (
+                self.config.dirty_background_ratio * self.total_memory
+            )
+        else:
+            self._dirty_capacity_const = None
+            self._background_capacity_const = None
         self.lists = PageCacheLists(
             active_to_inactive_ratio=self.config.active_to_inactive_ratio,
             balance=self.config.balance_lists,
-            coalesce=self.config.coalesce_extents,
         )
         self.stats = CacheStatistics()
         #: Files currently being written (used by ``protect_written_files``).
@@ -133,8 +145,18 @@ class MemoryManager:
 
     @property
     def extent_merges(self) -> int:
-        """Number of extent coalescing merges performed by the LRU lists."""
+        """Fragments absorbed into existing extent runs by the LRU lists."""
         return self.lists.merge_count
+
+    @property
+    def extent_runs(self) -> int:
+        """Extent runs (LRU-list nodes) currently held by the cache."""
+        return self.lists.run_count
+
+    @property
+    def extent_fragments(self) -> int:
+        """Fragments currently held across the cache's extent runs."""
+        return self.lists.fragment_count
 
     @property
     def used_memory(self) -> float:
@@ -157,20 +179,16 @@ class MemoryManager:
     @property
     def dirty_capacity(self) -> float:
         """Maximum amount of dirty data allowed (the dirty ratio threshold)."""
-        if self.config.dirty_threshold_base == "total":
-            base = self.total_memory
-        else:
-            base = self.available_mem
-        return self.config.dirty_ratio * base
+        if self._dirty_capacity_const is not None:
+            return self._dirty_capacity_const
+        return self.config.dirty_ratio * self.available_mem
 
     @property
     def dirty_background_capacity(self) -> float:
         """Dirty amount above which background writeback starts."""
-        if self.config.dirty_threshold_base == "total":
-            base = self.total_memory
-        else:
-            base = self.available_mem
-        return self.config.dirty_background_ratio * base
+        if self._background_capacity_const is not None:
+            return self._background_capacity_const
+        return self.config.dirty_background_ratio * self.available_mem
 
     @property
     def remaining_dirty_allowance(self) -> float:
@@ -332,10 +350,11 @@ class MemoryManager:
 
         Returns ``(storage, size)`` pairs for the selected data (already
         marked clean in the lists, splitting the last block if necessary)
-        and the total amount selected.  Sizes are captured before
-        ``mark_clean`` because a freshly cleaned block may coalesce with a
-        neighbouring clean extent.  The selection is synchronous so that a
-        concurrent flusher never picks the same blocks twice.
+        and the total amount selected.  ``mark_clean`` moves each fragment
+        from its dirty run into the bordering clean run (or a clean run of
+        its own) without touching its size, so cleaning a run front to
+        back grows one clean extent.  The selection is synchronous so that
+        a concurrent flusher never picks the same blocks twice.
         """
         selected: List[Tuple[object, float]] = []
         total = 0.0
@@ -410,15 +429,18 @@ class MemoryManager:
         """
         if amount <= 0:
             return None
+        now = self.env.now
         block = Block(
             filename,
             amount,
-            entry_time=self.env.now,
-            last_access=self.env.now,
+            entry_time=now,
+            last_access=now,
             dirty=dirty,
             storage=storage,
         )
-        self.lists.add_to_inactive(block)
+        lists = self.lists
+        lists.inactive.append(block)
+        lists.balance()
         self._free -= amount
         return block
 
@@ -458,28 +480,36 @@ class MemoryManager:
         for lru in (self.lists.inactive, self.lists.active):
             if remaining <= _EPSILON:
                 break
-            # Only this file's blocks, in LRU order — the per-file index
-            # replaces the old scan over every cached block of the host.
-            for block in lru.blocks_of_file(filename):
-                if remaining <= _EPSILON:
+            # Only this file's fragments, in LRU order — the lazy file
+            # cursor walks the file's extent runs and costs only the
+            # fragments actually consumed, not a per-chunk snapshot of
+            # every cached block of the file.
+            cursor = lru.file_cursor(filename)
+            cursor_next = cursor.next
+            detach = lru._detach
+            active = self.lists.active
+            while remaining > _EPSILON:
+                block = cursor_next()
+                if block is None:
                     break
                 if block.size > remaining + _EPSILON:
                     # Only part of the block is accessed: split and re-access
                     # the first part only.
-                    lru.remove(block)
+                    detach(block)
                     accessed, rest = block.split(remaining)
                     lru.insert_ordered(rest)
                     block = accessed
                 else:
-                    lru.remove(block)
+                    detach(block)
                 taken = block.size
                 if block.dirty:
                     # Dirty blocks are moved independently to preserve their
                     # entry time (needed for expiration).
-                    block.touch(now)
-                    self.lists.active.append(block)
+                    block.last_access = now
+                    active.append(block)
                 else:
-                    merged_entry_time = min(merged_entry_time, block.entry_time)
+                    if block.entry_time < merged_entry_time:
+                        merged_entry_time = block.entry_time
                     merged_clean_size += taken
                     if block.storage is not None:
                         merged_storage = block.storage
@@ -538,9 +568,9 @@ class MemoryManager:
             blocks = self.expired_blocks()
             flushed = 0.0
             for block in blocks:
-                # Capture the size first: a cleaned block may coalesce with
-                # a neighbouring clean extent.  Mark clean before the write
-                # so foreground flushing does not pick the same block.
+                # Mark clean before the write so foreground flushing does
+                # not pick the same fragment while this process waits on
+                # the storage device.
                 size = block.size
                 if block in self.lists.inactive:
                     self.lists.inactive.mark_clean(block)

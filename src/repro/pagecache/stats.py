@@ -14,6 +14,50 @@ from typing import Dict
 
 
 @dataclass
+class ExtentOccupancy:
+    """Point-in-time structure of a page cache's extent runs.
+
+    ``runs`` is the number of LRU-list nodes the cache pays for; with the
+    extent representation it tracks the number of distinct access streams
+    rather than ``bytes / chunk_size``.  ``fragments`` is the number of
+    exact-byte fragments held inside those runs (the accounting
+    granularity, unchanged by coalescing), and ``merges`` counts the
+    fragments that joined an existing run instead of becoming a node of
+    their own.  ``fragments_per_run`` is the structural win: how many
+    list/index/heap entries each run is standing in for.
+    """
+
+    runs: int
+    fragments: int
+    merges: int
+
+    @classmethod
+    def of(cls, lists) -> "ExtentOccupancy":
+        """Snapshot the occupancy of a :class:`PageCacheLists` pair."""
+        return cls(
+            runs=lists.run_count,
+            fragments=lists.fragment_count,
+            merges=lists.merge_count,
+        )
+
+    @property
+    def fragments_per_run(self) -> float:
+        """Mean fragments per run (1.0 = no coalescing happening)."""
+        if self.runs <= 0:
+            return 0.0
+        return self.fragments / self.runs
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the occupancy as a plain dictionary."""
+        return {
+            "runs": self.runs,
+            "fragments": self.fragments,
+            "merges": self.merges,
+            "fragments_per_run": self.fragments_per_run,
+        }
+
+
+@dataclass
 class CacheStatistics:
     """Byte and operation counters for a simulated page cache."""
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.des.environment import Environment
-from repro.des.events import Event, Timeout
+from repro.des.events import Event, Timeout, URGENT
 from repro.errors import ConfigurationError
 
 #: Tolerance below which a flow is considered complete (bytes).
@@ -90,6 +90,12 @@ class FairShareChannel:
         #: departures cancel it (tombstone, O(1)) and schedule a fresh one
         #: instead of spawning a waker process per reschedule.
         self._waker_timeout: Optional[Timeout] = None
+        #: Set while a same-instant reschedule sentinel is queued: a burst
+        #: of arrivals in one event cascade (concurrent applications
+        #: issuing chunk I/O at the same simulated time) computes the next
+        #: completion once, at the end of the cascade, instead of once per
+        #: arrival.
+        self._resched_queued = False
         # Statistics
         self.total_transferred = 0.0
         self.total_flows = 0
@@ -130,19 +136,40 @@ class FairShareChannel:
         """
         if amount < 0:
             raise ValueError(f"cannot transfer a negative amount ({amount})")
-        done = Event(self.env)
+        env = self.env
+        done = Event(env)
         if amount <= _EPSILON:
             done.succeed(0.0)
             return done
 
         self._update_progress()
-        flow = Flow(amount, done, self.env.now, label=label)
+        now = env._now
+        flow = Flow(amount, done, now, label=label)
         if self._busy_since is None:
-            self._busy_since = self.env.now
+            self._busy_since = now
         self._flows.append(flow)
         self.total_flows += 1
-        self._reschedule()
+        # Defer the reschedule to the end of the current event cascade: a
+        # sentinel event at the same instant (urgent priority, zero
+        # delay) fires after every same-time arrival has been added, so a
+        # burst of n concurrent transfers costs one completion scan and
+        # one waker timeout instead of n.  No simulated time can pass
+        # before the sentinel runs.
+        if not self._resched_queued:
+            self._resched_queued = True
+            waker = self._waker_timeout
+            if waker is not None:
+                waker._defunct = True
+                self._waker_timeout = None
+            sentinel = Event(env)
+            sentinel._ok = True
+            sentinel.callbacks.append(self._on_deferred_reschedule)
+            env.schedule(sentinel, priority=URGENT)
         return done
+
+    def _on_deferred_reschedule(self, _event: Event) -> None:
+        self._resched_queued = False
+        self._reschedule()
 
     def estimate_time(self, amount: float) -> float:
         """Time the transfer would take with the *current* contention level.
@@ -156,11 +183,15 @@ class FairShareChannel:
 
     # ------------------------------------------------------------- internals
     def _update_progress(self) -> None:
-        now = self.env.now
+        now = self.env._now
         elapsed = now - self._last_update
         flows = self._flows
         if elapsed > 0 and flows:
-            rate = self.rate_per_flow
+            # Inline rate_per_flow: the same division, without the
+            # property call on every progress update.
+            rate = self.bandwidth
+            if self.sharing:
+                rate = rate / len(flows)
             quantum = rate * elapsed
             transferred = self.total_transferred
             for flow in flows:
@@ -183,24 +214,30 @@ class FairShareChannel:
                 kept.append(flow)
         if finished:
             self._flows = kept
-            now = self.env.now
+            now = self.env._now
             for flow in finished:
                 flow.remaining = 0.0
                 flow.event.succeed(now - flow.start_time)
         if not self._flows and self._busy_since is not None:
-            self.busy_time += self.env.now - self._busy_since
+            self.busy_time += self.env._now - self._busy_since
             self._busy_since = None
 
     def _reschedule(self) -> None:
         # The completion set changed: the pending wake-up (if any) is
         # stale.  Tombstone it instead of letting a dead waker process
         # resume just to find out its version expired.
-        if self._waker_timeout is not None:
-            self._waker_timeout.cancel()
+        waker = self._waker_timeout
+        if waker is not None:
+            waker._defunct = True
             self._waker_timeout = None
-        while self._flows:
+        env = self.env
+        bandwidth = self.bandwidth
+        sharing = self.sharing
+        while True:
             flows = self._flows
-            rate = self.rate_per_flow
+            if not flows:
+                return
+            rate = bandwidth / len(flows) if sharing else bandwidth
             # min(remaining) / rate == min(remaining / rate): division by a
             # positive rate is monotone, and the winning quotient is the
             # same float either way.
@@ -209,11 +246,11 @@ class FairShareChannel:
                 if flow.remaining < smallest_remaining:
                     smallest_remaining = flow.remaining
             next_completion = smallest_remaining / rate
-            now = self.env.now
+            now = env._now
             if now + next_completion > now:
                 # A bare timeout with a callback: no waker process, no
                 # Initialize/termination events — one queue entry per wake.
-                timeout = Timeout(self.env, next_completion)
+                timeout = Timeout(env, next_completion)
                 timeout.callbacks.append(self._on_wake)
                 self._waker_timeout = timeout
                 return

@@ -129,46 +129,66 @@ class TestLRUList:
             lru.assert_consistent()
 
 
-class TestExtentCoalescing:
-    """Adjacent indistinguishable clean blocks merge into one extent."""
+class TestExtentRuns:
+    """Consecutive same-file, same-state fragments share one extent run.
 
-    def test_equal_access_clean_neighbours_merge(self):
-        lru = LRUList(coalesce=True)
-        a1 = make_block("a", size=10, entry=1.0, access=5.0)
-        a2 = make_block("a", size=20, entry=3.0, access=5.0)
-        lru.append(a1)
-        lru.append(a2)
-        assert len(lru) == 1
-        assert lru.merges == 1
-        assert a1.size == 30  # the earlier block absorbs the later one
-        assert a1.entry_time == 1.0  # min entry time, as cache hits do
-        assert a2 not in lru
-        assert lru.cached_of_file("a") == 30
+    Coalescing is structural and lossless: joining a run moves the
+    fragment — its exact size, entry time and access time travel with it
+    untouched — so it is always on; there is no knob and no arithmetic.
+    """
+
+    def test_sequential_stream_coalesces_into_one_run(self):
+        lru = LRUList()
+        for step in range(5):
+            lru.append(make_block("a", size=10, entry=float(step),
+                                  access=float(step)))
+        assert len(lru) == 5  # fragments keep their identity...
+        assert lru.run_count == 1  # ...but cost a single list node
+        assert lru.merges == 4
+        assert lru.cached_of_file("a") == 50
         lru.assert_consistent()
 
-    def test_different_access_times_do_not_merge(self):
-        lru = LRUList(coalesce=True)
-        lru.append(make_block("a", size=10, access=1.0))
-        lru.append(make_block("a", size=10, access=2.0))
-        assert len(lru) == 2
+    def test_fragment_sizes_survive_coalescing_exactly(self):
+        # The sizes of coalesced fragments are never summed or rewritten:
+        # popping them back out yields the exact values that went in.
+        lru = LRUList()
+        sizes = [10.125, 0.375, 7.25]
+        for step, size in enumerate(sizes):
+            lru.append(make_block("a", size=size, access=float(step)))
+        assert lru.run_count == 1
+        assert [lru.pop_lru().size for _ in sizes] == sizes
+
+    def test_dirty_and_clean_neighbours_never_share_a_run(self):
+        lru = LRUList()
+        lru.append(make_block("a", size=10, access=1.0, dirty=True))
+        lru.append(make_block("a", size=10, access=2.0, dirty=False))
+        lru.append(make_block("a", size=10, access=3.0, dirty=True))
+        assert lru.run_count == 3
         assert lru.merges == 0
+        lru.assert_consistent()
 
-    def test_dirty_blocks_never_merge(self):
-        lru = LRUList(coalesce=True)
-        lru.append(make_block("a", size=10, access=1.0, dirty=True))
-        lru.append(make_block("a", size=10, access=1.0, dirty=True))
-        assert len(lru) == 2
-
-    def test_different_files_do_not_merge(self):
-        lru = LRUList(coalesce=True)
+    def test_different_files_never_share_a_run(self):
+        lru = LRUList()
         lru.append(make_block("a", size=10, access=1.0))
         lru.append(make_block("b", size=10, access=1.0))
-        assert len(lru) == 2
+        assert lru.run_count == 2
+        assert lru.merges == 0
 
-    def test_mark_clean_re_merges_flush_split(self):
-        # A flush split leaves a clean and a dirty fragment of the same
-        # block side by side; cleaning the dirty one re-merges the extent.
-        lru = LRUList(coalesce=True)
+    def test_interleaved_files_resume_their_runs_in_gaps(self):
+        # b's block lands between a's fragments in time: the run splits.
+        lru = LRUList()
+        lru.append(make_block("a", size=10, access=1.0))
+        lru.append(make_block("a", size=10, access=3.0))
+        assert lru.run_count == 1
+        lru.insert_ordered(make_block("b", size=10, access=2.0))
+        assert lru.run_count == 3  # a[1.0] | b[2.0] | a[3.0]
+        assert [block.filename for block in lru.blocks] == ["a", "b", "a"]
+        lru.assert_consistent()
+
+    def test_mark_clean_joins_the_clean_neighbour(self):
+        # A flush split leaves a clean and a dirty fragment side by side;
+        # cleaning the dirty one re-joins the clean run structurally.
+        lru = LRUList()
         original = make_block("a", size=30, entry=2.0, access=4.0, dirty=True)
         lru.append(original)
         flushed, rest = original.split(10.0)
@@ -176,21 +196,31 @@ class TestExtentCoalescing:
         lru.remove(original)
         lru.insert_ordered(flushed)
         lru.insert_ordered(rest)
-        assert len(lru) == 2
+        assert lru.run_count == 2
         lru.mark_clean(rest)
-        assert len(lru) == 1
+        assert lru.run_count == 1
+        assert len(lru) == 2  # both fragments survive, sizes untouched
         assert lru.size == 30
         assert lru.dirty_size == 0
         lru.assert_consistent()
 
-    def test_coalescing_is_off_by_default(self):
-        # Off by default: merging is byte-equivalent but not float-exact,
-        # so default runs stay ulp-for-ulp reproducible with old replays.
+    def test_totals_are_exactly_the_sum_of_run_lengths(self):
+        # With exact fragment sizes the accounting needs no slack on
+        # integer-byte workloads: the incrementally maintained totals
+        # equal the left-to-right sum over the runs, exactly.
         lru = LRUList()
-        lru.append(make_block("a", size=10, access=1.0))
-        lru.append(make_block("a", size=10, access=1.0))
-        assert len(lru) == 2
-        assert lru.merges == 0
+        for step in range(8):
+            lru.append(make_block(f"f{step % 2}", size=float(3 * step + 1),
+                                  access=float(step), dirty=step % 3 == 0))
+        total = 0.0
+        dirty = 0.0
+        for run in lru.runs():
+            length = run.length()
+            total += length
+            if run.dirty:
+                dirty += length
+        assert lru.size == total
+        assert lru.dirty_size == dirty
 
 
 class TestPageCacheLists:
