@@ -23,7 +23,18 @@ Workloads:
 * ``sched`` — the dispatch-heavy cluster workload (400 short jobs over
   32 nodes, EASY backfilling + cache-locality placement, small I/O): the
   workload where the ``wms``/``cluster`` scheduling layers — not the page
-  cache — dominate, used to profile the dispatch path itself.
+  cache — dominate, used to profile the dispatch path itself;
+* ``pagecache`` — the cache core in isolation: sequential and strided
+  (8-way interleaved) multi-gigabyte reads plus a writeback stream, all
+  at fine chunk sizes, driving the Memory Manager / IO Controller with no
+  scheduler on top.  Reports the extent-run occupancy and (by default)
+  the tracemalloc peak alongside the cProfile hot lists, so a cache-core
+  time or memory regression is diagnosable without a full experiment run.
+
+Peak-memory reporting: ``--memory`` re-runs the workload under
+``tracemalloc`` (separately from the cProfile pass, so neither skews the
+other) and prints the peak traced allocation; it defaults to on for the
+``pagecache`` workload and off elsewhere.
 """
 
 from __future__ import annotations
@@ -32,6 +43,7 @@ import argparse
 import cProfile
 import pstats
 import sys
+import tracemalloc
 from pathlib import Path
 
 # Allow running as a script from the repo root: the workload definitions
@@ -70,12 +82,89 @@ def _sched():
     return run_sched_dispatch
 
 
+def run_pagecache_workload(file_size=None, chunk_size=None, streams=8):
+    """Drive the cache core directly: sequential + strided fine-chunk I/O.
+
+    Three phases on one 16 GB host (no scheduler, no workflow layer):
+
+    1. *sequential*: stream a multi-GB file in cold, then re-read it from
+       cache — the single-stream regime where runs coalesce maximally;
+    2. *strided*: ``streams`` concurrent readers each stream their own
+       file, interleaving their chunks in LRU order — the concurrent
+       regime that shreds a per-block cache into ``size / chunk`` nodes;
+    3. *writeback*: the readers write private outputs, accumulating
+       dirty data past the threshold so foreground flushing carves the
+       dirty runs.
+
+    Returns the memory manager so callers can inspect occupancy/stats.
+    """
+    from repro.des import Environment
+    from repro.pagecache import IOController, MemoryManager, PageCacheConfig
+    from repro.units import GB, MB, MBps
+    from repro.platform.memory import MemoryDevice
+    from repro.platform.storage import Disk
+
+    file_size = file_size or 2 * GB
+    chunk_size = chunk_size or 4 * MB
+    env = Environment()
+    memory = MemoryDevice.symmetric(env, "ram", 2000 * MBps, size=16 * GB)
+    disk = Disk.symmetric(env, "disk", 500 * MBps)
+    mm = MemoryManager(env, memory, PageCacheConfig(chunk_size=chunk_size),
+                       name="pagecache-profile")
+    io = IOController(env, mm)
+
+    def sequential():
+        yield from io.read_file("seq", file_size, disk,
+                                use_anonymous_memory=False)
+        yield from io.read_file("seq", file_size, disk,
+                                use_anonymous_memory=False)
+
+    def strided(index):
+        name = f"strided{index}"
+        yield from io.read_file(name, file_size, disk,
+                                use_anonymous_memory=False)
+        yield from io.write_file(f"{name}.out", file_size, disk)
+
+    def driver():
+        yield env.process(sequential(), name="sequential")
+        readers = [
+            env.process(strided(index), name=f"strided{index}")
+            for index in range(streams)
+        ]
+        yield env.all_of(readers)
+        yield from mm.flush(mm.dirty)
+
+    process = env.process(driver(), name="pagecache-driver")
+    env.run(until=process)
+    mm.stop()
+    return mm
+
+
+def _pagecache():
+    from repro.pagecache.stats import ExtentOccupancy
+
+    def run():
+        mm = run_pagecache_workload()
+        occupancy = ExtentOccupancy.of(mm.lists)
+        print(
+            f"[pagecache] hit ratio {100 * mm.stats.hit_ratio:.1f}%, "
+            f"flushed {mm.stats.flushed_bytes / 1e9:.2f} GB, "
+            f"occupancy: {occupancy.runs} runs / {occupancy.fragments} "
+            f"fragments ({occupancy.fragments_per_run:.1f} frags/run, "
+            f"{occupancy.merges} merges)"
+        )
+        return mm
+
+    return run
+
+
 WORKLOADS = {
     "exp1": _exp1,
     "exp5": _exp5,
     "exp5-fine": _exp5_fine,
     "exp7": _exp7,
     "sched": _sched,
+    "pagecache": _pagecache,
 }
 
 
@@ -93,6 +182,12 @@ def main(argv=None) -> int:
                              "the dispatch path)")
     parser.add_argument("--dump", type=Path, default=None,
                         help="also write the raw profile to this file")
+    parser.add_argument("--memory", action="store_true", default=None,
+                        help="re-run the workload under tracemalloc and "
+                             "report the peak traced allocation (default: "
+                             "on for the pagecache workload)")
+    parser.add_argument("--no-memory", dest="memory", action="store_false",
+                        help="disable the tracemalloc pass")
     args = parser.parse_args(argv)
 
     run = WORKLOADS[args.workload]()
@@ -111,6 +206,21 @@ def main(argv=None) -> int:
         print(f"==== top {args.top} {title} ====")
         stats = pstats.Stats(profile)
         stats.sort_stats(order).print_stats(*restrictions)
+
+    report_memory = args.memory
+    if report_memory is None:
+        report_memory = args.workload == "pagecache"
+    if report_memory:
+        # A separate pass: tracemalloc and cProfile would skew each other.
+        tracemalloc.start()
+        run()
+        current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        print(
+            f"==== tracemalloc ====\n"
+            f"peak traced memory: {peak / 1e6:.1f} MB "
+            f"(still allocated at exit: {current / 1e6:.1f} MB)"
+        )
     return 0
 
 

@@ -244,6 +244,46 @@ def test_perf_lru_churn(benchmark):
 
 
 @pytest.mark.perf
+def test_perf_extent_streams(benchmark):
+    """Concurrent-stream churn on the extent-run cache core.
+
+    Eight interleaved per-file streams append fine-grained fragments
+    (the regime that shredded the per-block cache into ``size / chunk``
+    nodes), then the cache is drained through the eviction cursor in
+    exact LRU order.  Structural invariants are checked at the end.
+    """
+
+    def churn():
+        lists = PageCacheLists(balance=False)
+        n_streams, frags_per_stream = 8, 400
+        clock = 0.0
+        for round_index in range(frags_per_stream):
+            for stream in range(n_streams):
+                clock += 1.0
+                lists.add_to_inactive(
+                    Block(f"s{stream}", 1 * MB, clock, dirty=False)
+                )
+        # The interleaved streams must still coalesce to one run each.
+        assert lists.run_count == n_streams
+        lists.assert_consistent()
+        drained = 0.0
+        cursor = lists.inactive.clean_cursor()
+        try:
+            while True:
+                block = cursor.next()
+                if block is None:
+                    break
+                lists.inactive.remove(block)
+                drained += block.size
+        finally:
+            cursor.close()
+        return drained
+
+    total = benchmark(churn)
+    assert total == 8 * 400 * MB
+
+
+@pytest.mark.perf
 def test_perf_des_event_churn(benchmark):
     """Raw DES core churn: timeout scheduling, condition fan-in, resumes."""
 

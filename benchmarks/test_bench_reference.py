@@ -9,6 +9,8 @@ of the simulator rather than the speed of the CI runner du jour.
 
 from __future__ import annotations
 
+import pytest
+
 #: Loop length tuned to take a few hundred milliseconds on a laptop core.
 REFERENCE_ITERATIONS = 2_000_000
 
@@ -21,6 +23,11 @@ def reference_workload(n: int = REFERENCE_ITERATIONS) -> float:
     return total
 
 
+# The calibration must be present in *every* benchmark run that feeds
+# check_regression.py, including the marker-restricted `-m perf` run —
+# hence both markers (the gating run selects `not perf or calibration`).
+@pytest.mark.calibration
+@pytest.mark.perf
 def test_reference_workload(benchmark):
     result = benchmark.pedantic(reference_workload, rounds=3, iterations=1)
     assert result != 0.0

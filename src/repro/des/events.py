@@ -14,6 +14,7 @@ them; the environment resumes the process when the event is processed.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, List, Optional
 
 
@@ -116,11 +117,14 @@ class Event:
     # ------------------------------------------------------------- triggering
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        # env.schedule(self) with the call inlined: succeed() runs once
+        # per transfer completion and process wake-up.
+        env = self.env
+        heappush(env._queue, (env._now, NORMAL, next(env._eid), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -185,7 +189,8 @@ class Timeout(Event):
         self._delay = delay
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay)
+        # env.schedule(self, delay=delay), inlined for the same reason.
+        heappush(env._queue, (env._now + delay, NORMAL, next(env._eid), self))
 
     @property
     def delay(self) -> float:

@@ -1,46 +1,50 @@
 """Extent runs: the storage representation of the page-cache LRU lists.
 
-An :class:`ExtentRun` is a maximal-by-construction row of *fragments*
-(:class:`~repro.pagecache.block.Block` objects) that are
+An :class:`ExtentRun` is the row of *fragments*
+(:class:`~repro.pagecache.block.Block` objects) one file keeps in one
+state (dirty or clean) in one LRU list, sorted by LRU position.  The run
+— not the fragment — is the unit enqueued in the flush/eviction state
+heaps and referenced by the per-file index, so the structural cost of
+the cache scales with the number of live (file, state) streams, not with
+``bytes / chunk_size``.
 
-* consecutive in the global LRU order of their list,
-* of the same file, and
-* in the same state (all dirty or all clean).
-
-The run — not the fragment — is the node of the intrusive LRU list, the
-unit indexed by the per-file index and the unit enqueued in the
-flush/eviction state heaps.  A sequential multi-gigabyte stream therefore
-costs one list node, one index entry and one heap entry instead of
-``size / chunk_size`` of each, which is what makes fine-chunk workloads
-(Exp 5 ablations, Fig. 8 scaling) cheap.
+Ordering is *by key, not by links*.  Every fragment carries its total
+LRU position ``(last_access, stamp)`` — the stamp is a per-list monotone
+counter that breaks last-access ties in insertion order, exactly as the
+historical one-block-per-list-node implementation did.  Since that key
+defines the complete order, the global linked list of the old
+implementation is redundant: each run keeps its own fragments sorted,
+and consumers that need the global order (eviction, flushing, the
+balance demotion loop) interleave runs through the state heaps by
+comparing front keys.  Runs of one file and state never split — a
+fragment whose key falls inside the row is inserted at its sorted
+position, and consumption carves the front — so a cache holds at most
+``files x 2`` runs per list no matter how many concurrent streams
+interleave their chunks.
 
 Losslessness.  Fragments keep their exact, individually recorded byte
-sizes and metadata; *coalescing two runs concatenates their fragment
-rows and performs no arithmetic at all*.  Every byte quantity an
-operation observes (accounting totals, flush/evict/read consumption,
-background write-back sizes) is produced by the same float operations in
-the same order as the historical one-``Block``-per-list-node
-representation, so simulation results are bit-identical — this is the
-property that PR 3's opt-in extent merging (which *summed* the sizes of
-merged blocks, re-associating float additions) could not give, and the
-reason it had to default off while this representation is default-on
-(and the only mode).
+sizes and metadata; joining a run moves a fragment, it never sums sizes.
+Every byte quantity an operation observes (accounting totals,
+flush/evict/read consumption, background write-back sizes) is produced
+by the same float operations in the same order as the historical
+representation, so simulation results are bit-identical — the property
+that PR 3's opt-in extent merging (which summed merged block sizes,
+re-associating float additions) could not give, and the reason it had
+to default off while this representation is default-on (and the only
+mode).
 
-Consumption model.  All hot-path consumption (eviction, flushing, cache
-reads) carves fragments off the *front* of runs: ``frags[head]`` with a
-moving ``head`` cursor and periodic compaction, so consuming a fragment
-is O(1) amortized.  Interior surgery (a background flush cleaning an
-expired fragment in the middle of a dirty run, an out-of-order insert
-landing inside a run's time span) splits the run at a true state
-boundary; adjacent runs of the same file and state re-join eagerly where
-that is O(1) (absorbing a single fragment), keeping fragmentation
-bounded without ever moving large fragment rows around.
+Consumption model.  All hot-path consumption carves fragments off the
+*front* of runs: ``frags[head]`` with a moving ``head`` cursor and
+periodic compaction, so consuming a fragment is O(1) amortized.  Run
+objects are pooled by their owning list (see ``LRUList._run_pool``);
+stale references held by heaps are fenced by fragment stamps, and
+everything else by the per-run ``_epoch``.
 """
 
 from __future__ import annotations
 
 from heapq import heapify, heappop, heappush
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
 from repro.pagecache.block import Block
 
@@ -50,31 +54,23 @@ _COMPACT_THRESHOLD = 32
 
 
 class ExtentRun:
-    """A contiguous row of same-file, same-state fragments in LRU order.
+    """One file's fragments in one state, sorted by LRU position.
 
     The fragment row ``frags[head:]`` holds the live fragments, oldest
     first; slots before ``head`` are consumed (cleared to ``None``) and
-    reclaimed in bulk.  ``_prev``/``_next``/``_list`` are the intrusive
-    LRU-list links, owned by :class:`~repro.pagecache.lru.LRUList`.
+    reclaimed in bulk.  ``_list`` is the owning
+    :class:`~repro.pagecache.lru.LRUList` (``None`` while dead) and
+    ``_epoch`` the incarnation counter fencing pooled reuse.
     """
 
-    __slots__ = ("filename", "dirty", "frags", "head", "_prev", "_next",
-                 "_list", "_epoch")
+    __slots__ = ("filename", "dirty", "frags", "head", "_list", "_epoch")
 
     def __init__(self, filename: str, dirty: bool):
         self.filename = filename
         self.dirty = dirty
         self.frags: List[Optional[Block]] = []
         self.head = 0
-        self._prev: Optional["ExtentRun"] = None
-        self._next: Optional["ExtentRun"] = None
         self._list = None
-        # Incarnation counter: dead runs are pooled and reused by their
-        # owning list (they are the cache's highest-churn allocation);
-        # every structure that may hold a stale reference — index
-        # entries, cursors — records the epoch it saw and treats a
-        # mismatch as a tombstone.  Heap entries need no epoch: they are
-        # keyed by fragment stamps, which are never reused within a list.
         self._epoch = 0
 
     # ------------------------------------------------------------------ views
@@ -121,142 +117,40 @@ class ExtentRun:
 
 
 class RunIndex:
-    """The runs of one file, recoverable in exact list order.
+    """The (at most) two runs — clean and dirty — of one file."""
 
-    Backed by an append-only list with lazy deletion: dead runs (no
-    longer in any list, or re-homed to another file index — they never
-    are) stay as tombstones, skipped on iteration and purged when they
-    outnumber the live runs.  Runs created at the list tail append in
-    order for free; a run created at an interior position (an
-    out-of-order insert or a run split) marks the index stale, and the
-    next ordered access purges and re-sorts once by the runs' *current*
-    front keys.  Front keys advance as fronts are consumed, but
-    consumption never reorders disjoint runs, so a sorted index stays
-    sorted until the next interior insertion.
-
-    The point of the list representation is the read path: a
-    :class:`FileCursor` walks the index *in place* by position, so a
-    chunked read of a many-run file touches only the entries it consumes
-    instead of materializing a fresh snapshot per chunk.  To keep live
-    cursors coherent, tombstones are physically reclaimed only from the
-    dead *prefix* of the list (``dropped`` counts reclaimed entries, so a
-    cursor's virtual position survives the shift); a full purge-and-sort
-    happens only in :meth:`ensure_sorted`, which bumps ``version`` — a
-    cursor observing a version change fails loudly instead of walking a
-    reordered list.
-    """
-
-    __slots__ = ("runs", "epochs", "live", "stale", "dropped", "version")
+    __slots__ = ("clean", "dirty")
 
     def __init__(self):
-        self.runs: List[ExtentRun] = []
-        #: ``epochs[i]`` is ``runs[i]._epoch`` at indexing time; a
-        #: mismatch means the run died and its object was reused.
-        self.epochs: List[int] = []
-        self.live = 0
-        self.stale = False
-        #: Dead-prefix entries physically removed so far (cursor offset).
-        self.dropped = 0
-        #: Bumped on any restructuring that invalidates positions.
-        self.version = 0
+        self.clean: Optional[ExtentRun] = None
+        self.dirty: Optional[ExtentRun] = None
 
-    def __len__(self) -> int:
-        return self.live
+    def get(self, dirty: bool) -> Optional[ExtentRun]:
+        return self.dirty if dirty else self.clean
 
-    def __contains__(self, run: object) -> bool:
-        for index, entry in enumerate(self.runs):
-            if entry is run and self.epochs[index] == entry._epoch:
-                return True
-        return False
+    def set(self, dirty: bool, run: Optional[ExtentRun]) -> None:
+        if dirty:
+            self.dirty = run
+        else:
+            self.clean = run
 
-    def _entry_live(self, index: int, owner) -> bool:
-        run = self.runs[index]
-        return run._list is owner and self.epochs[index] == run._epoch
-
-    def add_newest(self, run: ExtentRun) -> None:
-        """Index a run known to follow every live member in list order."""
-        self.runs.append(run)
-        self.epochs.append(run._epoch)
-        self.live += 1
-
-    def add(self, run: ExtentRun, owner) -> None:
-        """Index a run at an arbitrary list position."""
-        runs = self.runs
-        if not self.stale:
-            front = run.front()
-            key = (front.last_access, front._stamp)
-            for index in range(len(runs) - 1, -1, -1):
-                if self._entry_live(index, owner):
-                    last_front = runs[index].front()
-                    if key < (last_front.last_access, last_front._stamp):
-                        self.stale = True
-                    break
-        runs.append(run)
-        self.epochs.append(run._epoch)
-        self.live += 1
-
-    def discard(self, run: ExtentRun, owner) -> None:
-        """Drop a run; it must already be unlinked from the owner list.
-
-        The entry stays as a tombstone; once tombstones dominate, the
-        dead prefix is reclaimed (runs die front-first in LRU workloads,
-        so this keeps the index O(live) without disturbing cursors).
-        """
-        self.live -= 1
-        runs = self.runs
-        if len(runs) > 2 * self.live + 8:
-            dead = 0
-            n = len(runs)
-            while dead < n and not self._entry_live(dead, owner):
-                dead += 1
-            if dead:
-                del runs[:dead]
-                del self.epochs[:dead]
-                self.dropped += dead
-
-    def ensure_sorted(self, owner) -> None:
-        """Re-establish list order after interior insertions.
-
-        Must not run under a live :class:`FileCursor` (cursors detect
-        the restructuring via ``version`` and raise).
-        """
-        if self.stale:
-            live = [
-                self.runs[index]
-                for index in range(len(self.runs))
-                if self._entry_live(index, owner)
-            ]
-            live.sort(
-                key=lambda run: (run.front().last_access,
-                                 run.front()._stamp),
-            )
-            self.runs = live
-            self.epochs = [run._epoch for run in live]
-            self.stale = False
-            self.version += 1
-
-    def ordered(self, owner) -> List[ExtentRun]:
-        """The live indexed runs in exact list order (snapshot)."""
-        self.ensure_sorted(owner)
-        return [
-            self.runs[index]
-            for index in range(len(self.runs))
-            if self._entry_live(index, owner)
-        ]
+    def __bool__(self) -> bool:
+        return self.clean is not None or self.dirty is not None
 
 
 class StateHeap:
     """Lazy-deletion priority queue over the runs of one state.
 
-    Entries are ``(last_access, stamp, run)`` — the run's *front* key at
-    push time.  An entry is live while the run is still in the owning
-    list, still in the heap's state and still fronted by the fragment the
-    entry was pushed for; everything else is a tombstone, skipped on pop
-    and swept out when tombstones outnumber live runs.  Front advances do
-    not touch the heap eagerly: the owning list collects runs whose front
-    moved in a pending set and re-pushes them in bulk the next time a
-    consumer (cursor or ordered query) needs the heap — so a stream of
-    appends or a long front-carving read costs zero heap traffic.
+    Entries are ``(last_access, stamp, seq, run)`` — the run's *front*
+    key at push time plus a monotone sequence number so duplicate pushes
+    never fall through to comparing runs.  An entry is live while the run
+    is still in the owning list, still in the heap's state and still
+    fronted by the fragment the entry was pushed for (fragment stamps are
+    never reused within a list, so no epoch is needed); everything else
+    is a tombstone, skipped on pop and swept out when tombstones
+    outnumber live runs.  Front advances do not touch the heap eagerly:
+    the owning list collects runs whose front moved in a pending set and
+    re-pushes them in bulk the next time a consumer needs the heap.
 
     ``live`` counts the runs currently in this state (maintained by the
     owning list at run creation/death/state flips).
@@ -267,11 +161,6 @@ class StateHeap:
     def __init__(self, owner, dirty: bool):
         self.owner = owner
         self.dirty = dirty
-        # Entries carry a monotone sequence number so duplicate pushes of
-        # the same front key (a run re-enqueued unconsumed) never fall
-        # through to comparing runs; it has no semantic meaning — the pop
-        # order is fully determined by (last_access, stamp), which is
-        # unique per fragment.
         self.heap: List[Tuple[float, int, int, ExtentRun]] = []
         self.live = 0
         self._seq = 0
@@ -287,7 +176,7 @@ class StateHeap:
         return front._stamp == entry[1] and front.last_access == entry[0]
 
     def push(self, run: ExtentRun) -> None:
-        front = run.front()
+        front = run.frags[run.head]
         seq = self._seq
         self._seq = seq + 1
         heappush(self.heap, (front.last_access, front._stamp, seq, run))
@@ -296,16 +185,19 @@ class StateHeap:
             self.heap = [e for e in self.heap if self._is_live(e)]
             heapify(self.heap)
 
-    def pop_live(self) -> Optional[ExtentRun]:
-        """Pop and return the least recently used live run, if any.
+    def skim(self) -> Optional[Tuple[float, int, int, ExtentRun]]:
+        """The live minimum entry, leaving it in the heap (dead entries
+        at the top are discarded along the way)."""
+        heap = self.heap
+        while heap:
+            entry = heap[0]
+            if self._is_live(entry):
+                return entry
+            heappop(heap)
+        return None
 
-        A run enqueued more than once (a re-push after an unconsumed
-        cursor hold) can surface as consecutive live-looking duplicates;
-        besides tombstones, the pop therefore also drops entries whose
-        run already left the heap via an earlier duplicate — callers
-        always consume or hold what they are handed, which advances the
-        front and kills the remaining duplicates.
-        """
+    def pop_live(self) -> Optional[ExtentRun]:
+        """Pop and return the least recently used live run, if any."""
         heap = self.heap
         while heap:
             entry = heappop(heap)
@@ -313,33 +205,22 @@ class StateHeap:
                 return entry[3]
         return None
 
-    def ordered_live(self) -> List[ExtentRun]:
-        """Live runs in exact list order (snapshot; O(n log n))."""
-        runs = []
-        seen = set()
-        for entry in sorted(self.heap):
-            if self._is_live(entry):
-                run = entry[3]
-                if id(run) not in seen:
-                    seen.add(id(run))
-                    runs.append(run)
-        return runs
-
-
 class StateCursor:
-    """Consuming LRU-order cursor over one state's runs.
+    """Consuming cursor over one state's fragments in exact LRU order.
 
-    ``next()`` returns the front fragment of the least recently used
-    live run whose file is not excluded; the caller must *consume* the
+    ``next()`` returns the globally least recently used live fragment of
+    the state whose file is not excluded; the caller must *consume* the
     fragment — remove it, flip its state or split it out — before asking
-    for the next one.  Consumption advances the run's front (or kills
-    the run), and the cursor keeps carving the same run until it is
-    exhausted, leaves the state or the caller stops: fragments stream
-    out of a long run with no per-fragment heap traffic.  Excluded runs
-    are held aside and returned to the heap on ``close()``.
+    for the next one.  The cursor keeps carving the same run while its
+    front remains the state's minimum, so a sequential stream costs no
+    per-fragment heap traffic; when another run's front becomes older
+    (interleaved streams), the cursor re-enqueues the current run and
+    switches — the same per-fragment heap cost the one-block-per-node
+    implementation paid on every block.  Excluded runs are held aside
+    and returned to the heap on ``close()``.
     """
 
-    __slots__ = ("heap", "excluded", "held", "run", "run_epoch")
+    __slots__ = ("heap", "excluded", "held", "run", "run_epoch", "limit")
 
     def __init__(self, heap: StateHeap, excluded: FrozenSet[str]):
         self.heap = heap
@@ -347,6 +228,14 @@ class StateCursor:
         self.held: List[ExtentRun] = []
         self.run: Optional[ExtentRun] = None
         self.run_epoch = 0
+        #: Key of the next-oldest enqueued run at acquisition time: the
+        #: cursor may stream its current run without consulting the heap
+        #: while the front key stays below it.  Valid for the cursor's
+        #: lifetime because nothing pushes a smaller key mid-consumption:
+        #: front advances go to the owner's pending set (flushed only at
+        #: cursor creation), and the split/re-insert paths end the
+        #: caller's loop by contract.
+        self.limit: Optional[Tuple[float, int]] = None
 
     def next(self) -> Optional[Block]:
         heap = self.heap
@@ -355,7 +244,12 @@ class StateCursor:
             if (run._list is heap.owner and run.dirty is heap.dirty
                     and run._epoch == self.run_epoch
                     and run.head < len(run.frags)):
-                return run.frags[run.head]
+                front = run.frags[run.head]
+                limit = self.limit
+                if limit is None or (front.last_access, front._stamp) < limit:
+                    return front
+                # Another run's front is older: re-enqueue and switch.
+                heap.push(run)
             self.run = None
         excluded = self.excluded
         while True:
@@ -367,6 +261,8 @@ class StateCursor:
                 continue
             self.run = run
             self.run_epoch = run._epoch
+            top = heap.skim()
+            self.limit = None if top is None else (top[0], top[1])
             return run.frags[run.head]
 
     def close(self) -> None:
@@ -378,85 +274,65 @@ class StateCursor:
         self.held = []
         run = self.run
         if run is not None:
-            if run._list is heap.owner and run.head < len(run.frags):
+            if (run._list is heap.owner and run._epoch == self.run_epoch
+                    and run.head < len(run.frags)):
                 pending[run] = None
             self.run = None
 
 
 class FileCursor:
-    """Consuming cursor over one file's fragments in exact list order.
+    """Consuming cursor over one file's fragments in exact LRU order.
 
     Replays the semantics of iterating a snapshot of the file's blocks
-    (the pre-extent read path) at O(fragments touched) cost — no
-    per-chunk snapshot is materialized:
-
-    * the cursor walks the file's :class:`RunIndex` in place by virtual
-      position, skipping tombstones; prefix reclamation shifts positions
-      by a counted offset, and any other restructuring trips the index
-      ``version`` guard (a :class:`CursorInvalidated` is raised rather
-      than walking a reordered list);
-    * a stamp bound captured from the owning list excludes fragments
-      linked after creation — a fragment appended, promoted or
-      re-inserted *while* the cursor is draining is invisible to it,
-      exactly as it was invisible to the old eager snapshot.
+    (the pre-extent read path) at O(fragments touched) cost: the file
+    holds at most one clean and one dirty run per list, and the cursor
+    merges the two rows by front key.  A stamp bound captured from the
+    owning list excludes fragments linked after creation — a fragment
+    appended, promoted or re-inserted *while* the cursor is draining is
+    invisible to it, exactly as it was invisible to the old eager
+    snapshot.
 
     The caller must consume each returned fragment before requesting the
     next one, and must stop iterating after re-inserting a split
     remainder (the read path's "partial last block" case always does).
     """
 
-    __slots__ = ("owner", "index", "vpos", "version", "run", "run_epoch",
+    __slots__ = ("owner", "clean", "clean_epoch", "dirty", "dirty_epoch",
                  "stamp_bound")
 
     def __init__(self, owner, index: Optional[RunIndex], stamp_bound: int):
         self.owner = owner
-        self.index = index
-        self.vpos = index.dropped if index is not None else 0
-        self.version = index.version if index is not None else 0
-        self.run: Optional[ExtentRun] = None
-        self.run_epoch = 0
+        self.clean = index.clean if index is not None else None
+        self.clean_epoch = self.clean._epoch if self.clean is not None else 0
+        self.dirty = index.dirty if index is not None else None
+        self.dirty_epoch = self.dirty._epoch if self.dirty is not None else 0
         self.stamp_bound = stamp_bound
 
+    def _front(self, run: Optional[ExtentRun], epoch: int) -> Optional[Block]:
+        if run is None:
+            return None
+        if run._list is not self.owner or run._epoch != epoch:
+            return None
+        frags = run.frags
+        if run.head >= len(frags):
+            return None
+        front = frags[run.head]
+        if front._stamp >= self.stamp_bound:
+            return None
+        return front
+
     def next(self) -> Optional[Block]:
-        owner = self.owner
-        bound = self.stamp_bound
-        run = self.run
-        while True:
-            if (run is not None and run._list is owner
-                    and run._epoch == self.run_epoch):
-                frags = run.frags
-                if run.head < len(frags):
-                    front = frags[run.head]
-                    if front._stamp < bound:
-                        return front
-            index = self.index
-            if index is None:
-                return None
-            if index.version != self.version:
-                raise CursorInvalidated(
-                    "file index restructured under a live cursor"
-                )
-            pos = self.vpos - index.dropped
-            if pos < 0:
-                # Reclamation only ever removes dead entries, so every
-                # skipped position was a tombstone anyway.
-                pos = 0
-            runs = index.runs
-            epochs = index.epochs
-            n = len(runs)
-            while pos < n:
-                run = runs[pos]
-                if run._list is owner and epochs[pos] == run._epoch:
-                    break
-                pos += 1
-            if pos >= n:
-                self.run = None
-                self.index = None
-                return None
-            self.run = run
-            self.run_epoch = run._epoch
-            self.vpos = pos + 1 + index.dropped
-
-
-class CursorInvalidated(RuntimeError):
-    """A :class:`FileCursor` observed its index being restructured."""
+        clean_front = self._front(self.clean, self.clean_epoch)
+        if clean_front is None:
+            self.clean = None
+        dirty_front = self._front(self.dirty, self.dirty_epoch)
+        if dirty_front is None:
+            self.dirty = None
+        if clean_front is None:
+            return dirty_front
+        if dirty_front is None:
+            return clean_front
+        if (clean_front.last_access, clean_front._stamp) <= (
+                dirty_front.last_access, dirty_front._stamp):
+            return clean_front
+        return dirty_front

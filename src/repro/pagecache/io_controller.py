@@ -201,26 +201,67 @@ class IOController:
         """Read a whole file chunk by chunk (round-robin page access).
 
         Returns an :class:`IOResult`.
+
+        The loop body is the :meth:`read_chunk` algorithm specialized for
+        the whole-file case: running every chunk inside one generator
+        frame (with the synchronous cache halves of the Memory Manager
+        called directly) removes a per-chunk generator and two frame
+        switches from the simulator's hottest path.  Any behavioural
+        change here must be mirrored in :meth:`read_chunk`.
         """
         chunk = chunk_size or self.config.chunk_size
-        start = self.env.now
+        env = self.env
+        mm = self.mm
+        stats = mm.stats
+        read_label = f"read:{filename}"
+        start = env.now
         result = IOResult(filename, file_size, start, start)
+        chunks = 0
+        storage_bytes = 0.0
+        cache_bytes = 0.0
         remaining = file_size
         while remaining > _EPSILON:
             this_chunk = min(chunk, remaining)
-            disk_read, cache_read = yield from self.read_chunk(
-                filename,
-                file_size,
-                this_chunk,
-                storage,
-                anonymous_owner=anonymous_owner,
-                use_anonymous_memory=use_anonymous_memory,
-            )
-            result.storage_bytes += disk_read
-            result.cache_bytes += cache_read
-            result.chunks += 1
+            # --- read_chunk, inlined ---
+            uncached = max(0.0, file_size - mm.cached_amount(filename))
+            disk_read = min(this_chunk, uncached)
+            cache_read = this_chunk - disk_read
+            required_mem = (this_chunk if use_anonymous_memory else 0.0) + disk_read
+            flush_amount = required_mem - mm._free - mm.evictable
+            if flush_amount > 0:
+                per_device, total = mm.select_flush(flush_amount,
+                                                    exclude_file=filename)
+                if total > 0:
+                    for device, device_amount in per_device.items():
+                        yield device.write(device_amount, label=mm._label_flush)
+                    stats.flushed_bytes += total
+                    stats.flush_ops += 1
+            evict_amount = required_mem - mm._free
+            if evict_amount > 0:
+                mm.evict(evict_amount, exclude_file=filename)
+                still_needed = required_mem - mm._free
+                if still_needed > 0:
+                    mm.evict(still_needed)
+            if disk_read > 0:
+                stats.record_miss(filename, disk_read)
+                yield storage.read(disk_read, label=read_label)
+                mm.add_to_cache(filename, disk_read, storage, dirty=False)
+            if cache_read > 0:
+                served = mm.take_from_cache(filename, cache_read)
+                if served > 0:
+                    yield mm.memory.read(served, label=mm._label_cache_read)
+            if use_anonymous_memory:
+                mm.use_anonymous_memory(this_chunk, owner=anonymous_owner)
+            stats.read_ops += 1
+            # --- end read_chunk ---
+            storage_bytes += disk_read
+            cache_bytes += cache_read
+            chunks += 1
             remaining -= this_chunk
-        result.end_time = self.env.now
+        result.storage_bytes = storage_bytes
+        result.cache_bytes = cache_bytes
+        result.chunks = chunks
+        result.end_time = env.now
         return result
 
     def write_file(self, filename: str, file_size: float, storage: StorageDevice,
@@ -229,30 +270,81 @@ class IOController:
 
         Returns an :class:`IOResult`.  With ``writethrough=True`` the write
         bypasses the writeback path and goes synchronously to storage.
+
+        As with :meth:`read_file`, the writeback loop body is
+        :meth:`write_chunk` specialized into this generator frame; any
+        behavioural change here must be mirrored there.
         """
         chunk = chunk_size or self.config.chunk_size
-        start = self.env.now
+        env = self.env
+        mm = self.mm
+        stats = mm.stats
+        start = env.now
         result = IOResult(filename, file_size, start, start)
-        remaining = file_size
+        chunks = 0
+        storage_bytes = 0.0
+        cache_bytes = 0.0
+        remaining_file = file_size
         self.mm.mark_file_being_written(filename)
         try:
-            while remaining > _EPSILON:
-                this_chunk = min(chunk, remaining)
+            while remaining_file > _EPSILON:
+                this_chunk = min(chunk, remaining_file)
                 if writethrough:
                     cached = yield from self.write_chunk_through(
                         filename, this_chunk, storage
                     )
-                    result.storage_bytes += this_chunk
-                    result.cache_bytes += cached
+                    storage_bytes += this_chunk
+                    cache_bytes += cached
                 else:
-                    cache_written, flushed = yield from self.write_chunk(
-                        filename, this_chunk, storage
-                    )
-                    result.cache_bytes += cache_written
-                    result.storage_bytes += flushed
-                result.chunks += 1
-                remaining -= this_chunk
+                    # --- write_chunk, inlined ---
+                    total_flushed = 0.0
+                    mem_amt = 0.0
+                    remain_dirty = mm.dirty_capacity - mm.lists.dirty_size
+                    if remain_dirty > 0:
+                        evict_amount = min(this_chunk, remain_dirty) - mm._free
+                        if evict_amount > 0:
+                            mm.evict(evict_amount, exclude_file=filename)
+                        mem_amt = min(this_chunk, max(0.0, mm._free))
+                        if mem_amt > 0:
+                            mm.put_to_cache(filename, mem_amt, storage)
+                            yield mm.memory.write(mem_amt,
+                                                  label=mm._label_cache_write)
+                    remaining = this_chunk - mem_amt
+                    while remaining > _EPSILON:
+                        per_device, flushed = mm.select_flush(
+                            this_chunk - mem_amt, exclude_file=None
+                        )
+                        if flushed > 0:
+                            for device, device_amount in per_device.items():
+                                yield device.write(device_amount,
+                                                   label=mm._label_flush)
+                            stats.flushed_bytes += flushed
+                            stats.flush_ops += 1
+                        total_flushed += flushed
+                        evict_amount = this_chunk - mem_amt - mm._free
+                        if evict_amount > 0:
+                            mm.evict(evict_amount, exclude_file=filename)
+                        to_cache = min(remaining, max(0.0, mm._free))
+                        if to_cache <= _EPSILON:
+                            yield storage.write(remaining,
+                                                label=f"write:{filename}")
+                            stats.direct_write_bytes += remaining
+                            remaining = 0.0
+                            break
+                        mm.put_to_cache(filename, to_cache, storage)
+                        yield mm.memory.write(to_cache,
+                                              label=mm._label_cache_write)
+                        remaining -= to_cache
+                    stats.write_ops += 1
+                    # --- end write_chunk ---
+                    cache_bytes += this_chunk - remaining
+                    storage_bytes += total_flushed
+                chunks += 1
+                remaining_file -= this_chunk
         finally:
             self.mm.unmark_file_being_written(filename)
-        result.end_time = self.env.now
+        result.storage_bytes = storage_bytes
+        result.cache_bytes = cache_bytes
+        result.chunks = chunks
+        result.end_time = env.now
         return result

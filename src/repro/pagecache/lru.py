@@ -7,42 +7,34 @@ inactive list by demoting its least recently used entries.  Only clean data
 on the inactive list is eligible for eviction.
 
 :class:`LRUList` keeps :class:`~repro.pagecache.block.Block` fragments
-ordered by last access time (oldest first), grouped into
-:class:`~repro.pagecache.extents.ExtentRun` rows: maximal sequences of
-consecutive same-file, same-state fragments.  The run is the node of the
-intrusive doubly-linked list, the unit held by the per-file index and the
-unit enqueued in the flush/eviction state heaps, so the structural cost of
-the cache scales with the number of *streams* the workload keeps live, not
-with ``bytes / chunk_size``:
+totally ordered by ``(last_access, stamp)`` — the per-list monotone
+*stamp* breaks last-access ties in insertion order, exactly as the
+pre-extent one-block-per-list-node implementation did (this is the order
+the parity suite in ``tests/test_pagecache_parity.py`` pins).  Storage is
+by :class:`~repro.pagecache.extents.ExtentRun`: one sorted fragment row
+per (file, state), so the structural cost of the cache scales with the
+number of live streams, not with ``bytes / chunk_size``:
 
-* appending a fragment that continues the tail run (the sequential
-  read/write hot path) touches no list links, no index and no heap — it is
-  a single list append plus accounting;
-* the flush/eviction cursors carve fragments off the front of one run at a
-  time, with heap traffic per *run*, not per fragment;
-* the read path walks only the touched file's runs through a lazy cursor
-  (:meth:`LRUList.file_cursor`), so a chunked re-read of a cached file
-  costs the fragments it consumes instead of a per-chunk snapshot of every
-  cached block of the file (the pre-extent implementation's remaining
-  quadratic regime).
+* appending a fragment (the sequential read/write hot path) is a list
+  append into its file's run — no list-node, index or heap traffic, no
+  matter how many concurrent streams interleave their chunks;
+* the flush/eviction cursors carve fragments off run fronts, switching
+  runs through the state heaps only when streams genuinely interleave in
+  LRU order (where the old implementation paid a heap operation on every
+  block regardless);
+* the read path walks only the touched file's two runs through a merging
+  cursor (:meth:`LRUList.file_cursor`), so a chunked re-read of a cached
+  file costs the fragments it consumes instead of a per-chunk snapshot of
+  every cached block of the file.
 
-Ordering invariant.  Fragments are totally ordered by
-``(last_access, stamp)``, where the per-list monotone *stamp* is assigned
-at every insertion and breaks last-access ties in insertion order; a run
-occupies a contiguous range of that order, and runs never overlap.  This
-is exactly the order the pre-extent implementation maintained one list
-node per block, which is what the parity suite
-(``tests/test_pagecache_parity.py``) pins.
-
-Losslessness.  Runs coalesce — a fragment joining the tail of an existing
-run, flush splits re-joining their clean neighbours — by *moving
-fragments between rows*, never by summing their sizes.  Fragment sizes,
-and therefore every byte amount any operation observes or any accounting
-total accumulates, are bit-identical to the one-block-per-node
-representation.  PR 3's opt-in ``coalesce_extents`` merged blocks by
-adding their sizes, which re-associated float additions and could flip
-discrete scheduling decisions at paper scale; that mode is gone, and the
-run representation is default-on because there is no arithmetic to lose.
+Losslessness.  Runs coalesce by *moving fragments between sorted rows*,
+never by summing their sizes.  Fragment sizes — and therefore every byte
+amount any operation observes or any accounting total accumulates — are
+bit-identical to the one-block-per-node representation.  PR 3's opt-in
+``coalesce_extents`` merged blocks by adding their sizes, which
+re-associated float additions and could flip discrete scheduling
+decisions at paper scale; that mode is gone, and the run representation
+is default-on because there is no arithmetic to lose.
 
 :class:`PageCacheLists` pairs an inactive and an active list and implements
 promotion, demotion and balancing.
@@ -69,37 +61,39 @@ from repro.pagecache.tolerances import (
 )
 
 
+def _order_key(block: Block):
+    """Exact LRU-position key of a fragment within its list."""
+    return (block.last_access, block._stamp)
+
+
 class LRUList:
-    """An LRU-ordered list of data-block fragments, stored as extent runs.
+    """An LRU-ordered collection of data-block fragments in extent runs.
 
     Appending a fragment with a monotonically increasing access time is
-    O(1); out-of-order insertions (e.g. demotions from the active list)
-    fall back to a position scan over *runs* from whichever end is closer
-    in time, plus a binary search inside the located run.  Removal of a
-    run-front fragment and LRU pops are O(1) amortized; per-file and
-    clean/dirty queries return their answers in exact list order.
+    O(1); an out-of-order insertion (e.g. a demotion from the active
+    list) binary-searches its file's run.  Removal of a run-front
+    fragment is O(1) amortized; LRU pops and the flush/eviction paths
+    interleave the runs through lazy-deletion state heaps; per-file and
+    clean/dirty queries return their answers in exact LRU order.
     """
 
-    __slots__ = ("name", "merges", "_head", "_tail", "_length", "_size",
-                 "_dirty", "_per_file", "_file_runs", "_dirty_heap",
-                 "_clean_heap", "_next_stamp", "_run_count",
-                 "_pending_repush", "_run_pool")
+    __slots__ = ("name", "merges", "_length", "_size", "_dirty", "_per_file",
+                 "_file_runs", "_dirty_heap", "_clean_heap", "_next_stamp",
+                 "_run_count", "_pending_repush", "_run_pool")
 
     def __init__(self, name: str = "lru"):
         self.name = name
         #: Number of fragments that joined an existing run instead of
-        #: becoming a list node of their own (observability/benchmarks).
+        #: founding one (observability/benchmarks).
         self.merges = 0
-        self._head: Optional[ExtentRun] = None
-        self._tail: Optional[ExtentRun] = None
         self._length = 0
         self._run_count = 0
         self._size = 0.0
         self._dirty = 0.0
         self._per_file: Dict[str, float] = {}
-        #: filename -> index of its runs in this list.
+        #: filename -> its (clean, dirty) runs in this list.
         self._file_runs: Dict[str, RunIndex] = {}
-        #: Lazy-deletion heaps serving "next dirty/clean run in LRU
+        #: Lazy-deletion heaps serving "next dirty/clean fragment in LRU
         #: order" to the flush and eviction paths.
         self._dirty_heap = StateHeap(self, True)
         self._clean_heap = StateHeap(self, False)
@@ -108,11 +102,9 @@ class LRUList:
         #: front carving costs no per-fragment heap traffic.  A dict is
         #: used as an insertion-ordered set to keep runs deterministic.
         self._pending_repush: Dict[ExtentRun, None] = {}
-        #: Dead run objects kept for reuse: runs are the cache's highest-
-        #: churn allocation (one per stream boundary), and pooling them
-        #: halves the garbage-collector traffic of chunk-heavy runs.
-        #: Stale references are fenced by the per-run ``_epoch`` bumped
-        #: at death.  Pools are per list so fragment stamps stay unique.
+        #: Dead run objects kept for reuse; stale references are fenced
+        #: by the per-run ``_epoch`` bumped at death.  Pools are per list
+        #: so fragment stamps stay unique per heap.
         self._run_pool: List[ExtentRun] = []
         self._next_stamp = 0
 
@@ -134,21 +126,14 @@ class LRUList:
 
     @property
     def run_count(self) -> int:
-        """Number of extent runs (list nodes) currently held."""
+        """Number of extent runs currently held."""
         return self._run_count
 
     def __len__(self) -> int:
         return self._length
 
     def __iter__(self) -> Iterator[Block]:
-        run = self._head
-        while run is not None:
-            # Capture the link and the live fragments before yielding so
-            # callers may consume the current fragment while iterating.
-            succ = run._next
-            for frag in run.frags[run.head:]:
-                yield frag
-            run = succ
+        return iter(self.blocks)
 
     def __contains__(self, block: object) -> bool:
         run = getattr(block, "_run", None)
@@ -156,92 +141,65 @@ class LRUList:
 
     @property
     def blocks(self) -> List[Block]:
-        """The fragments in LRU order (oldest first).  O(n) snapshot."""
-        return list(self)
+        """The fragments in LRU order (oldest first).  O(n log n) snapshot."""
+        frags: List[Block] = []
+        for index in self._file_runs.values():
+            for run in (index.clean, index.dirty):
+                if run is not None:
+                    frags.extend(run.frags[run.head:])
+        frags.sort(key=_order_key)
+        return frags
 
     def runs(self) -> List[ExtentRun]:
-        """The extent runs in LRU order (oldest first).  O(runs) snapshot."""
+        """The live extent runs, ordered by their front key (snapshot)."""
         result = []
-        run = self._head
-        while run is not None:
-            result.append(run)
-            run = run._next
+        for index in self._file_runs.values():
+            for run in (index.clean, index.dirty):
+                if run is not None:
+                    result.append(run)
+        result.sort(key=lambda run: _order_key(run.frags[run.head]))
         return result
 
-    # ------------------------------------------------------------ accounting
-    def _account_add(self, block: Block) -> None:
-        self._size += block.size
-        if block.dirty:
-            self._dirty += block.size
-        self._per_file[block.filename] = (
-            self._per_file.get(block.filename, 0.0) + block.size
-        )
-
     # ----------------------------------------------------------- run plumbing
-    def _alloc_run(self, filename: str, dirty: bool) -> ExtentRun:
-        """A fresh (or recycled) unlinked run for ``filename``."""
+    def _new_run(self, index: RunIndex, filename: str, dirty: bool) -> ExtentRun:
+        """A fresh (or recycled) run registered for ``filename``."""
         pool = self._run_pool
         if pool:
             run = pool.pop()
             run.filename = filename
             run.dirty = dirty
-            return run
-        return ExtentRun(filename, dirty)
-
-    def _link_run(self, run: ExtentRun, pred: Optional[ExtentRun],
-                  succ: Optional[ExtentRun], *, newest: bool) -> None:
-        """Link a freshly built, non-empty run between ``pred`` and ``succ``."""
-        run._prev = pred
-        run._next = succ
-        if pred is not None:
-            pred._next = run
         else:
-            self._head = run
-        if succ is not None:
-            succ._prev = run
-        else:
-            self._tail = run
+            run = ExtentRun(filename, dirty)
         run._list = self
-        self._run_count += 1
-        index = self._file_runs.get(run.filename)
-        if index is None:
-            index = self._file_runs[run.filename] = RunIndex()
-        if newest:
-            index.add_newest(run)
+        if dirty:
+            index.dirty = run
+            self._dirty_heap.live += 1
         else:
-            index.add(run, self)
-        heap = self._dirty_heap if run.dirty else self._clean_heap
-        heap.live += 1
-        # The heap entry is deferred to the pending set: consumers flush
-        # it before popping, and a run consumed to death by the read path
-        # in the meantime never touches the heap at all.
+            index.clean = run
+            self._clean_heap.live += 1
+        self._run_count += 1
         self._pending_repush[run] = None
+        return run
 
     def _kill_run(self, run: ExtentRun) -> None:
-        """Unlink an exhausted run; its heap entries die lazily."""
-        pred, succ = run._prev, run._next
-        if pred is not None:
-            pred._next = succ
-        else:
-            self._head = succ
-        if succ is not None:
-            succ._prev = pred
-        else:
-            self._tail = pred
-        run._prev = run._next = None
+        """Retire an exhausted run; its heap entries die lazily."""
         run._list = None
         self._run_count -= 1
-        index = self._file_runs.get(run.filename)
+        filename = run.filename
+        index = self._file_runs.get(filename)
         if index is not None:
-            index.discard(run, self)
-            if not index:
-                del self._file_runs[run.filename]
+            if run.dirty:
+                if index.dirty is run:
+                    index.dirty = None
+            elif index.clean is run:
+                index.clean = None
+            if index.clean is None and index.dirty is None:
+                del self._file_runs[filename]
         heap = self._dirty_heap if run.dirty else self._clean_heap
         heap.live -= 1
         self._pending_repush.pop(run, None)
-        # Retire the object: the epoch bump turns every outstanding
-        # reference (index entries, cursors) into a tombstone, so the
-        # object can be reused immediately.
+        # The epoch bump turns every outstanding reference (cursors) into
+        # a tombstone, so the object can be reused immediately.
         run._epoch += 1
         if run.frags:
             run.frags.clear()
@@ -249,22 +207,6 @@ class LRUList:
         pool = self._run_pool
         if len(pool) < 512:
             pool.append(run)
-
-    def _split_run(self, run: ExtentRun, idx: int) -> ExtentRun:
-        """Move ``run.frags[idx:]`` into a new run linked right after it.
-
-        ``idx`` must be strictly inside the live fragment range, so both
-        halves stay non-empty.  The left half keeps its front (and its
-        heap entries); the right half is a new run with its own entry.
-        """
-        right = self._alloc_run(run.filename, run.dirty)
-        moved = run.frags[idx:]
-        right.frags = moved
-        for frag in moved:
-            frag._run = right
-        del run.frags[idx:]
-        self._link_run(right, run, run._next, newest=False)
-        return right
 
     def _flush_pending(self) -> None:
         """Re-push runs whose front key changed since their last push."""
@@ -278,144 +220,80 @@ class LRUList:
         pending.clear()
 
     # ------------------------------------------------------------- insertion
-    def _place_in_gap(self, block: Block, pred: Optional[ExtentRun],
-                      succ: Optional[ExtentRun]) -> None:
-        """Link ``block`` between two runs, joining a compatible neighbour."""
-        block._stamp = self._next_stamp
-        self._next_stamp += 1
-        if (pred is not None and pred.filename == block.filename
-                and pred.dirty is block.dirty):
-            pred.frags.append(block)
-            block._run = pred
-            self.merges += 1
-        elif (succ is not None and succ.filename == block.filename
-                and succ.dirty is block.dirty):
-            # The block becomes the new front of the successor run.
-            if succ.head:
-                succ.head -= 1
-                succ.frags[succ.head] = block
-            else:
-                succ.frags.insert(0, block)
-            block._run = succ
-            self._pending_repush[succ] = None
-            self.merges += 1
-        else:
-            run = self._alloc_run(block.filename, block.dirty)
-            run.frags.append(block)
-            block._run = run
-            self._link_run(run, pred, succ, newest=False)
-        self._length += 1
-        self._account_add(block)
+    def _join_run(self, run: ExtentRun, block: Block, last_access: float,
+                  full_key: bool) -> None:
+        """Insert ``block`` at its sorted position in ``run``'s row.
 
-    def _place_inside(self, block: Block, run: ExtentRun, key: float) -> None:
-        """Link ``block`` at its ordered position inside ``run``'s span."""
+        With ``full_key=False`` the block carries a fresher stamp than
+        every fragment in the list, so ties on ``last_access`` resolve to
+        "after" and the search compares access times only (the historical
+        ``insert_ordered`` contract).  With ``full_key=True`` the block
+        keeps an old stamp (a state change moving it between runs) and
+        the search compares the complete ``(last_access, stamp)`` key.
+        """
         frags = run.frags
-        lo, hi = run.head, len(frags)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if frags[mid].last_access <= key:
-                lo = mid + 1
-            else:
-                hi = mid
-        # run.front() <= key < run.back() guarantees an interior position,
-        # so neither the run's front nor its heap entries change.
-        block._stamp = self._next_stamp
-        self._next_stamp += 1
-        if run.filename == block.filename and run.dirty is block.dirty:
-            frags.insert(lo, block)
-            block._run = run
-            self.merges += 1
+        back = frags[-1]
+        if (last_access > back.last_access
+                or (last_access == back.last_access
+                    and (not full_key or block._stamp > back._stamp))):
+            frags.append(block)
         else:
-            right = self._split_run(run, lo)
-            single = self._alloc_run(block.filename, block.dirty)
-            single.frags.append(block)
-            block._run = single
-            self._link_run(single, run, right, newest=False)
-        self._length += 1
-        self._account_add(block)
-
-    def _insert_positioned(self, block: Block) -> None:
-        """Insert at the ordered position, scanning from the closer end."""
-        key = block.last_access
-        head_run, tail_run = self._head, self._tail
-        if (key - head_run.front().last_access) <= (
-                tail_run.back().last_access - key):
-            # Scan forward for the first run reaching strictly past `key`.
-            run = head_run
-            while run.back().last_access <= key:
-                run = run._next  # cannot fall off: tail.back() > key
-            if run.front().last_access > key:
-                self._place_in_gap(block, run._prev, run)
+            lo, hi = run.head, len(frags)
+            if full_key:
+                key = (last_access, block._stamp)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    entry = frags[mid]
+                    if (entry.last_access, entry._stamp) <= key:
+                        lo = mid + 1
+                    else:
+                        hi = mid
             else:
-                self._place_inside(block, run, key)
-        else:
-            # Scan backward for the last run starting at or before `key`.
-            run = tail_run
-            while run is not None and run.front().last_access > key:
-                run = run._prev
-            if run is None:
-                self._place_in_gap(block, None, self._head)
-            elif run.back().last_access <= key:
-                self._place_in_gap(block, run, run._next)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if frags[mid].last_access <= last_access:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+            if lo == run.head:
+                # New front: reuse a consumed slot when one is available.
+                if run.head:
+                    run.head -= 1
+                    frags[run.head] = block
+                else:
+                    frags.insert(0, block)
+                self._pending_repush[run] = None
             else:
-                self._place_inside(block, run, key)
+                frags.insert(lo, block)
+        block._run = run
 
-    # ------------------------------------------------------------- mutations
     def append(self, block: Block) -> None:
-        """Add ``block`` at its ordered position (O(1) at the tail).
+        """Add ``block`` at its ordered position (O(1) at its run's tail).
 
         The block lands after every fragment with ``last_access`` less
-        than or equal to its own (ties resolve to insertion order); an
-        out-of-order block falls back to a position scan over runs from
-        whichever end of the list is closer in time.  This is the
-        hottest structural operation of the simulator, so the tail path
-        is fully inlined: join the tail run or link a fresh one, then
-        account — no helper calls.
+        than or equal to its own (ties resolve to insertion order).  This
+        is the hottest structural operation of the simulator: continuing
+        a stream is a single list append into the file's run.
         """
         if block._run is not None:
             raise CacheConsistencyError(
                 f"block {block!r} is already in an LRU list"
             )
-        tail = self._tail
-        if tail is not None and block.last_access < tail.frags[-1].last_access:
-            self._insert_positioned(block)
-            return
         block._stamp = self._next_stamp
         self._next_stamp += 1
         dirty = block.dirty
         filename = block.filename
-        if (tail is not None and tail.filename == filename
-                and tail.dirty is dirty):
-            tail.frags.append(block)
-            block._run = tail
-            self.merges += 1
-        else:
-            pool = self._run_pool
-            if pool:
-                run = pool.pop()
-                run.filename = filename
-                run.dirty = dirty
-            else:
-                run = ExtentRun(filename, dirty)
+        index = self._file_runs.get(filename)
+        if index is None:
+            index = self._file_runs[filename] = RunIndex()
+        run = index.dirty if dirty else index.clean
+        if run is None:
+            run = self._new_run(index, filename, dirty)
             run.frags.append(block)
             block._run = run
-            run._prev = tail
-            if tail is not None:
-                tail._next = run
-            else:
-                self._head = run
-            self._tail = run
-            run._list = self
-            self._run_count += 1
-            index = self._file_runs.get(filename)
-            if index is None:
-                index = self._file_runs[filename] = RunIndex()
-            index.runs.append(run)
-            index.epochs.append(run._epoch)
-            index.live += 1
-            heap = self._dirty_heap if dirty else self._clean_heap
-            heap.live += 1
-            self._pending_repush[run] = None
+        else:
+            self._join_run(run, block, block.last_access, False)
+            self.merges += 1
         self._length += 1
         size = block.size
         self._size += size
@@ -425,16 +303,20 @@ class LRUList:
         per_file[filename] = per_file.get(filename, 0.0) + size
 
     #: ``insert_ordered`` is the historical name of the ordered insert;
-    #: the tail-append fast path and the ordered fallback live in
-    #: :meth:`append`, which implements both.
+    #: :meth:`append` implements both the tail fast path and the ordered
+    #: fallback.
     insert_ordered = append
 
-    def _detach(self, block: Block, *, account: bool = True) -> None:
+    # --------------------------------------------------------------- removal
+    def _carve_out(self, block: Block) -> None:
+        """Structurally remove ``block`` from its run (no accounting).
+
+        Front removals advance the run's head slot (O(1) amortized, with
+        compaction and a deferred heap re-push); back and middle
+        removals edit the row in place; an emptied run is retired.  The
+        caller validates ownership and settles the byte accounting.
+        """
         run = block._run
-        if run is None or run._list is not self:
-            raise CacheConsistencyError(
-                f"block {block!r} is not in LRU list {self.name!r}"
-            )
         frags = run.frags
         head = run.head
         if frags[head] is block:
@@ -453,57 +335,80 @@ class LRUList:
             idx = frags.index(block, head + 1, len(frags) - 1)
             del frags[idx]
         block._run = None
+
+    def _detach(self, block: Block) -> None:
+        run = block._run
+        if run is None or run._list is not self:
+            raise CacheConsistencyError(
+                f"block {block!r} is not in LRU list {self.name!r}"
+            )
+        self._carve_out(block)
         self._length -= 1
-        if account:
-            size = block.size
-            self._size -= size
-            if block.dirty:
-                self._dirty -= size
-            filename = block.filename
-            per_file = self._per_file
-            remaining = per_file.get(filename, 0.0) - size
-            if remaining <= BYTE_EPSILON:
-                per_file.pop(filename, None)
-            else:
-                per_file[filename] = remaining
-            if (self._size < -NEGATIVE_TOLERANCE
-                    or self._dirty < -NEGATIVE_TOLERANCE):
-                raise CacheConsistencyError(
-                    f"negative accounting in LRU list {self.name!r}: "
-                    f"size={self._size}, dirty={self._dirty}"
-                )
-            self._size = max(0.0, self._size)
-            self._dirty = max(0.0, self._dirty)
+        size = block.size
+        self._size -= size
+        if block.dirty:
+            self._dirty -= size
+        filename = block.filename
+        per_file = self._per_file
+        remaining = per_file.get(filename, 0.0) - size
+        if remaining <= BYTE_EPSILON:
+            per_file.pop(filename, None)
+        else:
+            per_file[filename] = remaining
+        if (self._size < -NEGATIVE_TOLERANCE
+                or self._dirty < -NEGATIVE_TOLERANCE):
+            raise CacheConsistencyError(
+                f"negative accounting in LRU list {self.name!r}: "
+                f"size={self._size}, dirty={self._dirty}"
+            )
+        self._size = max(0.0, self._size)
+        self._dirty = max(0.0, self._dirty)
 
     def remove(self, block: Block) -> None:
         """Remove ``block`` from the list (O(1) at a run boundary)."""
         self._detach(block)
 
+    def _front_entry(self):
+        """The live global-minimum heap entry, or ``None`` when empty."""
+        self._flush_pending()
+        dirty = self._dirty_heap.skim()
+        clean = self._clean_heap.skim()
+        if dirty is None:
+            return clean
+        if clean is None:
+            return dirty
+        if (dirty[0], dirty[1]) < (clean[0], clean[1]):
+            return dirty
+        return clean
+
     def pop_lru(self) -> Block:
-        """Remove and return the least recently used fragment (O(1))."""
-        run = self._head
-        if run is None:
+        """Remove and return the least recently used fragment."""
+        entry = self._front_entry()
+        if entry is None:
             raise CacheConsistencyError(f"LRU list {self.name!r} is empty")
+        run = entry[3]
         block = run.frags[run.head]
         self._detach(block)
         return block
 
     def peek_lru(self) -> Block:
-        """The least recently used fragment, without removing it (O(1))."""
-        if self._head is None:
+        """The least recently used fragment, without removing it."""
+        entry = self._front_entry()
+        if entry is None:
             raise CacheConsistencyError(f"LRU list {self.name!r} is empty")
-        return self._head.front()
+        run = entry[3]
+        return run.frags[run.head]
 
+    # ---------------------------------------------------------- state change
     def mark_clean(self, block: Block) -> None:
         """Clear the dirty flag of ``block``, fixing the dirty accounting.
 
-        The fragment keeps its exact position and stamp in the LRU order
-        — only its state changes.  Structurally it moves out of its dirty
-        run into the adjacent clean run when one borders it (the
-        background flusher cleaning a run front-to-back grows one clean
-        run instead of shredding the list), or into a clean run of its
-        own, splitting the dirty run when it sat in the middle (a true
-        state boundary).
+        The fragment keeps its exact position key in the LRU order —
+        only its state changes.  Structurally it moves from its file's
+        dirty run into the file's clean run (founding it if needed) at
+        its sorted position; a flusher cleaning dirty data front to back
+        therefore grows one clean extent instead of shredding the cache
+        into per-block nodes.
         """
         run = block._run
         if run is None or run._list is not self:
@@ -514,76 +419,28 @@ class LRUList:
             return
         block.dirty = False
         self._dirty = max(0.0, self._dirty - block.size)
-        frags = run.frags
-        head = run.head
-        if len(frags) - head == 1:
-            prev = run._prev
-            if (prev is not None and prev.filename == run.filename
-                    and not prev.dirty):
-                prev.frags.append(block)
-                block._run = prev
-                self._kill_run(run)
-                self.merges += 1
-            else:
-                run.dirty = False
-                self._dirty_heap.live -= 1
-                self._clean_heap.live += 1
-                self._pending_repush[run] = None
-        elif frags[head] is block:
-            frags[head] = None
-            run.head = head + 1
-            self._pending_repush[run] = None
-            prev = run._prev
-            if (prev is not None and prev.filename == run.filename
-                    and not prev.dirty):
-                prev.frags.append(block)
-                block._run = prev
-                self.merges += 1
-            else:
-                clean = self._alloc_run(run.filename, False)
-                clean.frags.append(block)
-                block._run = clean
-                self._link_run(clean, prev, run, newest=False)
-        elif frags[-1] is block:
-            frags.pop()
-            succ = run._next
-            if (succ is not None and succ.filename == run.filename
-                    and not succ.dirty):
-                if succ.head:
-                    succ.head -= 1
-                    succ.frags[succ.head] = block
-                else:
-                    succ.frags.insert(0, block)
-                block._run = succ
-                self._pending_repush[succ] = None
-                self.merges += 1
-            else:
-                clean = self._alloc_run(run.filename, False)
-                clean.frags.append(block)
-                block._run = clean
-                self._link_run(clean, run, run._next, newest=False)
-        else:
-            idx = frags.index(block, head + 1, len(frags) - 1)
-            right = self._split_run(run, idx + 1)
-            frags.pop()  # `block`, now the left half's back
-            clean = self._alloc_run(run.filename, False)
+        # Carve out of the dirty run (no byte accounting: the bytes stay
+        # cached) and rejoin the clean run at the same position key (the
+        # stamp is old, so the search uses the complete key).
+        self._carve_out(block)
+        filename = block.filename
+        index = self._file_runs.get(filename)
+        if index is None:
+            index = self._file_runs[filename] = RunIndex()
+        clean = index.clean
+        if clean is None:
+            clean = self._new_run(index, filename, False)
             clean.frags.append(block)
             block._run = clean
-            self._link_run(clean, run, right, newest=False)
+        else:
+            # A state change, not a coalescing event: `merges` unchanged.
+            self._join_run(clean, block, block.last_access, True)
 
     def clear(self) -> List[Block]:
-        """Remove all fragments and return them."""
-        blocks = []
-        run = self._head
-        while run is not None:
-            succ = run._next
-            for frag in run.frags[run.head:]:
-                frag._run = None
-                blocks.append(frag)
-            run._prev = run._next = None
-            run._list = None
-            run = succ
-        self._head = self._tail = None
+        """Remove all fragments and return them (LRU order)."""
+        blocks = self.blocks
+        for block in blocks:
+            block._run = None
         self._length = 0
         self._run_count = 0
         self._size = 0.0
@@ -593,6 +450,7 @@ class LRUList:
         self._dirty_heap = StateHeap(self, True)
         self._clean_heap = StateHeap(self, False)
         self._pending_repush = {}
+        self._run_pool = []
         return blocks
 
     # --------------------------------------------------------------- queries
@@ -605,46 +463,58 @@ class LRUList:
         return dict(self._per_file)
 
     def runs_of_file(self, filename: str) -> List[ExtentRun]:
-        """Runs of ``filename``, in LRU order (O(k) in the answer)."""
+        """The file's live runs (clean first), unordered pair."""
         index = self._file_runs.get(filename)
         if index is None:
             return []
-        return index.ordered(self)
+        return [run for run in (index.clean, index.dirty) if run is not None]
 
     def blocks_of_file(self, filename: str) -> List[Block]:
         """Fragments of ``filename``, in LRU order (O(k) in the answer)."""
+        index = self._file_runs.get(filename)
+        if index is None:
+            return []
+        clean = index.clean.fragments() if index.clean is not None else []
+        dirty = index.dirty.fragments() if index.dirty is not None else []
+        if not dirty:
+            return clean
+        if not clean:
+            return dirty
+        merged = clean + dirty
+        merged.sort(key=_order_key)
+        return merged
+
+    def _state_blocks(self, dirty: bool,
+                      excluded: Iterable[str] = ()) -> List[Block]:
         blocks: List[Block] = []
-        for run in self.runs_of_file(filename):
-            blocks.extend(run.frags[run.head:])
+        for filename, index in self._file_runs.items():
+            if filename in excluded:
+                continue
+            run = index.dirty if dirty else index.clean
+            if run is not None:
+                blocks.extend(run.frags[run.head:])
+        blocks.sort(key=_order_key)
         return blocks
 
     def dirty_blocks(self, exclude_file: Optional[str] = None) -> List[Block]:
         """Dirty fragments in LRU order, optionally excluding one file."""
-        self._flush_pending()
-        blocks: List[Block] = []
-        for run in self._dirty_heap.ordered_live():
-            if run.filename != exclude_file:
-                blocks.extend(run.frags[run.head:])
-        return blocks
+        excluded = () if exclude_file is None else (exclude_file,)
+        return self._state_blocks(True, excluded)
 
     def clean_blocks(self, exclude_files: Iterable[str] = ()) -> List[Block]:
         """Clean fragments in LRU order, optionally excluding some files."""
-        self._flush_pending()
-        excluded = set(exclude_files)
-        blocks: List[Block] = []
-        for run in self._clean_heap.ordered_live():
-            if run.filename not in excluded:
-                blocks.extend(run.frags[run.head:])
-        return blocks
+        return self._state_blocks(False, set(exclude_files))
 
     def expired_blocks(self, now: float, expiration: float) -> List[Block]:
-        """Dirty fragments whose entry time is older than ``expiration``."""
-        self._flush_pending()
+        """Dirty fragments older than ``expiration``, in LRU order."""
         blocks: List[Block] = []
-        for run in self._dirty_heap.ordered_live():
-            for frag in run.frags[run.head:]:
-                if (now - frag.entry_time) >= expiration:
-                    blocks.append(frag)
+        for index in self._file_runs.values():
+            run = index.dirty
+            if run is not None:
+                for frag in run.frags[run.head:]:
+                    if (now - frag.entry_time) >= expiration:
+                        blocks.append(frag)
+        blocks.sort(key=_order_key)
         return blocks
 
     # --------------------------------------------------------------- cursors
@@ -668,16 +538,12 @@ class LRUList:
         """Consuming cursor over one file's fragments in LRU order (reads).
 
         Snapshot semantics: fragments linked after the cursor's creation
-        (re-accessed data appended to the list, split remainders) are not
-        returned, exactly as with an eager snapshot of the file's blocks,
-        but the cost is proportional to the fragments actually consumed.
+        (re-accessed data, split remainders) are not returned, exactly as
+        with an eager snapshot of the file's blocks, but the cost is
+        proportional to the fragments actually consumed.
         """
-        index = self._file_runs.get(filename)
-        if index is not None:
-            # Re-establish list order now (no cursor is live yet); the
-            # walk itself then never needs to look at ordering again.
-            index.ensure_sorted(self)
-        return FileCursor(self, index, self._next_stamp)
+        return FileCursor(self, self._file_runs.get(filename),
+                          self._next_stamp)
 
     # ------------------------------------------------------------ validation
     def assert_consistent(self) -> None:
@@ -688,60 +554,68 @@ class LRUList:
         count = 0
         run_count = 0
         dirty_runs = 0
-        previous_key = None
-        run = self._head
-        while run is not None:
-            if run._list is not self:
+        keys = set()
+        for filename, index in self._file_runs.items():
+            if index.clean is None and index.dirty is None:
                 raise CacheConsistencyError(
-                    f"run {run!r} linked into {self.name!r} but owned elsewhere"
+                    f"empty file index for {filename!r} in {self.name!r}"
                 )
-            if run._next is not None and run._next._prev is not run:
-                raise CacheConsistencyError(
-                    f"LRU list {self.name!r} link violation at {run!r}"
-                )
-            frags = run.frags
-            if run.head >= len(frags):
-                raise CacheConsistencyError(
-                    f"empty run {run!r} stored in LRU list {self.name!r}"
-                )
-            index = self._file_runs.get(run.filename)
-            if index is None or run not in index:
-                raise CacheConsistencyError(
-                    f"run {run!r} missing from the per-file index of "
-                    f"{self.name!r}"
-                )
-            for frag in frags[run.head:]:
-                if frag is None or frag._run is not run:
+            for run in (index.clean, index.dirty):
+                if run is None:
+                    continue
+                if run._list is not self:
                     raise CacheConsistencyError(
-                        f"fragment ownership violation in run {run!r} of "
+                        f"run {run!r} indexed by {self.name!r} but owned "
+                        f"elsewhere"
+                    )
+                if run.filename != filename:
+                    raise CacheConsistencyError(
+                        f"run {run!r} filed under {filename!r} in "
                         f"{self.name!r}"
                     )
-                if frag.filename != run.filename or frag.dirty is not run.dirty:
+                frags = run.frags
+                if run.head >= len(frags):
                     raise CacheConsistencyError(
-                        f"non-homogeneous run {run!r} in {self.name!r}: "
-                        f"{frag!r}"
+                        f"empty run {run!r} stored in LRU list {self.name!r}"
                     )
-                if frag.size <= 0:
-                    raise CacheConsistencyError(
-                        f"non-positive fragment size in {self.name!r}: {frag!r}"
-                    )
-                key = (frag.last_access, frag._stamp)
-                if previous_key is not None and key <= previous_key:
-                    raise CacheConsistencyError(
-                        f"LRU list {self.name!r} ordering violation at {frag!r}"
-                    )
-                previous_key = key
-                total += frag.size
-                if frag.dirty:
-                    dirty += frag.size
-                per_file[frag.filename] = (
-                    per_file.get(frag.filename, 0.0) + frag.size
-                )
-                count += 1
-            run_count += 1
-            if run.dirty:
-                dirty_runs += 1
-            run = run._next
+                previous_key = None
+                for frag in frags[run.head:]:
+                    if frag is None or frag._run is not run:
+                        raise CacheConsistencyError(
+                            f"fragment ownership violation in run {run!r} "
+                            f"of {self.name!r}"
+                        )
+                    if (frag.filename != filename
+                            or frag.dirty is not run.dirty):
+                        raise CacheConsistencyError(
+                            f"non-homogeneous run {run!r} in {self.name!r}: "
+                            f"{frag!r}"
+                        )
+                    if frag.size <= 0:
+                        raise CacheConsistencyError(
+                            f"non-positive fragment size in {self.name!r}: "
+                            f"{frag!r}"
+                        )
+                    key = (frag.last_access, frag._stamp)
+                    if previous_key is not None and key <= previous_key:
+                        raise CacheConsistencyError(
+                            f"run {run!r} of {self.name!r} out of order at "
+                            f"{frag!r}"
+                        )
+                    if key in keys:
+                        raise CacheConsistencyError(
+                            f"duplicate position key {key} in {self.name!r}"
+                        )
+                    keys.add(key)
+                    previous_key = key
+                    total += frag.size
+                    if frag.dirty:
+                        dirty += frag.size
+                    per_file[filename] = per_file.get(filename, 0.0) + frag.size
+                    count += 1
+                run_count += 1
+                if run.dirty:
+                    dirty_runs += 1
         if count != self._length:
             raise CacheConsistencyError(
                 f"LRU list {self.name!r} length drift: {self._length} vs {count}"
@@ -750,10 +624,6 @@ class LRUList:
             raise CacheConsistencyError(
                 f"LRU list {self.name!r} run-count drift: "
                 f"{self._run_count} vs {run_count}"
-            )
-        if sum(len(index) for index in self._file_runs.values()) != run_count:
-            raise CacheConsistencyError(
-                f"LRU list {self.name!r} per-file index drift"
             )
         if (self._dirty_heap.live != dirty_runs
                 or self._clean_heap.live != run_count - dirty_runs):
@@ -768,14 +638,15 @@ class LRUList:
             for entry in heap.heap:
                 if heap._is_live(entry):
                     reachable.add(id(entry[3]))
-        node = self._head
-        while node is not None:
-            if id(node) not in reachable and node not in self._pending_repush:
-                raise CacheConsistencyError(
-                    f"run {node!r} unreachable from the state heaps of "
-                    f"{self.name!r}"
-                )
-            node = node._next
+        for index in self._file_runs.values():
+            for run in (index.clean, index.dirty):
+                if run is None:
+                    continue
+                if id(run) not in reachable and run not in self._pending_repush:
+                    raise CacheConsistencyError(
+                        f"run {run!r} unreachable from the state heaps of "
+                        f"{self.name!r}"
+                    )
         if abs(total - self._size) > DRIFT_TOLERANCE or \
                 abs(dirty - self._dirty) > DRIFT_TOLERANCE:
             raise CacheConsistencyError(
@@ -856,7 +727,7 @@ class PageCacheLists:
 
     def all_blocks(self) -> List[Block]:
         """All fragments, inactive list first (the order data is read back)."""
-        return list(self.inactive) + list(self.active)
+        return self.inactive.blocks + self.active.blocks
 
     # ------------------------------------------------------------- mutations
     def add_to_inactive(self, block: Block) -> None:

@@ -23,7 +23,7 @@ part of simulated time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.des.environment import Environment
 from repro.errors import CacheConsistencyError, ConfigurationError
@@ -108,6 +108,12 @@ class MemoryManager:
             balance=self.config.balance_lists,
         )
         self.stats = CacheStatistics()
+        # Transfer labels are fixed per manager; precomputing them keeps
+        # f-string formatting out of the per-chunk I/O paths.
+        self._label_cache_read = f"{name}-cache-read"
+        self._label_cache_write = f"{name}-cache-write"
+        self._label_flush = f"{name}-flush"
+        self._label_bg_flush = f"{name}-bg-flush"
         #: Files currently being written (used by ``protect_written_files``).
         self._files_being_written: Set[str] = set()
         self._running = True
@@ -388,6 +394,25 @@ class MemoryManager:
                 cursor.close()
         return selected, total
 
+    def select_flush(self, amount: float, exclude_file: Optional[str] = None,
+                     ) -> Tuple[Dict[object, float], float]:
+        """Selection half of :meth:`flush` (no simulated time).
+
+        Marks the selected LRU dirty blocks clean and returns the
+        per-device write amounts (in selection order) plus the total; the
+        caller is responsible for charging one storage write per device.
+        """
+        selected, total = self._select_dirty_blocks(amount, exclude_file)
+        per_device: Dict[object, float] = {}
+        for storage, size in selected:
+            if storage is None:
+                continue
+            if storage in per_device:
+                per_device[storage] += size
+            else:
+                per_device[storage] = size
+        return per_device, total
+
     def flush(self, amount: float, exclude_file: Optional[str] = None):
         """Flush up to ``amount`` bytes of dirty data to storage.
 
@@ -400,23 +425,15 @@ class MemoryManager:
         """
         if amount is None or amount <= 0:
             return 0.0
-        selected, total = self._select_dirty_blocks(amount, exclude_file)
+        per_device, total = self.select_flush(amount, exclude_file)
         if total <= 0:
             return 0.0
-        yield from self._write_to_storage(selected)
+        label = self._label_flush
+        for device, device_amount in per_device.items():
+            yield device.write(device_amount, label=label)
         self.stats.flushed_bytes += total
         self.stats.flush_ops += 1
         return total
-
-    def _write_to_storage(self, selected: Iterable[Tuple[object, float]]):
-        """Write ``(storage, size)`` amounts, grouped per storage device."""
-        per_device: Dict[object, float] = {}
-        for storage, size in selected:
-            if storage is None:
-                continue
-            per_device[storage] = per_device.get(storage, 0.0) + size
-        for device, amount in per_device.items():
-            yield device.write(amount, label=f"{self.name}-flush")
 
     # ------------------------------------------------------ cache operations
     def add_to_cache(self, filename: str, amount: float, storage,
@@ -444,6 +461,15 @@ class MemoryManager:
         self._free -= amount
         return block
 
+    def put_to_cache(self, filename: str, amount: float, storage) -> None:
+        """Accounting half of :meth:`write_to_cache` (no simulated time).
+
+        Creates the dirty block and counts the written bytes; the caller
+        is responsible for charging the memory-write transfer.
+        """
+        self.add_to_cache(filename, amount, storage, dirty=True)
+        self.stats.cache_write_bytes += amount
+
     def write_to_cache(self, filename: str, amount: float, storage):
         """Write ``amount`` bytes of ``filename`` into the cache (dirty).
 
@@ -453,24 +479,18 @@ class MemoryManager:
         """
         if amount <= 0:
             return 0.0
-        self.add_to_cache(filename, amount, storage, dirty=True)
-        self.stats.cache_write_bytes += amount
-        yield self.memory.write(amount, label=f"{self.name}-cache-write")
+        self.put_to_cache(filename, amount, storage)
+        yield self.memory.write(amount, label=self._label_cache_write)
         return amount
 
-    def read_from_cache(self, filename: str, amount: float):
-        """Read ``amount`` bytes of ``filename`` from the cache.
+    def take_from_cache(self, filename: str, amount: float) -> float:
+        """Consumption half of :meth:`read_from_cache` (no simulated time).
 
-        Simulation process implementing the cache-hit path of Algorithm 2:
-        data is taken from the inactive list first, then from the active
-        list; clean blocks are merged into a single re-accessed block
-        appended to the active list, dirty blocks are promoted individually
-        so they keep their entry time.  Charges a memory read at memory
-        bandwidth.  Returns the number of bytes served (bounded by the
-        amount of the file actually cached).
+        Moves the served bytes to the active list (merging clean data,
+        promoting dirty blocks individually) and records the hit; the
+        caller is responsible for charging the memory-read transfer for
+        the returned number of bytes.
         """
-        if amount <= 0:
-            return 0.0
         now = self.env.now
         remaining = amount
         merged_clean_size = 0.0
@@ -530,7 +550,24 @@ class MemoryManager:
         served = amount - max(0.0, remaining)
         if served > 0:
             self.stats.record_hit(filename, served)
-            yield self.memory.read(served, label=f"{self.name}-cache-read")
+        return served
+
+    def read_from_cache(self, filename: str, amount: float):
+        """Read ``amount`` bytes of ``filename`` from the cache.
+
+        Simulation process implementing the cache-hit path of Algorithm 2:
+        data is taken from the inactive list first, then from the active
+        list; clean blocks are merged into a single re-accessed block
+        appended to the active list, dirty blocks are promoted individually
+        so they keep their entry time.  Charges a memory read at memory
+        bandwidth.  Returns the number of bytes served (bounded by the
+        amount of the file actually cached).
+        """
+        if amount <= 0:
+            return 0.0
+        served = self.take_from_cache(filename, amount)
+        if served > 0:
+            yield self.memory.read(served, label=self._label_cache_read)
         return served
 
     def invalidate_file(self, filename: str) -> float:
@@ -580,7 +617,7 @@ class MemoryManager:
                     continue
                 flushed += size
                 if block.storage is not None:
-                    yield block.storage.write(size, label=f"{self.name}-bg-flush")
+                    yield block.storage.write(size, label=self._label_bg_flush)
             if flushed > 0:
                 self.stats.background_flushed_bytes += flushed
             flushing_time = self.env.now - start

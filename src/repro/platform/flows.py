@@ -258,9 +258,8 @@ class FairShareChannel:
             # representable at the current simulated time: finish the
             # smallest flows immediately instead of spinning on zero-length
             # timeouts (floating-point underflow guard).
-            smallest = min(flow.remaining for flow in self._flows)
             for flow in list(self._flows):
-                if flow.remaining <= smallest + _EPSILON:
+                if flow.remaining <= smallest_remaining + _EPSILON:
                     self.total_transferred += flow.remaining
                     flow.remaining = 0.0
             self._complete_finished_flows()

@@ -76,26 +76,34 @@ def run_parity_workload(seed: int = 2021, n_ops: int = 120, *,
                         memory_size: float = 4 * GB,
                         periodic_flushing: bool = True,
                         evict_from_active: bool = False,
-                        coalesce_extents: bool = False,
+                        coalesce_extents=None,
                         ) -> List[Dict[str, object]]:
     """Run the seeded workload and return the per-operation state trace.
 
     The memory is deliberately small relative to the working set so that
     reads and writes constantly trigger flushing and eviction (the code
     paths whose ordering the parity suite pins down).
+
+    ``coalesce_extents`` is forwarded to :class:`PageCacheConfig` when
+    given, exercising the deprecation shim: the extent cache coalesces
+    losslessly and unconditionally, so the flag must not change a single
+    byte of the trace.
     """
     env = Environment()
     memory = MemoryDevice.symmetric(env, "ram", 2000 * MBps, size=memory_size)
     disk = Disk.symmetric(env, "disk", 200 * MBps)
+    config_kwargs = {}
+    if coalesce_extents is not None:
+        config_kwargs["coalesce_extents"] = coalesce_extents
     config = PageCacheConfig(
         chunk_size=64 * MB,
         periodic_flushing=periodic_flushing,
         evict_from_active=evict_from_active,
-        coalesce_extents=coalesce_extents,
         # Short expiration/interval so the background flusher interleaves
         # with foreground I/O inside the workload's time horizon.
         dirty_expire=3.0,
         writeback_interval=1.0,
+        **config_kwargs,
     )
     mm = MemoryManager(env, memory, config, name="parity-mm")
     io = IOController(env, mm)

@@ -80,6 +80,26 @@ class TestGate:
             [str(results), "--baseline", str(baseline)]
         ) == 1
 
+    def test_subset_mode_skips_uncollected_benchmarks(self, tmp_path):
+        # A marker-restricted run (e.g. `pytest -m perf`) only collects a
+        # slice of the baseline: absent benchmarks are not failures.
+        baseline = self.baseline(
+            tmp_path, {REFERENCE: 0.5, "test_perf_a": 1.0, "test_other": 2.0}
+        )
+        results = write_results(tmp_path, {REFERENCE: 0.5, "test_perf_a": 1.0})
+        assert check_regression.main(
+            [str(results), "--baseline", str(baseline), "--subset"]
+        ) == 0
+
+    def test_subset_mode_still_fails_on_regressions(self, tmp_path):
+        baseline = self.baseline(
+            tmp_path, {REFERENCE: 0.5, "test_perf_a": 1.0, "test_other": 2.0}
+        )
+        results = write_results(tmp_path, {REFERENCE: 0.5, "test_perf_a": 5.0})
+        assert check_regression.main(
+            [str(results), "--baseline", str(baseline), "--subset"]
+        ) == 1
+
     def test_new_benchmark_without_baseline_entry_fails(self, tmp_path, capsys):
         baseline = self.baseline(tmp_path, {REFERENCE: 0.5, "test_a": 1.0})
         results = write_results(
@@ -108,15 +128,20 @@ class TestGate:
         with pytest.raises(SystemExit):
             check_regression.main([str(results), "--baseline", str(baseline)])
 
-    def test_committed_baseline_matches_current_benchmarks(self):
-        baseline = json.loads(
-            (Path(__file__).resolve().parents[1] / "benchmarks" / "baseline.json")
-            .read_text()
-        )
+    @pytest.mark.parametrize("baseline_file",
+                             ["baseline.json", "baseline-perf.json"])
+    def test_committed_baseline_matches_current_benchmarks(self, baseline_file):
         bench_dir = Path(__file__).resolve().parents[1] / "benchmarks"
+        baseline = json.loads((bench_dir / baseline_file).read_text())
         sources = "\n".join(
             path.read_text() for path in bench_dir.glob("test_bench_*.py")
         )
         # Every gated benchmark still exists (renames go through --update).
         for name in baseline["normalized_medians"]:
             assert name.split("[")[0] in sources, name
+        # The perf micro-benchmarks live in their own (non-gating)
+        # baseline; the gating file must not shadow them.
+        for name in baseline["normalized_medians"]:
+            assert name.startswith("test_perf_") == (
+                baseline_file == "baseline-perf.json"
+            ), name

@@ -38,6 +38,23 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             config.with_updates(dirty_ratio=2.0)
 
+    def test_coalesce_extents_is_a_deprecated_no_op(self):
+        # Existing experiment scripts passing the PR 3 knob keep working:
+        # the value is accepted, warned about and ignored (the extent
+        # cache coalesces losslessly and unconditionally).
+        with pytest.warns(DeprecationWarning, match="coalesce_extents"):
+            config = PageCacheConfig(coalesce_extents=True)
+        with pytest.warns(DeprecationWarning, match="coalesce_extents"):
+            PageCacheConfig(coalesce_extents=False)
+        assert config.validate() is None
+
+    def test_coalesce_extents_unset_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            PageCacheConfig()
+
 
 class TestPresets:
     def test_linux_default(self):

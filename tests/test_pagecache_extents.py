@@ -1,0 +1,320 @@
+"""Edge-case tests for the extent-run page cache core.
+
+The extent representation must be *lossless*: fragments keep their exact
+byte sizes through every structural event — coalescing, state changes,
+partial flushes, partial evictions, pooled run reuse — and the byte
+totals the accounting reports are exactly the sum of the run lengths (no
+float slack needed on integer-sized workloads).  These tests drive the
+true state boundaries one by one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CacheConsistencyError
+from repro.pagecache import MemoryManager, PageCacheConfig
+from repro.pagecache.block import Block
+from repro.pagecache.lru import LRUList, PageCacheLists
+from repro.pagecache.stats import ExtentOccupancy
+from repro.platform.memory import MemoryDevice
+from repro.platform.storage import Disk
+from repro.units import GB, MB, MBps
+
+
+def make_block(filename="f", size=10.0, entry=0.0, access=None, dirty=False,
+               storage=None):
+    return Block(filename, size, entry_time=entry, last_access=access,
+                 dirty=dirty, storage=storage)
+
+
+def exact_totals(lru: LRUList):
+    """(size, dirty) recomputed as the plain sum of the run lengths."""
+    total = 0.0
+    dirty = 0.0
+    for run in lru.runs():
+        length = run.length()
+        total += length
+        if run.dirty:
+            dirty += length
+    return total, dirty
+
+
+@pytest.fixture
+def mm_setup(env):
+    memory = MemoryDevice.symmetric(env, "ram", 1000 * MBps, size=10 * GB)
+    disk = Disk.symmetric(env, "ssd", 100 * MBps)
+    manager = MemoryManager(env, memory,
+                            PageCacheConfig(periodic_flushing=False))
+    return env, manager, disk
+
+
+class TestPartialFlushSplits:
+    """A foreground flush that stops mid-run splits at the exact byte."""
+
+    def test_partial_flush_carves_the_dirty_run(self, mm_setup, runner):
+        env, mm, disk = mm_setup
+        for step in range(4):
+            env._now = float(step)
+            mm.add_to_cache("f", 100.0 * MB, disk, dirty=True)
+        assert mm.lists.inactive.run_count == 1
+        # Flush two and a half fragments' worth.
+        flushed = runner(env, mm.flush(250.0 * MB))
+        assert flushed == 250.0 * MB
+        # The flushed bytes are clean, the remainder dirty; the split
+        # fragment's halves carry exactly the split sizes.
+        assert mm.dirty == 150.0 * MB
+        assert mm.cached == 400.0 * MB
+        sizes = sorted(block.size for block in
+                       mm.lists.inactive.dirty_blocks())
+        assert sizes == [50.0 * MB, 100.0 * MB]
+        mm.lists.assert_consistent()
+        total, dirty = exact_totals(mm.lists.inactive)
+        assert mm.lists.inactive.size == total
+        assert mm.lists.inactive.dirty_size == dirty
+
+    def test_background_flush_cleans_a_mid_run_fragment(self, mm_setup,
+                                                        runner):
+        env, mm, disk = mm_setup
+        lru = mm.lists.inactive
+        # Three dirty fragments; the middle one is old enough to expire.
+        lru.append(make_block("f", 10.0, entry=100.0, access=100.0,
+                              dirty=True, storage=disk))
+        lru.append(make_block("f", 20.0, entry=0.0, access=101.0,
+                              dirty=True, storage=disk))
+        lru.append(make_block("f", 30.0, entry=102.0, access=102.0,
+                              dirty=True, storage=disk))
+        env._now = 103.0
+        expired = lru.expired_blocks(now=103.0, expiration=50.0)
+        assert [block.size for block in expired] == [20.0]
+        # Cleaning the middle fragment moves it to the clean run; the
+        # dirty neighbours stay in one dirty run (no split needed: order
+        # lives in the position keys).
+        lru.mark_clean(expired[0])
+        assert lru.dirty_size == 40.0
+        assert lru.run_count == 2
+        assert [block.size for block in lru.dirty_blocks()] == [10.0, 30.0]
+        assert [block.size for block in lru.clean_blocks()] == [20.0]
+        # Byte-exact totals, no tolerance.
+        total, dirty = exact_totals(lru)
+        assert lru.size == total == 60.0
+        assert lru.dirty_size == dirty == 40.0
+        lru.assert_consistent()
+
+
+class TestEvictionCarving:
+    """Eviction consumes clean runs front-first, splitting at the byte."""
+
+    def test_partial_eviction_splits_the_front_fragment(self, mm_setup):
+        env, mm, disk = mm_setup
+        for step in range(3):
+            env._now = float(step)
+            mm.add_to_cache("f", 100.0 * MB, disk, dirty=False)
+        evicted = mm.evict(150.0 * MB)
+        assert evicted == 150.0 * MB
+        assert mm.cached == 150.0 * MB
+        # The carved fragment keeps the exact remainder.
+        sizes = [block.size for block in mm.lists.inactive.clean_blocks()]
+        assert sizes == [50.0 * MB, 100.0 * MB]
+        mm.lists.assert_consistent()
+
+    def test_eviction_interleaves_files_in_exact_lru_order(self, mm_setup):
+        env, mm, disk = mm_setup
+        # a and b interleave in time; each still occupies one run.
+        for step, name in enumerate(["a", "b", "a", "b"]):
+            env._now = float(step)
+            mm.add_to_cache(name, 10.0, disk, dirty=False)
+        assert mm.lists.inactive.run_count == 2
+        # Evicting 25 bytes must take a[0], b[1], and half of a[2].
+        evicted = mm.evict(25.0)
+        assert evicted == 25.0
+        assert mm.cached_amount("a") == 5.0
+        assert mm.cached_amount("b") == 10.0
+        mm.lists.assert_consistent()
+
+    def test_excluded_file_survives_and_stays_reachable(self, mm_setup):
+        env, mm, disk = mm_setup
+        mm.add_to_cache("keep", 10.0, disk, dirty=False)
+        env._now = 1.0
+        mm.add_to_cache("evictme", 10.0, disk, dirty=False)
+        assert mm.evict(100.0, exclude_file="keep") == 10.0
+        assert mm.cached_amount("keep") == 10.0
+        # The held-aside run must return to the heap: a later eviction
+        # without the exclusion reclaims it.
+        assert mm.evict(100.0) == 10.0
+        assert mm.cached == 0.0
+        mm.lists.assert_consistent()
+
+
+class TestStateBoundaries:
+    def test_adjacent_dirty_and_clean_runs_never_merge(self, mm_setup):
+        env, mm, disk = mm_setup
+        mm.add_to_cache("f", 10.0, disk, dirty=False)
+        env._now = 1.0
+        mm.add_to_cache("f", 10.0, disk, dirty=True)
+        lru = mm.lists.inactive
+        assert lru.run_count == 2
+        states = {run.dirty for run in lru.runs()}
+        assert states == {True, False}
+        lru.assert_consistent()
+
+    def test_redirty_of_a_clean_sub_range_coexists(self, mm_setup, runner):
+        env, mm, disk = mm_setup
+        # A fully clean cached file...
+        mm.add_to_cache("f", 100.0, disk, dirty=False)
+        # ... gets new dirty data written over part of its range (the
+        # model appends dirty blocks; it never re-dirties in place).
+        runner(env, mm.write_to_cache("f", 40.0, disk))
+        lru = mm.lists.inactive
+        assert lru.run_count == 2
+        assert lru.dirty_size == 40.0
+        assert lru.size == 140.0
+        # Flushing the re-dirtied range merges it back into clean data.
+        runner(env, mm.flush(40.0))
+        assert lru.run_count == 1
+        assert lru.dirty_size == 0.0
+        total, dirty = exact_totals(lru)
+        assert lru.size == total == 140.0
+        assert dirty == 0.0
+        lru.assert_consistent()
+
+
+class TestZeroLengthInvariants:
+    def test_no_empty_runs_after_full_consumption(self, mm_setup):
+        env, mm, disk = mm_setup
+        mm.add_to_cache("f", 10.0, disk, dirty=False)
+        assert mm.evict(10.0) == 10.0
+        assert mm.lists.inactive.run_count == 0
+        assert mm.extent_runs == 0
+        assert mm.extent_fragments == 0
+        mm.lists.assert_consistent()
+
+    def test_assert_consistent_rejects_stored_empty_run(self):
+        lru = LRUList()
+        block = make_block("f", 10.0)
+        lru.append(block)
+        run = block._run
+        # Corrupt the run behind the list's back.
+        run.frags.clear()
+        run.head = 0
+        with pytest.raises(CacheConsistencyError):
+            lru.assert_consistent()
+
+    def test_fragment_sizes_must_stay_positive(self):
+        lru = LRUList()
+        block = make_block("f", 10.0)
+        lru.append(block)
+        block.size = 0.0
+        with pytest.raises(CacheConsistencyError):
+            lru.assert_consistent()
+
+
+class TestExactAccounting:
+    """Integer-sized workloads need no float slack at all."""
+
+    def test_totals_are_exactly_the_sum_of_run_lengths(self, mm_setup,
+                                                       runner):
+        env, mm, disk = mm_setup
+        for step in range(8):
+            env._now = float(step)
+            mm.add_to_cache(f"f{step % 3}", float(64 * MB), disk,
+                            dirty=step % 2 == 0)
+        runner(env, mm.flush(96.0 * MB))
+        mm.evict(32.0 * MB)
+        for lru in (mm.lists.inactive, mm.lists.active):
+            total, dirty = exact_totals(lru)
+            assert lru.size == total
+            assert lru.dirty_size == dirty
+        assert mm.cached == (mm.lists.inactive.size
+                             + mm.lists.active.size)
+
+    def test_read_consumption_is_byte_exact(self, mm_setup, runner):
+        env, mm, disk = mm_setup
+        for step in range(4):
+            env._now = float(step)
+            mm.add_to_cache("f", float(10 * MB), disk, dirty=False)
+        env._now = 10.0
+        served = runner(env, mm.read_from_cache("f", float(25 * MB)))
+        assert served == float(25 * MB)
+        # 25 MB re-accessed (merged into one active fragment), 15 MB left
+        # behind: 5 MB carved from the third fragment plus the fourth.
+        assert mm.cached_amount("f") == float(40 * MB)
+        assert mm.lists.active.cached_of_file("f") >= float(25 * MB)
+        sizes = [block.size for block in
+                 mm.lists.inactive.blocks_of_file("f")]
+        assert sizes == [float(5 * MB), float(10 * MB)]
+        mm.lists.assert_consistent()
+
+
+class TestRunPooling:
+    """Dead run objects are reused; stale references are fenced."""
+
+    def test_killed_run_is_reused_with_a_new_epoch(self):
+        lru = LRUList()
+        block = make_block("a", 10.0, access=0.0)
+        lru.append(block)
+        run = block._run
+        epoch = run._epoch
+        lru.remove(block)
+        assert run._list is None
+        assert run._epoch == epoch + 1
+        other = make_block("b", 5.0, access=1.0)
+        lru.append(other)
+        assert other._run is run  # recycled object...
+        assert other._run.filename == "b"  # ...new identity
+        lru.assert_consistent()
+
+    def test_stale_file_cursor_sees_reuse_as_exhaustion(self):
+        lru = LRUList()
+        block = make_block("a", 10.0, access=0.0)
+        lru.append(block)
+        cursor = lru.file_cursor("a")
+        lru.remove(block)  # the run dies under the cursor
+        lru.append(make_block("b", 5.0, access=1.0))  # object reused for b
+        assert cursor.next() is None
+
+    def test_file_cursor_skips_fragments_linked_after_creation(self):
+        lru = LRUList()
+        first = make_block("a", 10.0, access=0.0)
+        lru.append(first)
+        cursor = lru.file_cursor("a")
+        lru.append(make_block("a", 20.0, access=1.0))
+        assert cursor.next() is first
+        lru.remove(first)
+        # The second fragment was linked after the snapshot bound.
+        assert cursor.next() is None
+
+
+class TestOccupancy:
+    def test_extent_occupancy_reports_structure(self, mm_setup):
+        env, mm, disk = mm_setup
+        for step in range(10):
+            env._now = float(step)
+            mm.add_to_cache("stream", 10.0, disk, dirty=False)
+        occupancy = ExtentOccupancy.of(mm.lists)
+        assert occupancy.runs == 1
+        assert occupancy.fragments == 10
+        assert occupancy.merges == 9
+        assert occupancy.fragments_per_run == pytest.approx(10.0)
+        as_dict = occupancy.as_dict()
+        assert as_dict["runs"] == 1
+        assert as_dict["fragments"] == 10
+
+
+class TestBalanceAcrossRuns:
+    def test_demotion_carves_the_global_lru_front(self):
+        lists = PageCacheLists()
+        # Fill inactive, promote everything, then let balancing demote
+        # exactly the excess from the least recently used end.
+        blocks = []
+        for step in range(6):
+            block = make_block(f"f{step % 2}", 30.0, access=float(step))
+            lists.add_to_inactive(block)
+            blocks.append(block)
+        for step, block in enumerate(blocks):
+            if block in lists.inactive:
+                lists.promote(block, now=10.0 + step)
+        assert lists.active.size <= 2 * lists.inactive.size + 1e-6
+        total = lists.inactive.size + lists.active.size
+        assert total == pytest.approx(180.0)
+        lists.assert_consistent()

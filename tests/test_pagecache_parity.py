@@ -46,21 +46,25 @@ class TestWorkloadParity:
             "run on a known-good implementation"
         )
 
-    @pytest.mark.parametrize("coalesce", [False, True],
-                             ids=["exact", "coalesced"])
+    @pytest.mark.parametrize("coalesce", [None, True],
+                             ids=["default", "deprecated-knob"])
     @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
     def test_trace_parity(self, golden, scenario, coalesce):
-        """Replays match the pre-refactor golden byte for byte.
+        """Replays match the pre-extent golden byte for byte.
 
-        With ``coalesce=False`` the replay must be bit-identical; with
-        ``coalesce=True`` extent merging is enabled and the same golden
-        must still hold (coalescing is byte-equivalent — only last-ulp
-        float differences are allowed, far below the comparison
-        tolerance).
+        The extent-run cache coalesces losslessly and unconditionally, so
+        the replay must be bit-identical to the golden recorded from the
+        one-block-per-node implementation.  The ``deprecated-knob``
+        variant passes the retired ``coalesce_extents`` flag through the
+        deprecation shim and must reproduce the exact same trace.
         """
         expected = golden["scenarios"][scenario]
-        actual = run_parity_workload(coalesce_extents=coalesce,
-                                     **SCENARIOS[scenario])
+        if coalesce is None:
+            actual = run_parity_workload(**SCENARIOS[scenario])
+        else:
+            with pytest.warns(DeprecationWarning, match="coalesce_extents"):
+                actual = run_parity_workload(coalesce_extents=coalesce,
+                                             **SCENARIOS[scenario])
         assert len(actual) == len(expected)
         for step, (got, want) in enumerate(zip(actual, expected)):
             assert set(got) == set(want), f"step {step}"
