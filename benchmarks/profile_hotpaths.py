@@ -35,14 +35,26 @@ Peak-memory reporting: ``--memory`` re-runs the workload under
 ``tracemalloc`` (separately from the cProfile pass, so neither skews the
 other) and prints the peak traced allocation; it defaults to on for the
 ``pagecache`` workload and off elsewhere.
+
+Telemetry overhead: ``--obs`` times the workload twice — telemetry off,
+then on (``REPRO_OBS=1``) — and reports the enabled-vs-disabled slowdown.
+``--obs-gate PCT`` turns the report into a check (non-zero exit above the
+threshold), and ``--no-profile`` skips the cProfile pass so the timing
+runs are the only work (the mode the CI overhead check uses).
+
+Every workload also reports the extent-run occupancy of each page-cached
+memory manager it touched (captured when the manager stops).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import cProfile
+import os
 import pstats
 import sys
+import time
 import tracemalloc
 from pathlib import Path
 
@@ -104,9 +116,14 @@ def run_pagecache_workload(file_size=None, chunk_size=None, streams=8):
     from repro.platform.memory import MemoryDevice
     from repro.platform.storage import Disk
 
+    from repro.obs import observer_from_env
+
     file_size = file_size or 2 * GB
     chunk_size = chunk_size or 4 * MB
     env = Environment()
+    # No Simulation facade here, so honour REPRO_OBS directly: the --obs
+    # timing pass toggles telemetry through the environment variable.
+    observer_from_env(env)
     memory = MemoryDevice.symmetric(env, "ram", 2000 * MBps, size=16 * GB)
     disk = Disk.symmetric(env, "disk", 500 * MBps)
     mm = MemoryManager(env, memory, PageCacheConfig(chunk_size=chunk_size),
@@ -168,6 +185,97 @@ WORKLOADS = {
 }
 
 
+@contextlib.contextmanager
+def capture_occupancy():
+    """Capture every memory manager's extent occupancy as it stops.
+
+    Workloads build their platforms internally, so the capture hooks
+    ``MemoryManager.stop`` (every run path stops its managers) instead of
+    threading a reporting object through each workload's setup.
+    """
+    from repro.pagecache.memory_manager import MemoryManager
+    from repro.pagecache.stats import ExtentOccupancy
+
+    captured = {}
+    original = MemoryManager.stop
+
+    def stop(self):
+        captured[self.name] = ExtentOccupancy.of(self.lists)
+        return original(self)
+
+    MemoryManager.stop = stop
+    try:
+        yield captured
+    finally:
+        MemoryManager.stop = original
+
+
+def print_occupancy(captured) -> None:
+    """Print the captured per-manager extent occupancies."""
+    print("==== extent occupancy (at manager stop) ====")
+    if not captured:
+        print("no page-cached memory manager in this workload")
+        return
+    runs = sum(occ.runs for occ in captured.values())
+    fragments = sum(occ.fragments for occ in captured.values())
+    merges = sum(occ.merges for occ in captured.values())
+    ratio = fragments / runs if runs else 0.0
+    print(
+        f"total over {len(captured)} manager(s): {runs} runs / "
+        f"{fragments} fragments ({ratio:.1f} frags/run, {merges} merges)"
+    )
+    if len(captured) <= 8:
+        for name in sorted(captured):
+            occ = captured[name]
+            print(
+                f"  {name}: {occ.runs} runs / {occ.fragments} fragments "
+                f"({occ.fragments_per_run:.1f} frags/run, "
+                f"{occ.merges} merges)"
+            )
+
+
+@contextlib.contextmanager
+def _obs_env(enabled: bool):
+    """Set or clear ``REPRO_OBS`` for the duration of one timed run."""
+    from repro.obs import OBS_ENV_VAR
+
+    saved = os.environ.get(OBS_ENV_VAR)
+    if enabled:
+        os.environ[OBS_ENV_VAR] = "1"
+    else:
+        os.environ.pop(OBS_ENV_VAR, None)
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop(OBS_ENV_VAR, None)
+        else:
+            os.environ[OBS_ENV_VAR] = saved
+
+
+def measure_obs_overhead(workload: str, repeats: int = 1):
+    """Time the workload with telemetry off and on; best of ``repeats``.
+
+    Returns ``(disabled_seconds, enabled_seconds, overhead_percent)``.
+    The workload callable is rebuilt for every run so no state carries
+    over between passes.
+    """
+    def best(enabled: bool) -> float:
+        timings = []
+        with _obs_env(enabled):
+            for _ in range(max(1, repeats)):
+                run = WORKLOADS[workload]()
+                start = time.perf_counter()
+                run()
+                timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    disabled = best(False)
+    enabled = best(True)
+    overhead = (enabled - disabled) / disabled * 100.0 if disabled > 0 else 0.0
+    return disabled, enabled, overhead
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__.strip().splitlines()[0]
@@ -188,30 +296,53 @@ def main(argv=None) -> int:
                              "on for the pagecache workload)")
     parser.add_argument("--no-memory", dest="memory", action="store_false",
                         help="disable the tracemalloc pass")
+    parser.add_argument("--obs", action="store_true",
+                        help="time the workload with telemetry off and on "
+                             "(REPRO_OBS=1) and report the overhead")
+    parser.add_argument("--obs-gate", type=float, default=None, metavar="PCT",
+                        help="fail (exit 1) if the telemetry overhead "
+                             "exceeds PCT percent (implies --obs)")
+    parser.add_argument("--obs-repeats", type=int, default=1, metavar="N",
+                        help="timed runs per telemetry setting; the best "
+                             "of N is compared (default: %(default)s)")
+    parser.add_argument("--no-profile", dest="profile", action="store_false",
+                        default=True,
+                        help="skip the cProfile pass (with --obs the "
+                             "timing runs are the only work, as in CI)")
     args = parser.parse_args(argv)
+    do_obs = args.obs or args.obs_gate is not None
 
-    run = WORKLOADS[args.workload]()
-    profile = cProfile.Profile()
-    profile.enable()
-    run()
-    profile.disable()
+    if args.profile:
+        run = WORKLOADS[args.workload]()
+        profile = cProfile.Profile()
+        with capture_occupancy() as captured:
+            profile.enable()
+            run()
+            profile.disable()
 
-    if args.dump is not None:
-        profile.dump_stats(args.dump)
-        print(f"profile written to {args.dump}\n")
+        if args.dump is not None:
+            profile.dump_stats(args.dump)
+            print(f"profile written to {args.dump}\n")
 
-    restrictions = ([args.filter] if args.filter else []) + [args.top]
-    for order, title in (("cumulative", "by cumulative time (where time flows)"),
-                         ("tottime", "by self time (where time is spent)")):
-        print(f"==== top {args.top} {title} ====")
-        stats = pstats.Stats(profile)
-        stats.sort_stats(order).print_stats(*restrictions)
+        restrictions = ([args.filter] if args.filter else []) + [args.top]
+        for order, title in (("cumulative", "by cumulative time (where time flows)"),
+                             ("tottime", "by self time (where time is spent)")):
+            print(f"==== top {args.top} {title} ====")
+            stats = pstats.Stats(profile)
+            stats.sort_stats(order).print_stats(*restrictions)
+        print_occupancy(captured)
+    elif not do_obs:
+        # No profile and no overhead check: one plain run, occupancy only.
+        with capture_occupancy() as captured:
+            WORKLOADS[args.workload]()()
+        print_occupancy(captured)
 
     report_memory = args.memory
     if report_memory is None:
-        report_memory = args.workload == "pagecache"
+        report_memory = args.profile and args.workload == "pagecache"
     if report_memory:
         # A separate pass: tracemalloc and cProfile would skew each other.
+        run = WORKLOADS[args.workload]()
         tracemalloc.start()
         run()
         current, peak = tracemalloc.get_traced_memory()
@@ -221,6 +352,29 @@ def main(argv=None) -> int:
             f"peak traced memory: {peak / 1e6:.1f} MB "
             f"(still allocated at exit: {current / 1e6:.1f} MB)"
         )
+
+    if do_obs:
+        if args.profile:
+            disabled, enabled, overhead = measure_obs_overhead(
+                args.workload, args.obs_repeats
+            )
+        else:
+            with capture_occupancy() as captured:
+                disabled, enabled, overhead = measure_obs_overhead(
+                    args.workload, args.obs_repeats
+                )
+            print_occupancy(captured)
+        print(
+            f"==== telemetry overhead ====\n"
+            f"disabled: {disabled:.3f}s  enabled: {enabled:.3f}s  "
+            f"overhead: {overhead:+.1f}%"
+        )
+        if args.obs_gate is not None and overhead > args.obs_gate:
+            print(
+                f"FAIL: telemetry overhead {overhead:.1f}% exceeds the "
+                f"{args.obs_gate:.1f}% gate"
+            )
+            return 1
     return 0
 
 

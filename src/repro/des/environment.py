@@ -43,6 +43,13 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        #: Nullable telemetry hook (a :class:`repro.obs.spans.Observer`).
+        #: ``None`` (the default) keeps the event loop on its uninstrumented
+        #: fast path; attaching an observer routes :meth:`run` through the
+        #: counting loop and lets processes, flows and I/O controllers emit
+        #: spans.  The hook only observes — it never schedules events — so
+        #: attaching it cannot change simulated results.
+        self.observer = None
 
     # ----------------------------------------------------------------- state
     @property
@@ -116,14 +123,21 @@ class Environment:
             If no events remain in the queue.
         """
         pop = heapq.heappop
+        observer = self.observer
         try:
             while True:
                 now, _, _, event = pop(self._queue)
                 if not event._defunct:
                     break
+                if observer is not None:
+                    observer.des_tombstones += 1
         except IndexError:
             raise EmptySchedule() from None
         self._now = now
+        if observer is not None:
+            counts = observer.des_event_counts
+            name = type(event).__name__
+            counts[name] = counts.get(name, 0) + 1
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -167,10 +181,16 @@ class Environment:
                 raise until.value
             until.callbacks.append(_stop_simulation)
 
+        if self.observer is not None:
+            return self._run_observed(until)
+
         # Fast path: the body of step() inlined with the queue and heappop
         # bound locally.  The event loop is the single hottest function of
         # any simulation; avoiding the method call, attribute lookups and
         # per-event exception frames is worth the duplication with step().
+        # When a telemetry observer is attached the loop above hands off to
+        # :meth:`_run_observed` instead, so the disabled path pays exactly
+        # one extra ``is None`` check per :meth:`run` call, not per event.
         queue = self._queue
         pop = heapq.heappop
         try:
@@ -192,6 +212,47 @@ class Environment:
             event.defused = True
             raise event._value
         # The queue drained (EmptySchedule in step() terms).
+        if isinstance(until, Event) and until._value is PENDING:
+            raise RuntimeError(
+                "simulation ended before the awaited event was triggered"
+            )
+        return None
+
+    def _run_observed(self, until: Optional[Event]) -> Any:
+        """The event loop with DES introspection counters.
+
+        Identical control flow to the fast loop in :meth:`run` (the
+        ``until`` event has already been normalized by the caller), plus
+        per-event-class counting and tombstone accounting on the attached
+        observer.  Counting is pure observation: the loop processes the
+        same events in the same order as the fast path.
+        """
+        observer = self.observer
+        counts = observer.des_event_counts
+        counts_get = counts.get
+        queue = self._queue
+        pop = heapq.heappop
+        try:
+            while queue:
+                now, _, _, event = pop(queue)
+                if event._defunct:
+                    observer.des_tombstones += 1
+                    continue
+                self._now = now
+                name = type(event).__name__
+                counts[name] = counts_get(name, 0) + 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event.defused:
+                    # Nobody handled the failure: surface it to the caller.
+                    raise event._value
+        except _StopSimulation as stop:
+            event = stop.args[0]
+            if event._ok:
+                return event._value
+            event.defused = True
+            raise event._value
         if isinstance(until, Event) and until._value is PENDING:
             raise RuntimeError(
                 "simulation ended before the awaited event was triggered"

@@ -40,6 +40,9 @@ class Process(Event):
         #: Arbitrary caller payload (processes are slotted, so ad-hoc
         #: attributes are not available; attach metadata here instead).
         self.data: Any = None
+        observer = env.observer
+        if observer is not None:
+            observer.process_started(self)
         Initialize(env, self)
 
     @property
@@ -133,6 +136,9 @@ class Process(Event):
         if not ok and not isinstance(value, BaseException):  # pragma: no cover
             value = RuntimeError(repr(value))
             self._value = value
+        observer = self.env.observer
+        if observer is not None:
+            observer.process_ended(self, ok)
         self.env.schedule(self)
 
     def __repr__(self) -> str:

@@ -1,0 +1,89 @@
+"""Unified observability for the simulator (``repro.obs``).
+
+Three pieces, designed to be attached or left off with zero cost:
+
+* :mod:`repro.obs.registry` — a metrics registry (counters, gauges,
+  sim-time-weighted histograms, labelled series) with an associative
+  ``merge`` for sharded / sweep fan-in;
+* :mod:`repro.obs.spans` — the :class:`Observer` hub collecting sim-time
+  spans (jobs, file operations, flow transfers, DES process lifetimes)
+  into a bounded ring, plus counter-series samples;
+* :mod:`repro.obs.export` — Chrome trace-event / Perfetto JSON, JSONL and
+  CSV exporters; :mod:`repro.obs.introspect` — DES event-loop sampling.
+
+Enable per simulation with ``Simulation(observe=True)`` (or pass a
+configured :class:`Observer`), or globally with the ``REPRO_OBS=1``
+environment variable.  Instrumentation observes and never schedules:
+enabling telemetry cannot change simulated results, and with telemetry
+off every instrumentation point reduces to one ``is None`` check.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    publish,
+)
+from repro.obs.spans import Observer, Span
+from repro.obs.introspect import DESSampler, sample_des
+from repro.obs.export import (
+    chrome_trace_events,
+    dumps_chrome_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_spans_csv,
+    write_spans_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observer",
+    "Span",
+    "DESSampler",
+    "sample_des",
+    "publish",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "dumps_chrome_trace",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+    "write_spans_csv",
+    "observer_from_env",
+    "env_observability_enabled",
+]
+
+#: Environment variable switching telemetry on for every ``Simulation``
+#: that does not pass an explicit ``observe=`` argument.
+OBS_ENV_VAR = "REPRO_OBS"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def env_observability_enabled() -> bool:
+    """True when ``REPRO_OBS`` asks for telemetry."""
+    return os.environ.get(OBS_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def observer_from_env(env=None) -> Optional[Observer]:
+    """Build (and optionally attach) an observer if ``REPRO_OBS`` is set.
+
+    Returns ``None`` when the variable is unset or falsy.  When ``env``
+    (a :class:`~repro.des.environment.Environment`) is given and telemetry
+    is enabled, the observer is attached as ``env.observer`` so the DES
+    core, flows and I/O controller pick it up.
+    """
+    if not env_observability_enabled():
+        return None
+    observer = Observer()
+    if env is not None:
+        env.observer = observer
+    return observer

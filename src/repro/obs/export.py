@@ -1,0 +1,175 @@
+"""Trace exporters: Chrome trace-event / Perfetto JSON, JSONL and CSV.
+
+The Chrome trace-event format (the JSON flavour Perfetto and
+``chrome://tracing`` open directly) renders spans on per-track timeline
+rows and counter samples as stacked counter tracks.  Timestamps are in
+microseconds; one simulated second is exported as one millisecond of trace
+time (``displayTimeUnit: "ms"``), purely a display choice.
+
+Exports are deterministic: events appear in emission order, JSON is dumped
+with sorted keys and fixed separators, and nothing wall-clock-dependent is
+included — the same simulation produces byte-identical trace files on every
+run and platform, which is what the golden-file test pins.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, List
+
+from repro.obs.spans import Observer, Span
+
+__all__ = [
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+    "write_spans_csv",
+]
+
+#: Exported microseconds per simulated second.
+_US = 1e6
+
+#: The single synthetic "process" all tracks live under.
+_PID = 1
+
+
+def _track_ids(observer: Observer) -> Dict[str, int]:
+    """Assign stable thread ids to tracks in first-appearance order."""
+    tracks: Dict[str, int] = {}
+    for span in list(observer.spans) + observer.open_spans:
+        if span.track not in tracks:
+            tracks[span.track] = len(tracks) + 1
+    for _name, track, _time, _values in observer.counter_samples:
+        if track not in tracks:
+            tracks[track] = len(tracks) + 1
+    return tracks
+
+
+def _span_event(span: Span, tid: int, close_at: float) -> Dict[str, object]:
+    event: Dict[str, object] = {
+        "name": span.name,
+        "cat": span.category,
+        "ph": span.phase,
+        "ts": span.start * _US,
+        "pid": _PID,
+        "tid": tid,
+    }
+    if span.phase == "i":
+        event["s"] = "t"  # instant scoped to its thread/track
+    else:
+        end = span.end if span.end is not None else close_at
+        event["dur"] = max(0.0, end - span.start) * _US
+        if span.end is None:
+            event["args"] = {**(span.attrs or {}), "open": True}
+            return event
+    if span.attrs:
+        event["args"] = dict(span.attrs)
+    return event
+
+
+def chrome_trace_events(observer: Observer) -> List[Dict[str, object]]:
+    """The ``traceEvents`` list: metadata, spans, then counter samples."""
+    tracks = _track_ids(observer)
+    close_at = observer.last_time
+    events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "args": {"name": "simulation"},
+        }
+    ]
+    for track, tid in tracks.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for span in observer.spans:
+        events.append(_span_event(span, tracks[span.track], close_at))
+    # Spans still open at export time are closed at the last observed
+    # instant and flagged, so the trace stays valid (viewers reject a
+    # truncated "B" without its "E").
+    for span in observer.open_spans:
+        events.append(_span_event(span, tracks[span.track], close_at))
+    for name, track, time, values in observer.counter_samples:
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": time * _US,
+                "pid": _PID,
+                "tid": tracks[track],
+                "args": dict(values),
+            }
+        )
+    return events
+
+
+def to_chrome_trace(observer: Observer) -> Dict[str, object]:
+    """The full Chrome trace-event JSON document as a dict."""
+    return {
+        "traceEvents": chrome_trace_events(observer),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "dropped_spans": observer.dropped_spans,
+            "dropped_samples": observer.dropped_samples,
+            "clock": "simulated seconds exported as microseconds",
+        },
+    }
+
+
+def dumps_chrome_trace(observer: Observer) -> str:
+    """Serialize deterministically (sorted keys, fixed separators)."""
+    return json.dumps(to_chrome_trace(observer), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def write_chrome_trace(observer: Observer, path) -> None:
+    """Write the Perfetto-openable trace JSON to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(dumps_chrome_trace(observer))
+
+
+def write_spans_jsonl(observer: Observer, path,
+                      include_open: bool = True) -> int:
+    """Write one JSON object per span; returns the number written."""
+    count = 0
+    with open(path, "w") as handle:
+        spans = list(observer.spans)
+        if include_open:
+            spans.extend(observer.open_spans)
+        for span in spans:
+            handle.write(json.dumps(span.as_dict(), sort_keys=True,
+                                    separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+_CSV_FIELDS = ("category", "name", "track", "start", "end", "duration",
+               "phase", "attrs")
+
+
+def write_spans_csv(observer: Observer, path,
+                    include_open: bool = True) -> int:
+    """Write spans as CSV (attrs JSON-encoded); returns the number written."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_FIELDS)
+        spans = list(observer.spans)
+        if include_open:
+            spans.extend(observer.open_spans)
+        for span in spans:
+            record = span.as_dict()
+            record["attrs"] = json.dumps(record["attrs"], sort_keys=True)
+            writer.writerow([record[field] for field in _CSV_FIELDS])
+            count += 1
+    return count

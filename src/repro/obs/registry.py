@@ -1,0 +1,325 @@
+"""Metrics registry: counters, gauges and sim-time-weighted histograms.
+
+The registry is the single sink every stats object in the simulator exports
+through (:func:`publish` adapts any ``as_dict``-style object).  It is built
+for the sharded-simulation future of the roadmap: two registries recorded
+by independent shards (or sweep points) combine with :meth:`MetricsRegistry.merge`,
+and the merge is associative by construction — counters add, gauges combine
+according to their declared mode, histograms add bucket-by-bucket — so a
+fan-in tree of any shape produces the same totals.
+
+All metrics support labels (``registry.counter("jobs", node="node3")``);
+each distinct label set is an independent child series of the same family.
+
+Nothing in this module touches simulated time: recording a metric is a pure
+observation and can never change what a simulation computes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "publish",
+    "DEFAULT_BOUNDS",
+]
+
+#: Default histogram bucket upper bounds (seconds-ish decades; callers with
+#: other units pass their own ``bounds``).  The last bucket is unbounded.
+DEFAULT_BOUNDS: Tuple[float, ...] = (
+    0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0,
+)
+
+#: Valid gauge merge modes.
+GAUGE_MODES = ("last", "sum", "min", "max")
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, jobs...)."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only increase (got {amount})")
+        self.value += amount
+
+    def merge_from(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def export(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value with a declared shard-merge mode.
+
+    ``mode`` decides what the merged value of N shards means: ``"sum"``
+    (e.g. queue depths add), ``"min"``/``"max"`` (extrema survive), or
+    ``"last"`` (the right-hand shard wins — the mode of "latest sample"
+    gauges where merge order encodes recency).
+    """
+
+    __slots__ = ("value", "mode", "updates")
+    kind = "gauge"
+
+    def __init__(self, mode: str = "last") -> None:
+        if mode not in GAUGE_MODES:
+            raise ValueError(f"gauge mode must be one of {GAUGE_MODES}, got {mode!r}")
+        self.value = 0.0
+        self.mode = mode
+        #: Number of ``set`` calls (0 = never set; a never-set gauge is
+        #: transparent in merges, keeping the merge associative).
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+        self.updates += 1
+
+    def merge_from(self, other: "Gauge") -> None:
+        if self.mode != other.mode:
+            raise ValueError(
+                f"cannot merge gauges with modes {self.mode!r} and {other.mode!r}"
+            )
+        if other.updates == 0:
+            return
+        if self.updates == 0:
+            self.value = other.value
+        elif self.mode == "sum":
+            self.value += other.value
+        elif self.mode == "min":
+            self.value = min(self.value, other.value)
+        elif self.mode == "max":
+            self.value = max(self.value, other.value)
+        else:  # "last": the right-hand operand is the more recent shard.
+            self.value = other.value
+        self.updates += other.updates
+
+    def export(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """A weighted histogram with fixed bucket bounds.
+
+    ``observe(value, weight)`` adds ``weight`` to the bucket containing
+    ``value``.  With ``weight`` equal to a simulated duration the histogram
+    becomes *sim-time-weighted*: "how long was the queue depth in this
+    band", not "how many samples landed there" — the distinction that
+    matters when samples are taken at irregular event times.
+    """
+
+    __slots__ = ("bounds", "buckets", "sum", "weight", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_BOUNDS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        #: One bucket per bound plus the unbounded overflow bucket.
+        self.buckets = [0.0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.weight = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float, weight: float = 1.0) -> None:
+        """Add an observation of ``value`` carrying ``weight``."""
+        if weight < 0:
+            raise ValueError(f"histogram weights must be >= 0 (got {weight})")
+        self.buckets[bisect_right(self.bounds, value)] += weight
+        self.sum += value * weight
+        self.weight += weight
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Weighted mean of the observations (0 when empty)."""
+        if self.weight <= 0:
+            return 0.0
+        return self.sum / self.weight
+
+    def merge_from(self, other: "Histogram") -> None:
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histograms with bounds {self.bounds} and {other.bounds}"
+            )
+        for index, weight in enumerate(other.buckets):
+            self.buckets[index] += weight
+        self.sum += other.sum
+        self.weight += other.weight
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    def export(self) -> Dict[str, object]:
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "sum": self.sum,
+            "weight": self.weight,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class _Family:
+    """All series of one metric name (one child per distinct label set)."""
+
+    __slots__ = ("name", "kind", "spec", "children")
+
+    def __init__(self, name: str, kind: str, spec: object) -> None:
+        self.name = name
+        self.kind = kind
+        #: Construction parameters shared by every child (gauge mode or
+        #: histogram bounds); children of one family must agree on them.
+        self.spec = spec
+        self.children: Dict[Tuple[Tuple[str, str], ...], object] = {}
+
+    def child(self, labels: Tuple[Tuple[str, str], ...]):
+        metric = self.children.get(labels)
+        if metric is None:
+            if self.kind == "counter":
+                metric = Counter()
+            elif self.kind == "gauge":
+                metric = Gauge(self.spec)
+            else:
+                metric = Histogram(self.spec)
+            self.children[labels] = metric
+        return metric
+
+
+def _label_key(labels: Mapping[str, object]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    Accessors create on first use, so instrumentation sites never need a
+    separate declaration step::
+
+        registry.counter("jobs_completed", node="node3").inc()
+        registry.gauge("queue_depth", mode="max").set(12)
+        registry.histogram("wait_time").observe(3.5, weight=1.0)
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    # ------------------------------------------------------------- accessors
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The counter ``name`` for this label set (created on first use)."""
+        return self._metric(name, "counter", None, labels)
+
+    def gauge(self, name: str, mode: str = "last", **labels: object) -> Gauge:
+        """The gauge ``name`` for this label set (created on first use)."""
+        return self._metric(name, "gauge", mode, labels)
+
+    def histogram(self, name: str, bounds: Iterable[float] = DEFAULT_BOUNDS,
+                  **labels: object) -> Histogram:
+        """The histogram ``name`` for this label set (created on first use)."""
+        return self._metric(name, "histogram", tuple(float(b) for b in bounds),
+                            labels)
+
+    def _metric(self, name: str, kind: str, spec: object,
+                labels: Mapping[str, object]):
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = _Family(name, kind, spec)
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} is a {family.kind}, not a {kind}"
+            )
+        elif spec is not None and family.spec != spec:
+            raise ValueError(
+                f"metric {name!r} was created with {family.spec!r}, "
+                f"requested again with {spec!r}"
+            )
+        return family.child(_label_key(labels))
+
+    # ----------------------------------------------------------------- merge
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry in place and return ``self``.
+
+        The operation is associative: merging shard registries pairwise in
+        any tree shape yields the same result as folding them left to
+        right (floating-point addition order is fixed by the fold order,
+        so byte-exact associativity additionally requires exactly
+        representable increments — integers and binary fractions qualify).
+        """
+        for name, family in other._families.items():
+            mine = self._families.get(name)
+            if mine is None:
+                mine = self._families[name] = _Family(name, family.kind,
+                                                      family.spec)
+            elif mine.kind != family.kind:
+                raise ValueError(
+                    f"cannot merge metric {name!r}: {mine.kind} vs {family.kind}"
+                )
+            for labels, metric in family.children.items():
+                mine.child(labels).merge_from(metric)
+        return self
+
+    @staticmethod
+    def merged(registries: Iterable["MetricsRegistry"]) -> "MetricsRegistry":
+        """Merge several shard registries into a fresh one."""
+        result = MetricsRegistry()
+        for registry in registries:
+            result.merge(registry)
+        return result
+
+    # ---------------------------------------------------------------- export
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """``{name: {label_string: value}}``; scalars for counters/gauges,
+        a bucket dict for histograms.  Label strings are ``"k=v,k2=v2"``
+        (empty for the unlabelled series), sorted for determinism.
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            series: Dict[str, object] = {}
+            for labels in sorted(family.children):
+                key = ",".join(f"{k}={v}" for k, v in labels)
+                series[key] = family.children[labels].export()
+            out[name] = series
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(f.children) for f in self._families.values())
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry families={len(self._families)} series={len(self)}>"
+
+
+def publish(registry: MetricsRegistry, prefix: str, stats: object,
+            **labels: object) -> None:
+    """Export any stats object into ``registry`` as ``prefix.*`` gauges.
+
+    ``stats`` is either a mapping or an object with an ``as_dict`` method
+    (the uniform surface of :class:`~repro.pagecache.stats.CacheStatistics`,
+    :class:`~repro.pagecache.stats.ExtentOccupancy`,
+    :class:`~repro.scheduler.metrics.SchedulerMetrics`, memory snapshots...).
+    Non-numeric values are skipped: the registry holds numbers.
+    """
+    mapping = stats.as_dict() if hasattr(stats, "as_dict") else stats
+    for key, value in mapping.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        registry.gauge(f"{prefix}.{key}", **labels).set(float(value))

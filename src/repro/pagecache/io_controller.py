@@ -262,6 +262,13 @@ class IOController:
         result.cache_bytes = cache_bytes
         result.chunks = chunks
         result.end_time = env.now
+        observer = env.observer
+        if observer is not None:
+            observer.complete(
+                read_label, "io", f"io:{storage.name}", start, result.end_time,
+                attrs={"bytes": file_size, "cache_bytes": cache_bytes,
+                       "storage_bytes": storage_bytes, "chunks": chunks},
+            )
         return result
 
     def write_file(self, filename: str, file_size: float, storage: StorageDevice,
@@ -347,4 +354,13 @@ class IOController:
         result.cache_bytes = cache_bytes
         result.chunks = chunks
         result.end_time = env.now
+        observer = env.observer
+        if observer is not None:
+            observer.complete(
+                f"write:{filename}", "io", f"io:{storage.name}",
+                start, result.end_time,
+                attrs={"bytes": file_size, "cache_bytes": cache_bytes,
+                       "storage_bytes": storage_bytes, "chunks": chunks,
+                       "writethrough": writethrough},
+            )
         return result

@@ -10,6 +10,7 @@ flushed volume, evicted volume).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import isfinite
 from typing import Dict
 
 
@@ -113,11 +114,21 @@ class CacheStatistics:
 
     @property
     def hit_ratio(self) -> float:
-        """Fraction of read bytes served from the cache (0 if no reads)."""
+        """Fraction of read bytes served from the cache, in ``[0, 1]``.
+
+        Returns 0.0 when no bytes were read, and stays well-defined on
+        degenerate counters: a non-finite total (a simulated unbounded
+        stream) or float drift pushing a counter slightly negative
+        yields a clamped ratio instead of a NaN or a value outside the
+        unit interval.
+        """
         total = self.total_read_bytes
-        if total <= 0:
+        if not isfinite(total) or total <= 0.0:
             return 0.0
-        return self.cache_hit_bytes / total
+        ratio = self.cache_hit_bytes / total
+        if not isfinite(ratio):
+            return 0.0
+        return min(1.0, max(0.0, ratio))
 
     def as_dict(self) -> Dict[str, float]:
         """Return the scalar counters as a plain dictionary."""

@@ -101,6 +101,9 @@ class FairShareChannel:
         self.total_flows = 0
         self._busy_since: Optional[float] = None
         self.busy_time = 0.0
+        #: Telemetry track of this channel's flow spans (precomputed:
+        #: completions are the hottest instrumented path).
+        self._obs_track = f"flow:{name}"
 
     # ----------------------------------------------------------------- state
     @property
@@ -215,9 +218,16 @@ class FairShareChannel:
         if finished:
             self._flows = kept
             now = self.env._now
+            observer = self.env.observer
             for flow in finished:
                 flow.remaining = 0.0
                 flow.event.succeed(now - flow.start_time)
+                if observer is not None:
+                    observer.complete(
+                        flow.label or "transfer", "flow",
+                        self._obs_track, flow.start_time, now,
+                        attrs={"bytes": flow.amount},
+                    )
         if not self._flows and self._busy_since is not None:
             self.busy_time += self.env._now - self._busy_since
             self._busy_since = None

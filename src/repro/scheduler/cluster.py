@@ -284,6 +284,14 @@ class ClusterScheduler:
 
             self._dispatch()
 
+            observer = self.env.observer
+            if observer is not None:
+                observer.counter_sample(
+                    "scheduler.jobs", "scheduler", now,
+                    {"queued": len(self.queue),
+                     "running": len(self._running_procs)},
+                )
+
             waits = list(self._running_procs.values())
             if index < len(pending):
                 if arrival_index != index:
@@ -360,9 +368,18 @@ class ClusterScheduler:
         plan = planner(self.queue, self.nodes, self.env.now)
         if plan is None:
             return
+        observer = self.env.observer
         for victim in plan.victims:
             self._suspending[victim.id] = victim
             self._executors_by_job[victim.id].preempt()
+            if observer is not None:
+                observer.instant(
+                    f"preempt:{victim.label}", "preemption", "scheduler",
+                    self.env.now,
+                    {"job": victim.label, "node": victim.node_name,
+                     "cores": victim.cores},
+                )
+                observer.registry.counter("scheduler.preemptions").inc()
 
     def _executor_for(self, job: Job, node: NodeState) -> WorkflowExecutor:
         """The job's executor, created on first dispatch and reused after."""
@@ -407,12 +424,32 @@ class ClusterScheduler:
             job.run_seconds += self.env.now - job.last_start_time
             node.release(job)
             self._suspending.pop(job.id, None)
+            observer = self.env.observer
+            if observer is not None:
+                # One "job" span per run segment: a preempted job shows as
+                # several segments separated by its requeued wait.
+                observer.complete(
+                    job.label, "job", f"node:{node.name}",
+                    job.last_start_time, self.env.now,
+                    {"cores": job.cores, "priority": job.priority,
+                     "preempted": preempted},
+                )
         if preempted:
             job.preemptions += 1
             job.pinned_node = node.name
             self.queue.append(job)
             return
         job.end_time = self.env.now
+        observer = self.env.observer
+        if observer is not None:
+            registry = observer.registry
+            registry.counter("scheduler.jobs_completed").inc()
+            registry.histogram("scheduler.job_wait_seconds").observe(
+                max(0.0, job.start_time - job.arrival_time)
+            )
+            registry.histogram("scheduler.job_turnaround_seconds").observe(
+                max(0.0, job.end_time - job.arrival_time)
+            )
         self.records.append(
             JobRecord(
                 job_id=job.id,

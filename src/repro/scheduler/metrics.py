@@ -221,3 +221,16 @@ class PriorityClassMetrics:
     max_bounded_slowdown: float
     #: Preemptions suffered by the class (victims, not beneficiaries).
     preemptions: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Scalar summary, shaped like :meth:`SchedulerMetrics.as_dict`."""
+        return {
+            "priority": self.priority,
+            "n_jobs": self.n_jobs,
+            "mean_wait_time": self.mean_wait_time,
+            "max_wait_time": self.max_wait_time,
+            "mean_turnaround": self.mean_turnaround,
+            "mean_bounded_slowdown": self.mean_bounded_slowdown,
+            "max_bounded_slowdown": self.max_bounded_slowdown,
+            "preemptions": self.preemptions,
+        }

@@ -39,9 +39,10 @@ from repro.errors import ConfigurationError
 from repro.filesystem.file import File
 from repro.filesystem.nfs import NFSConfig
 from repro.filesystem.registry import FileRegistry
+from repro.obs import DESSampler, Observer, env_observability_enabled, publish
 from repro.pagecache.config import PageCacheConfig
 from repro.pagecache.memory_manager import MemorySnapshot
-from repro.pagecache.stats import CacheStatistics
+from repro.pagecache.stats import CacheStatistics, ExtentOccupancy
 from repro.platform.host import Host
 from repro.platform.platform import Platform, concordia_cluster
 from repro.simulator.cacheless import SimpleStorageService
@@ -115,6 +116,10 @@ class SimulationResult:
     #: Batch-scheduler metrics (``None`` unless a cluster scheduler ran):
     #: wait times, bounded slowdown, utilization, throughput.
     scheduler: Optional[SchedulerMetrics] = None
+    #: The telemetry observer (``None`` unless the simulation was built
+    #: with ``observe=...`` or ``REPRO_OBS``): spans, counter samples and
+    #: the metrics registry, ready for the :mod:`repro.obs` exporters.
+    observer: Optional[Observer] = None
 
     # ------------------------------------------------------------------- api
     def operations_of(self, kind: str, app: Optional[str] = None) -> List[OperationRecord]:
@@ -171,15 +176,40 @@ class SimulationResult:
 
 
 class Simulation:
-    """Builds and runs one simulated execution."""
+    """Builds and runs one simulated execution.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment (a fresh one is created by default).
+    config:
+        Global configuration.
+    observe:
+        Telemetry switch: ``True`` attaches a default
+        :class:`repro.obs.Observer`, an :class:`~repro.obs.Observer`
+        instance attaches that observer, ``False`` disables telemetry,
+        and ``None`` (the default) defers to the ``REPRO_OBS``
+        environment variable.  Telemetry only observes — enabling it
+        does not change simulated results.
+    """
 
     def __init__(self, env: Optional[Environment] = None,
-                 config: Optional[SimulationConfig] = None):
+                 config: Optional[SimulationConfig] = None,
+                 observe: Union[bool, Observer, None] = None):
         self.env = env or Environment()
         self.config = config or SimulationConfig()
+        if observe is None:
+            observe = env_observability_enabled()
+        if isinstance(observe, Observer):
+            self.observer: Optional[Observer] = observe
+        else:
+            self.observer = Observer() if observe else None
+        if self.observer is not None:
+            self.env.observer = self.observer
         self.platform: Optional[Platform] = None
         self.registry = FileRegistry()
-        self.tracer = Tracer(self.env, sample_interval=self.config.trace_interval)
+        self.tracer = Tracer(self.env, sample_interval=self.config.trace_interval,
+                             observer=self.observer)
         self.storage_services: List[StorageService] = []
         self._executors: List[WorkflowExecutor] = []
         self._scheduler: Optional[ClusterScheduler] = None
@@ -561,12 +591,22 @@ class Simulation:
             )
         completion = self.env.all_of(processes)
 
+        observer = self.observer
+        sampler = None
+        if observer is not None and observer.des_sample_interval is not None:
+            sampler = DESSampler(self.env, observer,
+                                 interval=observer.des_sample_interval)
+            sampler.start()
+
         wall_start = _time.perf_counter()
         if until is not None:
             self.env.run(until=until)
         else:
             self.env.run(until=completion)
         wallclock = _time.perf_counter() - wall_start
+
+        if sampler is not None:
+            sampler.stop()
 
         # Stop background flushers so that subsequent env.run calls (if any)
         # are not kept alive forever by the periodical flushing loops.
@@ -578,6 +618,9 @@ class Simulation:
         for host in (self.platform.hosts.values() if self.platform else []):
             if host.memory_manager is not None:
                 cache_stats[host.name] = host.memory_manager.stats
+
+        if observer is not None:
+            self._publish_final_metrics(observer, cache_stats)
 
         executors = list(self._executors)
         if self._scheduler is not None:
@@ -599,4 +642,27 @@ class Simulation:
             scheduler=(
                 self._scheduler.metrics() if self._scheduler is not None else None
             ),
+            observer=observer,
         )
+
+    def _publish_final_metrics(self, observer: Observer,
+                               cache_stats: Dict[str, CacheStatistics]) -> None:
+        """Fold end-of-run summaries into the telemetry registry.
+
+        Thin adapters over the existing ``as_dict`` surfaces: the cache
+        statistics and extent occupancy of every cached host, and the
+        scheduler metrics when a cluster scheduler ran.  Keeping these in
+        the registry (labelled per host) is what makes shard fan-in
+        possible: registries from a sweep's worker processes merge
+        associatively.
+        """
+        registry = observer.registry
+        for host_name, stats in cache_stats.items():
+            publish(registry, "cache", stats, host=host_name)
+        for host in (self.platform.hosts.values() if self.platform else []):
+            manager = host.memory_manager
+            if manager is not None:
+                publish(registry, "cache.extents",
+                        ExtentOccupancy.of(manager.lists), host=host.name)
+        if self._scheduler is not None:
+            publish(registry, "scheduler", self._scheduler.metrics())

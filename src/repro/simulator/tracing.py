@@ -72,16 +72,33 @@ class CacheContentRecord:
 
 
 class Tracer:
-    """Collects operation records, memory snapshots and cache contents."""
+    """Collects operation records, memory snapshots and cache contents.
 
-    def __init__(self, env: Environment, sample_interval: Optional[float] = None):
+    When telemetry is enabled the tracer doubles as a compatibility
+    adapter onto :mod:`repro.obs`: every :class:`OperationRecord` is
+    mirrored as an ``"operation"`` span and every memory snapshot as a
+    counter-track sample.  The public API (``operations``,
+    ``memory_trace``, ``cache_contents`` and the query helpers) is
+    unchanged, so the experiments and their error metrics keep reading
+    the same lists whether or not an observer is attached.
+    """
+
+    def __init__(self, env: Environment, sample_interval: Optional[float] = None,
+                 observer=None):
         self.env = env
         self.sample_interval = sample_interval
+        #: The telemetry sink (``repro.obs.Observer``) operations are
+        #: mirrored to.  Defaults to the environment's nullable hook so a
+        #: tracer built before telemetry wiring still picks it up lazily.
+        self.observer = observer
         self.operations: List[OperationRecord] = []
         self.memory_trace: List[MemorySnapshot] = []
         self.cache_contents: List[CacheContentRecord] = []
         self._memory_managers: List[MemoryManager] = []
         self._sampler_started = False
+
+    def _observer(self):
+        return self.observer if self.observer is not None else self.env.observer
 
     # ----------------------------------------------------------- registration
     def attach_memory_manager(self, memory_manager: MemoryManager) -> None:
@@ -103,12 +120,31 @@ class Tracer:
             return None
         snapshot = self._memory_managers[0].snapshot()
         self.memory_trace.append(snapshot)
+        observer = self._observer()
+        if observer is not None:
+            observer.counter_sample(
+                "memory", "memory", snapshot.time,
+                {"used": snapshot.used, "cached": snapshot.cached,
+                 "dirty": snapshot.dirty, "anonymous": snapshot.anonymous},
+            )
         return snapshot
 
     # --------------------------------------------------------------- recording
     def record_operation(self, record: OperationRecord) -> None:
         """Store an operation record and snapshot the cache contents."""
         self.operations.append(record)
+        observer = self._observer()
+        if observer is not None:
+            attrs = {"kind": record.kind, "size": record.size}
+            if record.filename:
+                attrs["filename"] = record.filename
+            if record.cache_bytes or record.storage_bytes:
+                attrs["cache_bytes"] = record.cache_bytes
+                attrs["storage_bytes"] = record.storage_bytes
+            observer.complete(
+                f"{record.task}:{record.kind}", "operation",
+                f"app:{record.app}", record.start, record.end, attrs,
+            )
         if self._memory_managers and record.kind in ("read", "write"):
             self.cache_contents.append(
                 CacheContentRecord(

@@ -1,0 +1,34 @@
+"""Regenerate the telemetry export golden (``tests/data/obs_exp6_trace.json``).
+
+Run from the repo root::
+
+    PYTHONPATH=src:tests python tests/record_obs_golden.py
+
+The golden pins the exact Chrome-trace JSON the small Exp 6 workload
+exports: the trace must be byte-deterministic (no wall-clock content,
+sorted keys, fixed separators), so any diff means either the workload,
+the instrumentation points or the exporter changed.  Regenerate only on
+purpose, and bump ``obs_workload.WORKLOAD_VERSION`` when the workload
+itself (not just the instrumentation) changes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from obs_workload import run_observed_exp6
+from repro.obs import dumps_chrome_trace
+
+
+def main() -> None:
+    _result, observer = run_observed_exp6()
+    payload = dumps_chrome_trace(observer)
+    path = Path(__file__).parent / "data" / "obs_exp6_trace.json"
+    path.write_text(payload + "\n")
+    print(f"wrote {path} ({len(payload)} bytes, "
+          f"{len(observer.spans)} spans, "
+          f"{len(observer.counter_samples)} samples)")
+
+
+if __name__ == "__main__":
+    main()

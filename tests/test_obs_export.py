@@ -1,0 +1,130 @@
+"""Tests for the trace exporters, pinned by a golden Chrome-trace file."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import pytest
+
+from obs_workload import run_observed_exp6
+from repro.obs import (
+    Observer,
+    dumps_chrome_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_spans_csv,
+    write_spans_jsonl,
+)
+
+GOLDEN = Path(__file__).parent / "data" / "obs_exp6_trace.json"
+
+
+@pytest.fixture(scope="module")
+def observed():
+    """One observed small-Exp 6 run shared by the export tests."""
+    return run_observed_exp6()
+
+
+class TestChromeTraceStructure:
+    def test_exp6_trace_contains_all_signal_kinds(self, observed):
+        _result, observer = observed
+        doc = to_chrome_trace(observer)
+        events = doc["traceEvents"]
+        categories = {
+            event.get("cat") for event in events if event["ph"] == "X"
+        }
+        # The acceptance criterion: job, operation and flow spans, plus
+        # sampled DES queue-depth counters, all in one valid trace.
+        assert {"job", "operation", "flow", "io", "process"} <= categories
+        counter_names = {
+            event["name"] for event in events if event["ph"] == "C"
+        }
+        assert "des.queue_depth" in counter_names
+        assert "scheduler.jobs" in counter_names
+        assert "memory" in counter_names
+        # Metadata names every track.
+        thread_names = {
+            event["args"]["name"]
+            for event in events
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert "scheduler" in thread_names
+        assert "des" in thread_names
+        assert any(name.startswith("node:") for name in thread_names)
+
+    def test_timestamps_are_microseconds(self, observed):
+        result, observer = observed
+        doc = to_chrome_trace(observer)
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert max(e["ts"] + e["dur"] for e in spans) <= result.makespan * 1e6
+
+    def test_no_wall_clock_content(self, observed):
+        _result, observer = observed
+        # Wall-clock rates live in the registry only; the exported trace
+        # must stay byte-deterministic.
+        assert "events_per_wall_second" not in dumps_chrome_trace(observer)
+        registry = observer.registry.as_dict()
+        assert "des.events_per_wall_second" in registry
+
+    def test_open_spans_closed_at_export(self):
+        observer = Observer()
+        observer.begin("dangling", "job", "t", 1.0)
+        observer.complete("done", "io", "t", 2.0, 6.0)
+        events = to_chrome_trace(observer)["traceEvents"]
+        dangling = [e for e in events if e["name"] == "dangling"]
+        assert len(dangling) == 1
+        assert dangling[0]["dur"] == pytest.approx((6.0 - 1.0) * 1e6)
+        assert dangling[0]["args"]["open"] is True
+
+
+class TestGoldenExport:
+    def test_trace_matches_golden_byte_for_byte(self, observed):
+        _result, observer = observed
+        assert GOLDEN.exists(), (
+            "golden missing; record it with "
+            "`PYTHONPATH=src:tests python tests/record_obs_golden.py`"
+        )
+        expected = GOLDEN.read_text().rstrip("\n")
+        actual = dumps_chrome_trace(observer)
+        assert actual == expected, (
+            "telemetry export changed; if intentional, regenerate with "
+            "`PYTHONPATH=src:tests python tests/record_obs_golden.py`"
+        )
+
+    def test_golden_is_valid_chrome_trace(self):
+        doc = json.loads(GOLDEN.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["dropped_spans"] == 0
+        phases = {event["ph"] for event in doc["traceEvents"]}
+        assert phases == {"M", "X", "C", "i"} or phases == {"M", "X", "C"}
+        for event in doc["traceEvents"]:
+            assert event["name"]
+            if event["ph"] in ("X", "C"):
+                assert event["ts"] >= 0
+
+
+class TestFileWriters:
+    def test_write_chrome_trace(self, observed, tmp_path):
+        _result, observer = observed
+        path = tmp_path / "trace.json"
+        write_chrome_trace(observer, path)
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_write_jsonl_and_csv_agree(self, observed, tmp_path):
+        _result, observer = observed
+        jsonl = tmp_path / "spans.jsonl"
+        csv_path = tmp_path / "spans.csv"
+        n_jsonl = write_spans_jsonl(observer, jsonl)
+        n_csv = write_spans_csv(observer, csv_path)
+        assert n_jsonl == n_csv == len(observer.spans) + len(observer.open_spans)
+
+        jsonl_rows = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert len(jsonl_rows) == n_jsonl
+        with open(csv_path, newline="") as handle:
+            csv_rows = list(csv.DictReader(handle))
+        assert len(csv_rows) == n_csv
+        assert [row["name"] for row in csv_rows] == [
+            row["name"] for row in jsonl_rows
+        ]

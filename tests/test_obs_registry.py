@@ -1,0 +1,153 @@
+"""Tests for the telemetry metrics registry (``repro.obs.registry``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, publish
+from repro.obs.registry import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_modes(self):
+        for mode, expected in (("last", 2.0), ("sum", 5.0),
+                               ("min", 2.0), ("max", 3.0)):
+            left, right = Gauge(mode), Gauge(mode)
+            left.set(3.0)
+            right.set(2.0)
+            left.merge_from(right)
+            assert left.value == expected, mode
+
+    def test_never_set_gauge_is_transparent(self):
+        left, right = Gauge("min"), Gauge("min")
+        right.set(7.0)
+        left.merge_from(right)
+        # An untouched gauge must not contribute its 0.0 default to a min.
+        assert left.value == 7.0
+        assert left.updates == 1
+
+    def test_mode_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Gauge("sum").merge_from(Gauge("max"))
+        with pytest.raises(ValueError):
+            Gauge(mode="typo")
+
+
+class TestHistogram:
+    def test_weighted_observations(self):
+        histogram = Histogram(bounds=(1.0, 10.0))
+        histogram.observe(0.5, weight=2.0)
+        histogram.observe(5.0, weight=1.0)
+        histogram.observe(50.0, weight=0.5)
+        assert histogram.buckets == [2.0, 1.0, 0.5]
+        assert histogram.weight == 3.5
+        assert histogram.min == 0.5
+        assert histogram.max == 50.0
+        assert histogram.mean == pytest.approx((0.5 * 2 + 5.0 + 50.0 * 0.5) / 3.5)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+
+    def test_merge_requires_equal_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0,)).merge_from(Histogram(bounds=(2.0,)))
+
+
+def _shard(jobs: int, depth: float, waits) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("jobs", node=f"node{jobs}").inc(jobs)
+    registry.counter("jobs_total").inc(jobs)
+    registry.gauge("queue_depth", mode="max").set(depth)
+    for wait in waits:
+        registry.histogram("wait", bounds=(1.0, 4.0)).observe(wait)
+    return registry
+
+
+class TestRegistryMerge:
+    def test_merge_is_associative(self):
+        # Exactly representable values (integers / binary fractions), so
+        # the fold order cannot introduce rounding differences and the
+        # comparison is exact, as the docstring promises.
+        def shards():
+            return (
+                _shard(1, 2.0, [0.5, 2.0]),
+                _shard(2, 8.0, [8.0]),
+                _shard(3, 4.0, [0.25, 1.5, 3.0]),
+            )
+
+        a1, b1, c1 = shards()
+        left = a1.merge(b1).merge(c1)  # (a + b) + c
+
+        a2, b2, c2 = shards()
+        right = a2.merge(b2.merge(c2))  # a + (b + c)
+
+        assert left.as_dict() == right.as_dict()
+
+    def test_merged_totals(self):
+        merged = MetricsRegistry.merged(
+            [_shard(1, 2.0, [0.5]), _shard(2, 8.0, [8.0])]
+        )
+        out = merged.as_dict()
+        assert out["jobs_total"][""] == 3.0
+        assert out["queue_depth"][""] == 8.0
+        # Labelled series stay separate.
+        assert out["jobs"]["node=node1"] == 1.0
+        assert out["jobs"]["node=node2"] == 2.0
+        assert out["wait"][""]["weight"] == 2.0
+
+    def test_kind_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("metric")
+        with pytest.raises(ValueError):
+            registry.gauge("metric")
+
+        other = MetricsRegistry()
+        other.gauge("metric").set(1.0)
+        with pytest.raises(ValueError):
+            registry.merge(other)
+
+    def test_spec_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", bounds=(1.0, 3.0))
+
+
+class TestPublish:
+    def test_publishes_numeric_fields_with_labels(self):
+        registry = MetricsRegistry()
+        publish(registry, "cache",
+                {"hit_ratio": 0.5, "read_ops": 4, "enabled": True,
+                 "name": "nodeA"},
+                host="nodeA")
+        out = registry.as_dict()
+        assert out["cache.hit_ratio"]["host=nodeA"] == 0.5
+        assert out["cache.read_ops"]["host=nodeA"] == 4.0
+        # Booleans and strings are skipped: the registry holds numbers.
+        assert "cache.enabled" not in out
+        assert "cache.name" not in out
+
+    def test_publishes_as_dict_objects(self):
+        from repro.pagecache.stats import CacheStatistics
+
+        stats = CacheStatistics()
+        stats.record_hit("f", 3.0)
+        stats.record_miss("f", 1.0)
+        registry = MetricsRegistry()
+        publish(registry, "cache", stats)
+        assert registry.as_dict()["cache.hit_ratio"][""] == 0.75

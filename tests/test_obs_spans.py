@@ -1,0 +1,158 @@
+"""Tests for span tracing and DES introspection (``repro.obs``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import Environment
+from repro.obs import DESSampler, Observer
+
+
+class TestSpanPairing:
+    def test_begin_end_pairs(self):
+        observer = Observer()
+        span = observer.begin("job1", "job", "node:node1", 1.0,
+                              attrs={"cores": 2})
+        assert observer.open_spans == [span]
+        assert observer.spans == []
+
+        observer.end(span, 4.0, attrs={"preempted": False})
+        assert observer.open_spans == []
+        assert observer.spans == [span]
+        assert span.duration == 3.0
+        assert span.attrs == {"cores": 2, "preempted": False}
+        # Ending again must not resurrect the open entry.
+        observer.end(span, 5.0)
+        assert observer.open_spans == []
+
+    def test_interleaved_opens_close_independently(self):
+        observer = Observer()
+        first = observer.begin("a", "job", "t", 0.0)
+        second = observer.begin("b", "job", "t", 1.0)
+        observer.end(second, 2.0)
+        assert observer.open_spans == [first]
+        observer.end(first, 3.0)
+        assert [span.name for span in observer.spans] == ["b", "a"]
+
+    def test_complete_and_instant(self):
+        observer = Observer()
+        observer.complete("op", "operation", "app:a", 1.0, 2.0)
+        observer.instant("preempt", "preemption", "scheduler", 5.0)
+        phases = [span.phase for span in observer.spans]
+        assert phases == ["X", "i"]
+        assert observer.last_time == 5.0
+
+    def test_last_time_tracks_all_records(self):
+        observer = Observer()
+        observer.begin("open", "job", "t", 7.0)
+        assert observer.last_time == 7.0
+        observer.counter_sample("depth", "des", 9.0, {"depth": 1})
+        assert observer.last_time == 9.0
+
+
+class TestRingTruncation:
+    def test_span_ring_drops_oldest(self):
+        observer = Observer(max_spans=3)
+        for index in range(5):
+            observer.complete(f"s{index}", "io", "t", index, index + 1)
+        assert [span.name for span in observer.spans] == ["s2", "s3", "s4"]
+        assert observer.spans_emitted == 5
+        assert observer.dropped_spans == 2
+
+    def test_sample_ring_drops_oldest(self):
+        observer = Observer(max_samples=2)
+        for index in range(4):
+            observer.counter_sample("depth", "des", float(index), {"d": index})
+        assert [sample[2] for sample in observer.counter_samples] == [2.0, 3.0]
+        assert observer.dropped_samples == 2
+
+    def test_capacities_validated(self):
+        with pytest.raises(ValueError):
+            Observer(max_spans=0)
+
+
+class TestProcessLifecycle:
+    def test_process_spans_recorded(self):
+        env = Environment()
+        observer = Observer()
+        env.observer = observer
+
+        def worker():
+            yield env.timeout(2.0)
+
+        env.process(worker(), name="app:worker")
+        env.run()
+
+        spans = [span for span in observer.spans if span.category == "process"]
+        assert [span.name for span in spans] == ["app:worker"]
+        assert spans[0].track == "des"
+        assert spans[0].start == 0.0
+        assert spans[0].end == 2.0
+        counters = observer.registry.as_dict()
+        assert counters["des.process_started"]["cls=app"] == 1.0
+        assert counters["des.process_ended"]["cls=app"] == 1.0
+
+    def test_failed_process_flagged(self):
+        env = Environment()
+        observer = Observer()
+        env.observer = observer
+
+        def boom():
+            yield env.timeout(1.0)
+            raise RuntimeError("boom")
+
+        env.process(boom(), name="boom")
+        with pytest.raises(RuntimeError):
+            env.run()
+        span = [s for s in observer.spans if s.category == "process"][0]
+        assert span.attrs == {"failed": True}
+
+
+class TestDESIntrospection:
+    def test_event_counts_and_tombstones(self):
+        env = Environment()
+        observer = Observer()
+        env.observer = observer
+
+        def worker():
+            yield env.timeout(1.0)
+            cancelled = env.timeout(10.0)
+            env.cancel(cancelled)
+            yield env.timeout(1.0)
+
+        env.process(worker(), name="w")
+        env.run()
+        assert observer.des_events_processed > 0
+        assert "Timeout" in observer.des_event_counts
+        assert observer.des_tombstones == 1
+        assert 0.0 < observer.des_tombstone_ratio < 1.0
+
+    def test_sampler_records_series_and_stops(self):
+        env = Environment()
+        observer = Observer()
+        env.observer = observer
+
+        def worker():
+            yield env.timeout(5.5)
+
+        process = env.process(worker(), name="w")
+        sampler = DESSampler(env, observer, interval=1.0)
+        sampler.start()
+        env.run(until=process)
+        sampler.stop()
+
+        depth_samples = [
+            sample for sample in observer.counter_samples
+            if sample[0] == "des.queue_depth"
+        ]
+        assert len(depth_samples) >= 5
+        registry = observer.registry.as_dict()
+        assert registry["des.queue_depth_weighted"][""]["weight"] >= 5.0
+        # The pending wake-up was tombstoned: the queue drains.
+        env.run()
+        assert env.queue_size == 0
+
+    def test_sampler_interval_validated(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            DESSampler(env, Observer(), interval=0.0)
