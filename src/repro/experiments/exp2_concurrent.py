@@ -36,6 +36,10 @@ class ConcurrencyPoint:
     write_time: float
     makespan: float
     wallclock_time: float
+    #: Fraction of read bytes served from page caches (0.0 for the
+    #: cacheless simulator).  Added for the policy ablation (exp8); the
+    #: parity goldens pin the named time fields above, not this one.
+    hit_ratio: float = 0.0
 
     def as_row(self) -> Tuple[int, float, float]:
         """(n_apps, read_time, write_time) row for reports."""
@@ -45,13 +49,18 @@ class ConcurrencyPoint:
 def run_exp2(simulator: str, n_apps: int, *,
              input_size: float = DEFAULT_INPUT_SIZE,
              chunk_size: float = 100 * MB,
-             nfs: bool = False) -> ConcurrencyPoint:
+             nfs: bool = False,
+             eviction_policy: object = "lru") -> ConcurrencyPoint:
     """Run one concurrency level for one simulator.
 
     ``nfs=False`` gives Exp 2 (local disk); ``nfs=True`` gives Exp 3 (the
     same workload against the NFS-mounted remote disk).
+    ``eviction_policy`` selects the page caches' victim-selection policy
+    (the policy ablation of exp8 sweeps it); the default LRU reproduces
+    the paper runs bit-identically.
     """
-    scenario = ScenarioConfig(nfs=nfs, chunk_size=chunk_size, trace_interval=None)
+    scenario = ScenarioConfig(nfs=nfs, chunk_size=chunk_size, trace_interval=None,
+                              eviction_policy=eviction_policy)
     simulation, storage = build_simulation(simulator, scenario)
     instances = make_instances(n_apps, input_size)
     stage_and_submit_instances(
@@ -65,6 +74,7 @@ def run_exp2(simulator: str, n_apps: int, *,
         write_time=result.mean_app_write_time(),
         makespan=result.makespan,
         wallclock_time=result.wallclock_time,
+        hit_ratio=result.read_cache_hit_ratio(),
     )
 
 

@@ -136,14 +136,21 @@ def run_exp6(placement: str = "cache", *, policy: str = "fifo",
              output_size: float = DEFAULT_OUTPUT_SIZE,
              arrival_rate: float = DEFAULT_ARRIVAL_RATE,
              chunk_size: float = DEFAULT_CHUNK_SIZE,
-             seed: int = DEFAULT_SEED) -> ClusterPoint:
-    """Run one cluster scheduling simulation and return its metrics."""
+             seed: int = DEFAULT_SEED,
+             eviction_policy: object = "lru") -> ClusterPoint:
+    """Run one cluster scheduling simulation and return its metrics.
+
+    ``eviction_policy`` selects every node cache's victim-selection policy
+    (swept by the exp8 policy ablation); the default LRU keeps the run
+    bit-identical to the pre-policy simulator.
+    """
     simulation = Simulation(
         config=SimulationConfig(
             cache_mode="writeback",
             chunk_size=chunk_size,
             trace_interval=None,
-        )
+        ),
+        eviction_policy=(None if eviction_policy == "lru" else eviction_policy),
     )
     simulation.create_cluster_platform(
         n_nodes, cores_per_node=cores_per_node, with_nfs_server=False

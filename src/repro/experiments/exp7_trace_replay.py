@@ -113,8 +113,13 @@ def run_exp7(policy: str = "preemptive-priority", *,
              output_size: float = DEFAULT_OUTPUT_SIZE,
              chunk_size: float = DEFAULT_CHUNK_SIZE,
              lost_work_penalty: float = DEFAULT_LOST_WORK_PENALTY,
-             ) -> TracePoint:
-    """Replay the trace under one policy and return its metrics."""
+             eviction_policy: object = "lru") -> TracePoint:
+    """Replay the trace under one policy and return its metrics.
+
+    ``eviction_policy`` selects every node cache's victim-selection policy
+    (swept by the exp8 policy ablation); the default LRU keeps the replay
+    bit-identical to the pre-policy simulator.
+    """
     if trace is None:
         trace = default_trace_path()
     if not isinstance(trace, SWFTrace):
@@ -130,7 +135,8 @@ def run_exp7(policy: str = "preemptive-priority", *,
             cache_mode="writeback",
             chunk_size=chunk_size,
             trace_interval=None,
-        )
+        ),
+        eviction_policy=(None if eviction_policy == "lru" else eviction_policy),
     )
     simulation.create_cluster_platform(
         n_nodes, cores_per_node=cores_per_node, with_nfs_server=False

@@ -66,6 +66,10 @@ class ScenarioConfig:
         Number of compute nodes in the platform (the experiments use one).
     cores_per_node:
         CPU cores per compute node (32 on the paper's cluster).
+    eviction_policy:
+        Victim-selection policy of the page caches (a registered name or
+        spec, see :mod:`repro.pagecache.policy`); the default LRU is the
+        paper-faithful, parity-pinned behaviour.
     """
 
     nfs: bool = False
@@ -73,12 +77,17 @@ class ScenarioConfig:
     trace_interval: Optional[float] = None
     compute_nodes: int = 1
     cores_per_node: int = 32
+    eviction_policy: object = "lru"
 
 
-def _page_cache_config(simulator: str, chunk_size: float) -> PageCacheConfig:
+def _page_cache_config(simulator: str, chunk_size: float,
+                       eviction_policy: object = "lru") -> PageCacheConfig:
     if simulator == "real":
-        return PageCacheConfig.reference().with_updates(chunk_size=chunk_size)
-    return PageCacheConfig(chunk_size=chunk_size)
+        return PageCacheConfig.reference().with_updates(
+            chunk_size=chunk_size, eviction_policy=eviction_policy
+        )
+    return PageCacheConfig(chunk_size=chunk_size,
+                           eviction_policy=eviction_policy)
 
 
 def build_simulation(simulator: str,
@@ -99,7 +108,8 @@ def build_simulation(simulator: str,
     cache_mode = "none" if simulator == "wrench" else "writeback"
     config = SimulationConfig(
         cache_mode=cache_mode,
-        page_cache=_page_cache_config(simulator, scenario.chunk_size),
+        page_cache=_page_cache_config(simulator, scenario.chunk_size,
+                                      scenario.eviction_policy),
         chunk_size=scenario.chunk_size,
         trace_interval=scenario.trace_interval,
     )

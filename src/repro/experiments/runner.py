@@ -62,6 +62,7 @@ EXPERIMENTS: Dict[str, Union[str, Callable[..., Any]]] = {
     "exp5-point": "repro.experiments.exp5_scaling:measure_point",
     "exp6": "repro.experiments.exp6_cluster:run_exp6",
     "exp7": "repro.experiments.exp7_trace_replay:run_exp7",
+    "exp8": "repro.experiments.exp8_policy_ablation:run_exp8",
 }
 
 

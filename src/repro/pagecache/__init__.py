@@ -13,6 +13,10 @@ The model follows Section III of the paper:
   :class:`~repro.pagecache.lru.PageCacheLists` — the kernel's two-list
   (active/inactive) LRU structure, balanced so that the active list never
   exceeds twice the inactive list.
+* :class:`~repro.pagecache.policy.EvictionPolicy` — pluggable victim
+  selection over the extent runs: LRU (the bit-identical default), ARC,
+  2Q, CLOCK-Pro and a priority-weighted policy fed by scheduler events;
+  selected through ``PageCacheConfig(eviction_policy=...)``.
 * :class:`~repro.pagecache.memory_manager.MemoryManager` — flushing,
   eviction, cached I/O accounting, anonymous memory, and the periodical
   flush background thread (Algorithm 1).
@@ -27,7 +31,22 @@ from repro.pagecache.extents import ExtentRun
 from repro.pagecache.lru import LRUList, PageCacheLists
 from repro.pagecache.memory_manager import MemoryManager
 from repro.pagecache.io_controller import IOController
-from repro.pagecache.stats import CacheStatistics, ExtentOccupancy
+from repro.pagecache.policy import (
+    ARCPolicy,
+    ClockProPolicy,
+    EvictionPolicy,
+    LRUPolicy,
+    POLICIES,
+    PriorityWeightedPolicy,
+    TwoQPolicy,
+    make_eviction_policy,
+)
+from repro.pagecache.stats import (
+    CacheStatistics,
+    EvictionPolicyStats,
+    ExtentOccupancy,
+    StatsSource,
+)
 
 __all__ = [
     "Block",
@@ -39,4 +58,14 @@ __all__ = [
     "IOController",
     "CacheStatistics",
     "ExtentOccupancy",
+    "EvictionPolicyStats",
+    "StatsSource",
+    "EvictionPolicy",
+    "LRUPolicy",
+    "ARCPolicy",
+    "TwoQPolicy",
+    "ClockProPolicy",
+    "PriorityWeightedPolicy",
+    "POLICIES",
+    "make_eviction_policy",
 ]

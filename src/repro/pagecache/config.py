@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, replace
-from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.units import MB
+
+_UNSET = object()
 
 
 @dataclass
@@ -66,13 +67,19 @@ class PageCacheConfig:
         (the kernel keeps the active list at most twice the inactive list).
     balance_lists:
         Whether to enforce ``active_to_inactive_ratio`` after cache updates.
-    coalesce_extents:
-        Deprecated and ignored.  The page cache stores extent runs
-        natively (see :mod:`repro.pagecache.extents`): coalescing is
-        lossless by construction and always on, so the opt-in knob of the
-        PR 3 block-mode cache no longer selects anything.  Passing any
-        value is accepted for backwards compatibility with existing
-        experiment scripts and emits a :class:`DeprecationWarning`.
+    eviction_policy:
+        Victim-selection policy of the cache: a registered name (``"lru"``,
+        ``"arc"``, ``"2q"``, ``"clock-pro"``, ``"priority"``), an
+        :class:`~repro.pagecache.policy.EvictionPolicy` instance
+        (single-host simulations only — instances bind to exactly one
+        memory manager), a policy subclass, or a zero-argument factory.
+        The default ``"lru"`` reproduces the pre-policy cache
+        bit-identically (pinned by the parity suite).
+
+    The former ``coalesce_extents`` knob is gone: the extent-native cache
+    coalesces losslessly and always.  Constructing with
+    ``coalesce_extents=...`` (directly or through :meth:`with_updates`)
+    still works — the kwarg is dropped with a :class:`DeprecationWarning`.
     """
 
     dirty_ratio: float = 0.20
@@ -86,19 +93,11 @@ class PageCacheConfig:
     periodic_flushing: bool = True
     active_to_inactive_ratio: float = 2.0
     balance_lists: bool = True
-    #: Deprecated no-op knob kept so ``PageCacheConfig(coalesce_extents=...)``
-    #: call sites (and ``with_updates`` copies of them) keep working.
-    coalesce_extents: Optional[bool] = None
+    #: Eviction-policy spec: a registered name, an ``EvictionPolicy``
+    #: instance, a subclass, or a zero-argument factory.
+    eviction_policy: object = "lru"
 
     def __post_init__(self) -> None:
-        if self.coalesce_extents is not None:
-            warnings.warn(
-                "PageCacheConfig(coalesce_extents=...) is deprecated and "
-                "ignored: the page cache stores extent runs natively and "
-                "coalescing is lossless and always on",
-                DeprecationWarning,
-                stacklevel=3,
-            )
         self.validate()
 
     def validate(self) -> None:
@@ -125,6 +124,11 @@ class PageCacheConfig:
             )
         if self.active_to_inactive_ratio <= 0:
             raise ConfigurationError("active_to_inactive_ratio must be positive")
+        # Imported lazily: policy.py pulls in the LRU machinery, which the
+        # configuration module must not load at import time.
+        from repro.pagecache.policy import validate_policy_spec
+
+        validate_policy_spec(self.eviction_policy)
 
     def with_updates(self, **kwargs) -> "PageCacheConfig":
         """Return a copy of the configuration with some fields replaced."""
@@ -148,3 +152,27 @@ class PageCacheConfig:
     def no_periodic_flush(cls) -> "PageCacheConfig":
         """Configuration with the background flusher disabled (for tests)."""
         return cls(periodic_flushing=False)
+
+
+# The ``coalesce_extents`` field is gone (it selected nothing since the
+# extent-native cache landed), but old call sites — including
+# ``with_updates(coalesce_extents=...)`` copies, which ``dataclasses.replace``
+# routes through ``__init__`` — must keep constructing.  Wrap the generated
+# ``__init__`` with a shim that warns and drops the kwarg.
+_generated_init = PageCacheConfig.__init__
+
+
+def _init_with_coalesce_shim(self, *args, coalesce_extents=_UNSET, **kwargs):
+    if coalesce_extents is not _UNSET and coalesce_extents is not None:
+        warnings.warn(
+            "PageCacheConfig(coalesce_extents=...) is deprecated and "
+            "ignored: the page cache stores extent runs natively and "
+            "coalescing is lossless and always on",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    _generated_init(self, *args, **kwargs)
+
+
+_init_with_coalesce_shim.__wrapped__ = _generated_init
+PageCacheConfig.__init__ = _init_with_coalesce_shim

@@ -30,6 +30,7 @@ from repro.errors import CacheConsistencyError, ConfigurationError
 from repro.pagecache.block import Block
 from repro.pagecache.config import PageCacheConfig
 from repro.pagecache.lru import LRUList, PageCacheLists
+from repro.pagecache.policy import make_eviction_policy
 from repro.pagecache.stats import CacheStatistics
 from repro.pagecache.tolerances import BYTE_EPSILON as _EPSILON
 from repro.platform.memory import MemoryDevice
@@ -108,6 +109,13 @@ class MemoryManager:
             balance=self.config.balance_lists,
         )
         self.stats = CacheStatistics()
+        #: Victim-selection policy.  The default LRU policy delegates to
+        #: the lists' own cursor and requests no event hooks, so the hot
+        #: paths below stay exactly as fast (and byte-identical) as before
+        #: the policy API existed.
+        self.policy = make_eviction_policy(self.config.eviction_policy)
+        self.policy.bind(self)
+        self._policy_events = self.policy.wants_events
         # Transfer labels are fixed per manager; precomputing them keeps
         # f-string formatting out of the per-chunk I/O paths.
         self._label_cache_read = f"{name}-cache-read"
@@ -277,6 +285,29 @@ class MemoryManager:
         """Anonymous memory currently attributed to ``owner``."""
         return self._anonymous_by_owner.get(owner, 0.0)
 
+    # ------------------------------------------------------- policy plumbing
+    @property
+    def wants_job_events(self) -> bool:
+        """Whether the eviction policy consumes scheduler job events."""
+        return self.policy.wants_job_events
+
+    def notify_job_dispatch(self, filenames, priority: int,
+                            wait: float = 0.0) -> None:
+        """Forward a job dispatch (its input files, priority, queueing wait)
+        to the eviction policy, when the policy asked for job events."""
+        if self.policy.wants_job_events:
+            self.policy.on_job_dispatch(filenames, priority, wait)
+
+    def notify_job_preempted(self, filenames) -> None:
+        """Forward a job preemption to the eviction policy."""
+        if self.policy.wants_job_events:
+            self.policy.on_job_preempted(filenames)
+
+    def predicted_survival(self, filename: str, horizon: float) -> float:
+        """Fraction of the file's cached bytes expected to survive ``horizon``
+        seconds of the observed eviction pressure (policy forecast)."""
+        return self.policy.predicted_survival(filename, horizon)
+
     # -------------------------------------------------- written-file tracking
     def mark_file_being_written(self, filename: str) -> None:
         """Register ``filename`` as currently being written (kernel heuristic)."""
@@ -313,13 +344,16 @@ class MemoryManager:
         lists: List[LRUList] = [self.lists.inactive]
         if self.config.evict_from_active:
             lists.append(self.lists.active)
+        policy = self.policy
+        notify = self._policy_events
         for lru in lists:
             if evicted >= amount - _EPSILON:
                 break
-            # A consuming cursor hands out the evictable blocks in LRU
-            # order straight from the clean heap: cost is proportional to
-            # the blocks touched, not the cache size.
-            cursor = lru.clean_cursor(excluded)
+            # A consuming cursor hands out the evictable blocks in the
+            # policy's victim order (for the default LRU policy: straight
+            # from the clean heap): cost is proportional to the blocks
+            # touched, not the cache size.
+            cursor = policy.clean_cursor(lru, excluded)
             try:
                 while evicted < amount - _EPSILON:
                     block = cursor.next()
@@ -330,6 +364,11 @@ class MemoryManager:
                         lru.remove(block)
                         evicted += block.size
                         self._free += block.size
+                        if notify:
+                            policy.on_evicted(
+                                block.filename, block.size,
+                                self.lists.cached_of_file(block.filename),
+                            )
                     else:
                         kept_size = block.size - needed
                         lru.remove(block)
@@ -337,6 +376,11 @@ class MemoryManager:
                         lru.insert_ordered(kept)
                         evicted += needed
                         self._free += needed
+                        if notify:
+                            policy.on_evicted(
+                                block.filename, needed,
+                                self.lists.cached_of_file(block.filename),
+                            )
             finally:
                 cursor.close()
         if evicted > 0:
@@ -459,6 +503,8 @@ class MemoryManager:
         lists.inactive.append(block)
         lists.balance()
         self._free -= amount
+        if self._policy_events:
+            self.policy.on_insert(filename, amount, now)
         return block
 
     def put_to_cache(self, filename: str, amount: float, storage) -> None:
@@ -550,6 +596,8 @@ class MemoryManager:
         served = amount - max(0.0, remaining)
         if served > 0:
             self.stats.record_hit(filename, served)
+            if self._policy_events:
+                self.policy.on_access(filename, served, now)
         return served
 
     def read_from_cache(self, filename: str, amount: float):
@@ -585,6 +633,8 @@ class MemoryManager:
                 self._free += block.size
         if removed > 0:
             self.lists.balance()
+            if self._policy_events:
+                self.policy.on_invalidate(filename)
         return removed
 
     # ---------------------------------------------------- periodical flushing

@@ -13,6 +13,84 @@ from dataclasses import dataclass, field
 from math import isfinite
 from typing import Dict
 
+try:  # Protocol is typing-only sugar; Python >= 3.8 has it.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object
+
+    def runtime_checkable(cls):
+        return cls
+
+
+@runtime_checkable
+class StatsSource(Protocol):
+    """The convention every stats surface follows.
+
+    Anything handed to :func:`repro.obs.registry.publish` — cache counters,
+    extent occupancy, scheduler metrics, per-policy stats — implements
+    ``as_dict()`` returning a flat mapping of scalar metric values keyed by
+    snake_case names.  ``publish`` maps each numeric entry to a gauge named
+    ``{prefix}.{key}``; non-numeric values are skipped, so ``as_dict`` may
+    include descriptive strings, but the numeric core is the contract.
+    The conformance test in ``tests/test_pagecache_stats.py`` checks every
+    published surface against this protocol.
+    """
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat mapping of scalar metrics (snake_case key -> value)."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass
+class EvictionPolicyStats:
+    """Counters of one eviction policy's decision state.
+
+    The counters are observational (published under ``cache.policy.*``):
+    they describe how the policy classified files, never the byte
+    accounting (that stays in :class:`CacheStatistics`).  Policies that do
+    not use a concept leave its counter at zero — e.g. only ghost-keeping
+    policies (ARC/2Q/CLOCK-Pro) move ``ghost_hits``.
+    """
+
+    #: Files the policy currently tracks as cache-resident.
+    tracked_files: int = 0
+    #: Files remembered in ghost/history lists (evicted but not forgotten).
+    ghost_files: int = 0
+    #: Insert events observed (new data entering the cache).
+    inserts: int = 0
+    #: Access events observed (cache hits).
+    accesses: int = 0
+    #: Files whose last cached byte was evicted.
+    full_evictions: int = 0
+    #: Files dropped by invalidation (deletion) while tracked.
+    invalidations: int = 0
+    #: Re-inserts that hit a ghost/history entry.
+    ghost_hits: int = 0
+    #: Files upgraded to a longer-retention tier (T2 / Am / hot / un-demoted).
+    promotions: int = 0
+    #: Files downgraded (hot residents evicted, preemption penalties).
+    demotions: int = 0
+    #: Job dispatch events forwarded by the scheduler.
+    job_dispatches: int = 0
+    #: Job preemption events forwarded by the scheduler.
+    job_preemptions: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the counters as a plain dictionary."""
+        return {
+            "tracked_files": self.tracked_files,
+            "ghost_files": self.ghost_files,
+            "inserts": self.inserts,
+            "accesses": self.accesses,
+            "full_evictions": self.full_evictions,
+            "invalidations": self.invalidations,
+            "ghost_hits": self.ghost_hits,
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+            "job_dispatches": self.job_dispatches,
+            "job_preemptions": self.job_preemptions,
+        }
+
 
 @dataclass
 class ExtentOccupancy:

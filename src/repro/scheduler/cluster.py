@@ -22,7 +22,7 @@ from repro.errors import SchedulingError
 from repro.filesystem.file import File
 from repro.filesystem.registry import FileRegistry
 from repro.scheduler.job import Job
-from repro.scheduler.metrics import JobRecord, SchedulerMetrics
+from repro.scheduler.metrics import JobRecord, SchedulerMetrics, clamped_wait
 from repro.scheduler.placement import PlacementStrategy, make_placement
 from repro.scheduler.policies import SchedulingPolicy, fitting_nodes, make_policy
 from repro.simulator.storage_service import StorageService
@@ -372,6 +372,14 @@ class ClusterScheduler:
         for victim in plan.victims:
             self._suspending[victim.id] = victim
             self._executors_by_job[victim.id].preempt()
+            # Priority-aware eviction: the victim's input files lose their
+            # residency privilege on the node that was running it.
+            if victim.node_name is not None:
+                manager = self.node(victim.node_name).host.memory_manager
+                if manager is not None and manager.wants_job_events:
+                    manager.notify_job_preempted(
+                        [f.name for f in victim.input_files()]
+                    )
             if observer is not None:
                 observer.instant(
                     f"preempt:{victim.label}", "preemption", "scheduler",
@@ -416,6 +424,16 @@ class ClusterScheduler:
         if job.start_time is None:
             job.start_time = self.env.now
         job.last_start_time = self.env.now
+        # Cache-ownership plumbing: a dispatch (or resume) registers the
+        # job's inputs, priority and clamped queueing wait with the node's
+        # eviction policy, when the policy consumes job events.
+        manager = node.host.memory_manager
+        if manager is not None and manager.wants_job_events:
+            manager.notify_job_dispatch(
+                [f.name for f in job.input_files()],
+                job.priority,
+                wait=clamped_wait(job.start_time, job.arrival_time),
+            )
         preempted = False
         try:
             outcome = yield from executor.run()
@@ -445,10 +463,10 @@ class ClusterScheduler:
             registry = observer.registry
             registry.counter("scheduler.jobs_completed").inc()
             registry.histogram("scheduler.job_wait_seconds").observe(
-                max(0.0, job.start_time - job.arrival_time)
+                clamped_wait(job.start_time, job.arrival_time)
             )
             registry.histogram("scheduler.job_turnaround_seconds").observe(
-                max(0.0, job.end_time - job.arrival_time)
+                clamped_wait(job.end_time, job.arrival_time)
             )
         self.records.append(
             JobRecord(

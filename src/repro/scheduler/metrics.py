@@ -23,6 +23,18 @@ from typing import Dict, List, Optional
 BOUNDED_SLOWDOWN_TAU = 10.0
 
 
+def clamped_wait(start_time: float, arrival_time: float) -> float:
+    """Queueing delay ``start - arrival``, clamped to zero.
+
+    A replayed trace can submit jobs "in the past" (arrival marginally
+    after the dispatch tick within the scheduler's epsilon), and a wait
+    must never be negative.  Every consumer of a wait — job records, the
+    observer histograms, the priority-weighted eviction policy's scoring —
+    goes through this one clamp.
+    """
+    return max(0.0, start_time - arrival_time)
+
+
 @dataclass
 class JobRecord:
     """Immutable record of one completed job."""
@@ -45,13 +57,8 @@ class JobRecord:
 
     @property
     def wait_time(self) -> float:
-        """Queueing delay before the first dispatch.
-
-        Clamped to 0: a replayed trace can submit jobs "in the past"
-        (arrival marginally after the dispatch tick within the
-        scheduler's epsilon), and a wait must never be negative.
-        """
-        return max(0.0, self.start_time - self.arrival_time)
+        """Queueing delay before the first dispatch (see :func:`clamped_wait`)."""
+        return clamped_wait(self.start_time, self.arrival_time)
 
     @property
     def runtime(self) -> float:

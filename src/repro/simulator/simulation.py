@@ -23,7 +23,7 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, TYPE_CHECKING, Union
 
 if TYPE_CHECKING:  # pragma: no cover - the scheduler imports simulator
@@ -191,13 +191,30 @@ class Simulation:
         and ``None`` (the default) defers to the ``REPRO_OBS``
         environment variable.  Telemetry only observes — enabling it
         does not change simulated results.
+    eviction_policy:
+        Convenience override of the page cache's victim-selection policy
+        (equivalent to setting ``config.page_cache.eviction_policy``): a
+        registered name (``"lru"``, ``"arc"``, ``"2q"``, ``"clock-pro"``,
+        ``"priority"``), an :class:`~repro.pagecache.policy.EvictionPolicy`
+        instance (single-host simulations only), a subclass, or a factory.
+        ``None`` keeps the configured policy (default LRU).
     """
 
     def __init__(self, env: Optional[Environment] = None,
                  config: Optional[SimulationConfig] = None,
-                 observe: Union[bool, Observer, None] = None):
+                 observe: Union[bool, Observer, None] = None,
+                 eviction_policy=None):
         self.env = env or Environment()
         self.config = config or SimulationConfig()
+        if eviction_policy is not None:
+            # Copy-on-override: the caller's config object (often shared
+            # across runs of a sweep) is never mutated.
+            self.config = replace(
+                self.config,
+                page_cache=self.config.page_cache.with_updates(
+                    eviction_policy=eviction_policy
+                ),
+            )
         if observe is None:
             observe = env_observability_enabled()
         if isinstance(observe, Observer):
@@ -664,5 +681,7 @@ class Simulation:
             if manager is not None:
                 publish(registry, "cache.extents",
                         ExtentOccupancy.of(manager.lists), host=host.name)
+                publish(registry, "cache.policy", manager.policy.stats,
+                        host=host.name, policy=manager.policy.name)
         if self._scheduler is not None:
             publish(registry, "scheduler", self._scheduler.metrics())

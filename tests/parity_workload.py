@@ -77,6 +77,7 @@ def run_parity_workload(seed: int = 2021, n_ops: int = 120, *,
                         periodic_flushing: bool = True,
                         evict_from_active: bool = False,
                         coalesce_extents=None,
+                        eviction_policy=None,
                         ) -> List[Dict[str, object]]:
     """Run the seeded workload and return the per-operation state trace.
 
@@ -88,6 +89,11 @@ def run_parity_workload(seed: int = 2021, n_ops: int = 120, *,
     given, exercising the deprecation shim: the extent cache coalesces
     losslessly and unconditionally, so the flag must not change a single
     byte of the trace.
+
+    ``eviction_policy`` is forwarded when given (the default ``None``
+    keeps the config construction identical to the pre-policy-API code):
+    passing an explicit ``LRUPolicy`` instance must reproduce the golden
+    byte for byte, pinning the policy interface's default dispatch.
     """
     env = Environment()
     memory = MemoryDevice.symmetric(env, "ram", 2000 * MBps, size=memory_size)
@@ -95,6 +101,8 @@ def run_parity_workload(seed: int = 2021, n_ops: int = 120, *,
     config_kwargs = {}
     if coalesce_extents is not None:
         config_kwargs["coalesce_extents"] = coalesce_extents
+    if eviction_policy is not None:
+        config_kwargs["eviction_policy"] = eviction_policy
     config = PageCacheConfig(
         chunk_size=64 * MB,
         periodic_flushing=periodic_flushing,

@@ -48,12 +48,46 @@ class TestValidation:
             PageCacheConfig(coalesce_extents=False)
         assert config.validate() is None
 
+    def test_coalesce_extents_is_no_longer_a_field(self):
+        # The deprecation completed: the value is dropped at the door, so
+        # the config object carries no trace of it.
+        with pytest.warns(DeprecationWarning):
+            config = PageCacheConfig(coalesce_extents=True)
+        assert not hasattr(config, "coalesce_extents")
+        assert "coalesce_extents" not in PageCacheConfig.__dataclass_fields__
+
+    def test_coalesce_extents_warns_through_with_updates(self):
+        config = PageCacheConfig()
+        with pytest.warns(DeprecationWarning, match="coalesce_extents"):
+            updated = config.with_updates(coalesce_extents=True)
+        assert updated == config
+
     def test_coalesce_extents_unset_does_not_warn(self):
         import warnings
 
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             PageCacheConfig()
+
+    def test_eviction_policy_default_and_validation(self):
+        assert PageCacheConfig().eviction_policy == "lru"
+        assert PageCacheConfig(eviction_policy="arc").eviction_policy == "arc"
+        with pytest.raises(ConfigurationError, match="unknown eviction policy"):
+            PageCacheConfig(eviction_policy="mru")
+        with pytest.raises(ConfigurationError):
+            PageCacheConfig().with_updates(eviction_policy=3.5)
+
+    def test_eviction_policy_accepts_instance_and_class(self):
+        from repro.pagecache.policy import ARCPolicy
+
+        assert isinstance(
+            PageCacheConfig(eviction_policy=ARCPolicy()).eviction_policy,
+            ARCPolicy,
+        )
+        assert (
+            PageCacheConfig(eviction_policy=ARCPolicy).eviction_policy
+            is ARCPolicy
+        )
 
 
 class TestPresets:

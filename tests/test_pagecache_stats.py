@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.pagecache.stats import CacheStatistics
+from repro.pagecache.stats import (
+    CacheStatistics,
+    EvictionPolicyStats,
+    ExtentOccupancy,
+    StatsSource,
+)
 
 
 class TestCacheStatistics:
@@ -50,3 +55,61 @@ class TestCacheStatistics:
         ):
             assert key in data
         assert data["cache_hit_bytes"] == 1.0
+
+
+class TestStatsSourceConformance:
+    """Everything the telemetry layer publishes speaks the same protocol.
+
+    ``repro.obs.registry.publish`` consumes any object with a numeric
+    ``as_dict``; :class:`StatsSource` names that contract.  This test pins
+    every stats surface across the codebase to it, so a new stats class
+    that forgets ``as_dict`` (or sneaks a non-scalar into it) fails here
+    rather than silently exporting nothing.
+    """
+
+    def _instances(self):
+        from repro.pagecache.memory_manager import MemorySnapshot
+        from repro.scheduler.metrics import (
+            PriorityClassMetrics,
+            SchedulerMetrics,
+        )
+
+        return [
+            CacheStatistics(),
+            EvictionPolicyStats(),
+            ExtentOccupancy(runs=2, fragments=4, merges=2),
+            MemorySnapshot(time=0.0, total=8.0, free=4.0, used=4.0,
+                           cached=2.0, dirty=1.0, anonymous=2.0,
+                           dirty_threshold=1.6),
+            SchedulerMetrics(),
+            PriorityClassMetrics(priority=1, n_jobs=2, mean_wait_time=0.5,
+                                 max_wait_time=1.0, mean_turnaround=2.0,
+                                 mean_bounded_slowdown=1.5,
+                                 max_bounded_slowdown=2.0, preemptions=1),
+        ]
+
+    def test_all_stats_surfaces_are_stats_sources(self):
+        for stats in self._instances():
+            assert isinstance(stats, StatsSource), type(stats).__name__
+
+    def test_as_dict_values_are_numeric_scalars(self):
+        for stats in self._instances():
+            data = stats.as_dict()
+            assert data, type(stats).__name__
+            for key, value in data.items():
+                assert isinstance(key, str)
+                assert isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ), f"{type(stats).__name__}.{key}"
+
+    def test_eviction_policy_stats_counts_everything_published(self):
+        stats = EvictionPolicyStats(inserts=3, ghost_hits=1, promotions=2)
+        data = stats.as_dict()
+        assert data["inserts"] == 3.0
+        assert data["ghost_hits"] == 1.0
+        assert data["promotions"] == 2.0
+        assert set(data) == {
+            "tracked_files", "ghost_files", "inserts", "accesses",
+            "full_evictions", "invalidations", "ghost_hits", "promotions",
+            "demotions", "job_dispatches", "job_preemptions",
+        }
