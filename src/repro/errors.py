@@ -41,5 +41,15 @@ class SchedulingError(SimulationError):
     """A workflow could not be scheduled (cycle, missing file, bad host)."""
 
 
+class FlowAborted(SimulationError):
+    """An in-flight transfer was aborted (its device crashed).
+
+    Thrown into any process still waiting on the transfer.  Fault-tolerant
+    consumers (the background flusher, retry loops) catch it and move on;
+    processes killed alongside the device are interrupted separately and
+    never observe it.
+    """
+
+
 class SimulationDeadlockError(SimulationError):
     """The event queue drained while processes were still waiting."""

@@ -62,6 +62,10 @@ class ClusterPoint:
     utilization: float
     throughput: float
     wallclock_time: float
+    #: Fault-injection outcomes (all zero in fault-free runs).
+    n_node_failures: int = 0
+    n_job_restarts: int = 0
+    lost_work_seconds: float = 0.0
 
     def as_row(self) -> Tuple[object, ...]:
         """Row of the Exp 6 report table."""
@@ -137,12 +141,15 @@ def run_exp6(placement: str = "cache", *, policy: str = "fifo",
              arrival_rate: float = DEFAULT_ARRIVAL_RATE,
              chunk_size: float = DEFAULT_CHUNK_SIZE,
              seed: int = DEFAULT_SEED,
-             eviction_policy: object = "lru") -> ClusterPoint:
+             eviction_policy: object = "lru",
+             fault_plan=None) -> ClusterPoint:
     """Run one cluster scheduling simulation and return its metrics.
 
     ``eviction_policy`` selects every node cache's victim-selection policy
     (swept by the exp8 policy ablation); the default LRU keeps the run
-    bit-identical to the pre-policy simulator.
+    bit-identical to the pre-policy simulator.  ``fault_plan`` injects
+    seeded node crashes / stragglers / elasticity (exp9); ``None`` and the
+    zero plan leave the run untouched.
     """
     simulation = Simulation(
         config=SimulationConfig(
@@ -151,6 +158,7 @@ def run_exp6(placement: str = "cache", *, policy: str = "fifo",
             trace_interval=None,
         ),
         eviction_policy=(None if eviction_policy == "lru" else eviction_policy),
+        fault_plan=fault_plan,
     )
     simulation.create_cluster_platform(
         n_nodes, cores_per_node=cores_per_node, with_nfs_server=False
@@ -179,6 +187,9 @@ def run_exp6(placement: str = "cache", *, policy: str = "fifo",
         utilization=metrics.utilization,
         throughput=metrics.throughput,
         wallclock_time=result.wallclock_time,
+        n_node_failures=metrics.n_node_failures,
+        n_job_restarts=metrics.n_job_restarts,
+        lost_work_seconds=metrics.lost_work_seconds,
     )
 
 

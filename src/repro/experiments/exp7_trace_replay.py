@@ -75,6 +75,10 @@ class TracePoint:
     #: Per-priority-class summaries, keyed by priority (descending).
     classes: Dict[int, PriorityClassMetrics]
     wallclock_time: float
+    #: Fault-injection outcomes (all zero in fault-free replays).
+    n_node_failures: int = 0
+    n_job_restarts: int = 0
+    lost_work_seconds: float = 0.0
 
     @property
     def high_priority(self) -> PriorityClassMetrics:
@@ -113,12 +117,15 @@ def run_exp7(policy: str = "preemptive-priority", *,
              output_size: float = DEFAULT_OUTPUT_SIZE,
              chunk_size: float = DEFAULT_CHUNK_SIZE,
              lost_work_penalty: float = DEFAULT_LOST_WORK_PENALTY,
-             eviction_policy: object = "lru") -> TracePoint:
+             eviction_policy: object = "lru",
+             fault_plan=None) -> TracePoint:
     """Replay the trace under one policy and return its metrics.
 
     ``eviction_policy`` selects every node cache's victim-selection policy
     (swept by the exp8 policy ablation); the default LRU keeps the replay
-    bit-identical to the pre-policy simulator.
+    bit-identical to the pre-policy simulator.  ``fault_plan`` injects
+    seeded node crashes / stragglers / elasticity (exp9); ``None`` and the
+    zero plan leave the replay untouched.
     """
     if trace is None:
         trace = default_trace_path()
@@ -137,6 +144,7 @@ def run_exp7(policy: str = "preemptive-priority", *,
             trace_interval=None,
         ),
         eviction_policy=(None if eviction_policy == "lru" else eviction_policy),
+        fault_plan=fault_plan,
     )
     simulation.create_cluster_platform(
         n_nodes, cores_per_node=cores_per_node, with_nfs_server=False
@@ -169,6 +177,9 @@ def run_exp7(policy: str = "preemptive-priority", *,
         n_preemptions=metrics.n_preemptions,
         classes=metrics.priority_class_metrics(),
         wallclock_time=result.wallclock_time,
+        n_node_failures=metrics.n_node_failures,
+        n_job_restarts=metrics.n_job_restarts,
+        lost_work_seconds=metrics.lost_work_seconds,
     )
 
 

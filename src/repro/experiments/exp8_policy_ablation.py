@@ -28,8 +28,19 @@ Workloads
     the policy on every node cache under the cluster scheduler.
 ``"exp7"``
     The Exp 7 SWF trace replay (bounded job count) with preemptive
-    priority scheduling — the workload where the priority-weighted
-    policy's job hooks (dispatch, preemption) actually fire.
+    priority scheduling — scheduler events fire, but the nodes' default
+    250 GiB memory means victim selection is rarely exercised.
+``"sched"``
+    The scheduler-driven cell built *for* the priority-weighted policy: a
+    small cluster with deliberately tight node memory runs long
+    low-priority jobs that high-priority latecomers preempt, so the
+    scheduler's dispatch *and* preemption hooks fire under real eviction
+    pressure — the one cell where
+    :class:`~repro.pagecache.policy.PriorityWeightedPolicy` has both its
+    inputs (job priorities, preemption events) and a reason to use them
+    (not every file fits).  :class:`PolicyPoint` reports the hook
+    counters (``n_job_dispatches`` / ``n_job_preemptions``) for this
+    cell, pinning down that the events actually happened.
 
 Every workload is seeded or fully deterministic, so the ablation table is
 byte-stable across runs and worker counts.
@@ -54,7 +65,7 @@ from repro.units import GB, MB, MBps
 EXP8_POLICIES: Tuple[str, ...] = ("lru", "arc", "2q", "clock-pro", "priority")
 
 #: Workloads the ablation replays.
-EXP8_WORKLOADS: Tuple[str, ...] = ("skewed", "exp5", "exp6", "exp7")
+EXP8_WORKLOADS: Tuple[str, ...] = ("skewed", "exp5", "exp6", "exp7", "sched")
 
 #: Skewed-workload scale: one round reads ``N_HOT`` hot files plus
 #: ``N_ONESHOT`` fresh scan files; hot+scan bytes exceed memory so every
@@ -82,6 +93,10 @@ class PolicyPoint:
     makespan: float
     read_time: float
     wallclock_time: float
+    #: Scheduler hook counters summed over every node cache (``sched``
+    #: cell only; other workloads leave them 0 even when hooks fire).
+    n_job_dispatches: int = 0
+    n_job_preemptions: int = 0
 
     def as_row(self) -> Tuple[object, ...]:
         """Row of the Exp 8 report table."""
@@ -196,12 +211,129 @@ def _run_exp7(policy: object, **kwargs) -> PolicyPoint:
     )
 
 
+#: ``sched``-cell scale: two 4-core nodes whose memory holds ~4 of the 6
+#: shared 256 MB datasets, so placement and victim selection both matter.
+DEFAULT_SCHED_NODES = 2
+DEFAULT_SCHED_CORES = 4
+DEFAULT_SCHED_MEMORY = 1 * GB
+DEFAULT_SCHED_DATASETS = 6
+DEFAULT_SCHED_DATASET_SIZE = 256 * MB
+
+
+def run_sched_cell(policy: object = "lru", *,
+                   n_nodes: int = DEFAULT_SCHED_NODES,
+                   cores_per_node: int = DEFAULT_SCHED_CORES,
+                   memory_size: float = DEFAULT_SCHED_MEMORY,
+                   n_datasets: int = DEFAULT_SCHED_DATASETS,
+                   dataset_size: float = DEFAULT_SCHED_DATASET_SIZE,
+                   n_low: int = 10,
+                   n_high: int = 6,
+                   chunk_size: float = DEFAULT_CHUNK_SIZE) -> PolicyPoint:
+    """Run the scheduler-driven ablation cell under one eviction policy.
+
+    ``n_low`` node-wide low-priority jobs (long compute, one shared
+    dataset each) saturate the cluster from t=0; ``n_high`` short
+    high-priority jobs arrive while they run, and the preemptive priority
+    scheduler suspends low-priority work for them.  Node memory is sized
+    below the shared working set, so the page cache evicts under load
+    while the scheduler streams dispatch/preemption events into the
+    policy — the counters come back in the returned point.  The workload
+    is a fixed deterministic schedule (no randomness at all).
+    """
+    import time
+
+    from repro.filesystem.file import File
+    from repro.simulator.simulation import Simulation, SimulationConfig
+    from repro.simulator.workflow import Task, Workflow
+
+    start = time.perf_counter()
+    simulation = Simulation(
+        config=SimulationConfig(
+            cache_mode="writeback",
+            chunk_size=chunk_size,
+            trace_interval=None,
+        ),
+        eviction_policy=(None if policy == "lru" else policy),
+    )
+    simulation.create_cluster_platform(
+        n_nodes,
+        cores_per_node=cores_per_node,
+        memory_size=memory_size,
+        with_nfs_server=False,
+    )
+    simulation.create_cluster_scheduler(
+        policy="preemptive-priority",
+        placement="cache",
+        lost_work_penalty=0.25,
+    )
+    datasets = [
+        File(f"shared{d}", dataset_size) for d in range(n_datasets)
+    ]
+    for dataset in datasets:
+        simulation.stage_file_replicated(dataset)
+    for i in range(n_low):
+        label = f"low{i}"
+        workflow = Workflow(label)
+        workflow.add_task(Task.from_cpu_time(
+            "churn",
+            6.0,
+            inputs=[datasets[i % n_datasets]],
+            outputs=[File(f"{label}_out", 32 * MB)],
+        ))
+        simulation.submit_job(
+            workflow,
+            cores=cores_per_node,
+            arrival_time=0.05 * i,
+            priority=0,
+            label=label,
+        )
+    for j in range(n_high):
+        label = f"high{j}"
+        workflow = Workflow(label)
+        workflow.add_task(Task.from_cpu_time(
+            "urgent",
+            0.5,
+            inputs=[datasets[j % n_datasets]],
+            outputs=[File(f"{label}_out", 16 * MB)],
+        ))
+        simulation.submit_job(
+            workflow,
+            cores=cores_per_node,
+            arrival_time=2.0 + 1.5 * j,
+            priority=10,
+            label=label,
+        )
+    result = simulation.run()
+
+    dispatches = 0
+    preemptions = 0
+    policy_name = str(policy)
+    for host in simulation.platform.hosts.values():
+        manager = host.memory_manager
+        if manager is None:
+            continue
+        policy_name = manager.policy.name
+        dispatches += manager.policy.stats.job_dispatches
+        preemptions += manager.policy.stats.job_preemptions
+    return PolicyPoint(
+        policy=policy_name,
+        workload="sched",
+        hit_ratio=result.read_cache_hit_ratio(),
+        makespan=result.scheduler.makespan,
+        read_time=0.0,
+        wallclock_time=time.perf_counter() - start,
+        n_job_dispatches=dispatches,
+        n_job_preemptions=preemptions,
+    )
+
+
 def run_exp8(policy: object = "lru", workload: str = "skewed",
              **kwargs) -> PolicyPoint:
     """Run one (workload, policy) cell of the ablation.
 
     ``kwargs`` are forwarded to the underlying workload driver
-    (:func:`run_skewed`, or the reduced-scale exp5/exp6/exp7 runs).
+    (:func:`run_skewed`, :func:`run_sched_cell`, or the reduced-scale
+    exp5/exp6/exp7 runs).
     """
     if workload == "skewed":
         return run_skewed(policy, **kwargs)
@@ -211,6 +343,8 @@ def run_exp8(policy: object = "lru", workload: str = "skewed",
         return _run_exp6(policy, **kwargs)
     if workload == "exp7":
         return _run_exp7(policy, **kwargs)
+    if workload == "sched":
+        return run_sched_cell(policy, **kwargs)
     raise ConfigurationError(
         f"unknown exp8 workload {workload!r}; expected one of {EXP8_WORKLOADS}"
     )

@@ -63,6 +63,7 @@ EXPERIMENTS: Dict[str, Union[str, Callable[..., Any]]] = {
     "exp6": "repro.experiments.exp6_cluster:run_exp6",
     "exp7": "repro.experiments.exp7_trace_replay:run_exp7",
     "exp8": "repro.experiments.exp8_policy_ablation:run_exp8",
+    "exp9": "repro.experiments.exp9_failures:run_exp9",
 }
 
 
@@ -216,13 +217,37 @@ def resolve_workers(workers: Union[None, int, str] = None) -> int:
 
 
 # ------------------------------------------------------------------ execution
+def _describe_exception(exc: BaseException) -> Tuple[str, str, str]:
+    """Reduce an exception to three plain strings (type, message, traceback).
+
+    Defensive by construction: a hostile ``__str__``/``__repr__`` (or an
+    exception raised while *formatting* the traceback) must not replace
+    the point's failure report with a formatting failure, so every lossy
+    step falls back to the next cruder one.
+    """
+    try:
+        message = str(exc)
+    except BaseException:  # noqa: BLE001 - fall back to repr, then type
+        try:
+            message = repr(exc)
+        except BaseException:  # noqa: BLE001
+            message = "<unprintable exception>"
+    try:
+        remote_tb = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+    except BaseException:  # noqa: BLE001
+        remote_tb = "<traceback unavailable>"
+    return type(exc).__name__, message, remote_tb
+
+
 def _execute_point(payload: Tuple[int, PointSpec, Optional[int]]):
     """Run one point (in a worker or inline) and report success or failure.
 
     Returns ``(index, ok, value_or_error, elapsed, pid)``.  Failures are
-    returned as ``(type name, message, formatted traceback)`` rather than
-    raised, so arbitrary (possibly unpicklable) exceptions never poison
-    the pool's result channel.
+    returned as ``(type name, message, formatted traceback)`` — three
+    plain strings — rather than raised, so arbitrary (possibly
+    unpicklable) exceptions never poison the pool's result channel.
     """
     index, spec, seed = payload
     kwargs = spec.kwargs()
@@ -235,7 +260,7 @@ def _execute_point(payload: Tuple[int, PointSpec, Optional[int]]):
     except KeyboardInterrupt:
         raise
     except BaseException as exc:  # noqa: BLE001 - reported with the spec
-        detail = (type(exc).__name__, str(exc), traceback.format_exc())
+        detail = _describe_exception(exc)
         return index, False, detail, time.perf_counter() - start, os.getpid()
     return index, True, value, time.perf_counter() - start, os.getpid()
 
@@ -303,7 +328,23 @@ def _run_pool(payloads, workers, progress) -> List[PointResult]:
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
-                index, ok, value, elapsed, pid = future.result()
+                try:
+                    index, ok, value, elapsed, pid = future.result()
+                except KeyboardInterrupt:
+                    raise
+                except BaseException as exc:  # noqa: BLE001
+                    # The failure report itself failed to cross the
+                    # process boundary (unpicklable point *value*, a
+                    # worker killed mid-point, a broken pool...).  Pin
+                    # the blame on the point whose future broke instead
+                    # of surfacing a bare pool internals error.
+                    index = futures[future]
+                    type_name, message, _ = _describe_exception(exc)
+                    raise SweepPointError(
+                        by_index[index], index,
+                        f"result could not be retrieved from the worker: "
+                        f"{type_name}: {message}",
+                    ) from exc
                 if not ok:
                     type_name, message, remote_tb = value
                     raise SweepPointError(

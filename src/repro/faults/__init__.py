@@ -1,0 +1,31 @@
+"""Seeded fault injection: node crashes, stragglers, elastic capacity.
+
+Public surface:
+
+* :class:`~repro.faults.plan.FaultPlan` and its spec dataclasses — a
+  frozen, picklable description of what goes wrong;
+* :class:`~repro.faults.injector.FaultInjector` — turns a plan into
+  seeded discrete-event processes against a cluster scheduler.
+
+Pass a plan to :class:`repro.Simulation` via ``fault_plan=`` — the zero
+plan (``FaultPlan()``) injects nothing and leaves the simulation
+byte-identical to a fault-free run.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    ALL_NODES,
+    ElasticNodeSpec,
+    FaultPlan,
+    NodeFaultSpec,
+    StragglerSpec,
+)
+
+__all__ = [
+    "ALL_NODES",
+    "ElasticNodeSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "NodeFaultSpec",
+    "StragglerSpec",
+]

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.des.environment import Environment
-from repro.errors import CacheConsistencyError, ConfigurationError
+from repro.errors import CacheConsistencyError, ConfigurationError, FlowAborted
 from repro.pagecache.block import Block
 from repro.pagecache.config import PageCacheConfig
 from repro.pagecache.lru import LRUList, PageCacheLists
@@ -637,6 +637,21 @@ class MemoryManager:
                 self.policy.on_invalidate(filename)
         return removed
 
+    def invalidate_all(self) -> float:
+        """Drop the entire page cache (node crash / power loss).
+
+        Every cached block of every file — dirty data included — is
+        discarded without writeback, exactly as a crash loses the contents
+        of RAM.  Anonymous memory accounting is untouched (the owning
+        processes are rolled back separately).  Returns the number of
+        bytes removed.
+        """
+        removed = 0.0
+        for filename in list(self.lists.files()):
+            removed += self.invalidate_file(filename)
+        self._files_being_written.clear()
+        return removed
+
     # ---------------------------------------------------- periodical flushing
     def expired_blocks(self) -> List[Block]:
         """Dirty blocks older than the configured expiration time."""
@@ -667,7 +682,14 @@ class MemoryManager:
                     continue
                 flushed += size
                 if block.storage is not None:
-                    yield block.storage.write(size, label=self._label_bg_flush)
+                    try:
+                        yield block.storage.write(size, label=self._label_bg_flush)
+                    except FlowAborted:
+                        # The device crashed mid-flush (fault injection).
+                        # The whole cache is about to be invalidated, so
+                        # just skip the write and keep the flusher alive
+                        # for after the repair.
+                        flushed -= size
             if flushed > 0:
                 self.stats.background_flushed_bytes += flushed
             flushing_time = self.env.now - start

@@ -85,6 +85,17 @@ class CPU:
         """Uncontended duration of ``flops`` on one core."""
         return flops / self.speed
 
+    def set_speed(self, speed: float) -> None:
+        """Change the per-core speed (straggling / recovered node).
+
+        Applies to compute segments granted a core *after* the change;
+        segments already in flight finish at the speed they started with
+        (their completion timeout is already scheduled).
+        """
+        if speed <= 0:
+            raise ConfigurationError("CPU speed must be positive")
+        self.speed = float(speed)
+
     def _execute(self, flops: float, info: Optional[dict] = None):
         # The request is released in the finally block whether it was
         # granted or still queued, so an interrupt (preemption) can never

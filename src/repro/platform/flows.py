@@ -24,7 +24,7 @@ from typing import List, Optional
 
 from repro.des.environment import Environment
 from repro.des.events import Event, Timeout, URGENT
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FlowAborted
 
 #: Tolerance below which a flow is considered complete (bytes).
 _EPSILON = 1e-6
@@ -172,6 +172,64 @@ class FairShareChannel:
 
     def _on_deferred_reschedule(self, _event: Event) -> None:
         self._resched_queued = False
+        self._reschedule()
+
+    def abort_all(self, reason: Optional[str] = None) -> int:
+        """Abort every in-flight transfer (device crash); return the count.
+
+        Progress up to the abort instant is accounted, then each flow's
+        completion event *fails* with :class:`~repro.errors.FlowAborted`.
+        The events are pre-defused: a waiter that was interrupted away
+        (the crashed node's tasks are preempted separately) leaves an
+        orphaned event behind, and a defused failure is simply discarded
+        by the event loop instead of crashing the simulation.  Waiters
+        that are still attached — e.g. the background flusher writing
+        through the crashed disk — get the exception thrown in and are
+        expected to handle it.
+
+        The channel itself stays usable: transfers started after the
+        abort (the node restarted) proceed normally.
+        """
+        flows = self._flows
+        if not flows:
+            return 0
+        self._update_progress()
+        self._flows = []
+        name = self.name if reason is None else f"{self.name} ({reason})"
+        for flow in flows:
+            event = flow.event
+            event.defused = True
+            event.fail(FlowAborted(
+                f"transfer {flow.label or 'unnamed'} aborted on channel "
+                f"{name}: {flow.remaining:.0f} of {flow.amount:.0f} bytes "
+                "were still in flight"
+            ))
+        if self._busy_since is not None:
+            self.busy_time += self.env._now - self._busy_since
+            self._busy_since = None
+        waker = self._waker_timeout
+        if waker is not None:
+            waker._defunct = True
+            self._waker_timeout = None
+        return len(flows)
+
+    def set_bandwidth(self, bandwidth: float) -> None:
+        """Change the channel's nominal bandwidth (straggling device).
+
+        In-flight flows keep the bytes they already transferred at the old
+        rate (progress is settled first) and continue at the new rate; the
+        pending completion wake-up is recomputed.  Setting the current
+        bandwidth again is a no-op.
+        """
+        if bandwidth <= 0:
+            raise ConfigurationError(
+                f"channel {self.name!r} requires a positive bandwidth, "
+                f"got {bandwidth}"
+            )
+        if bandwidth == self.bandwidth:
+            return
+        self._update_progress()
+        self.bandwidth = float(bandwidth)
         self._reschedule()
 
     def estimate_time(self, amount: float) -> float:

@@ -45,6 +45,9 @@ class Host:
         self.disks: Dict[str, Disk] = {}
         #: Set by the simulator layer when page caching is enabled.
         self.memory_manager = None
+        #: Availability flag maintained by the fault-injection layer
+        #: (:mod:`repro.faults`); always ``True`` in fault-free runs.
+        self.up = True
 
     # -------------------------------------------------------------- building
     def set_memory(self, memory: MemoryDevice) -> MemoryDevice:
@@ -71,6 +74,44 @@ class Host:
                 f"host {self.name!r} has no disk mounted at {mount_point!r}; "
                 f"known mount points: {sorted(self.disks)}"
             ) from None
+
+    # -------------------------------------------------------------- liveness
+    def channels(self, include_memory: bool = True) -> list:
+        """The distinct transfer channels of the host's devices.
+
+        Symmetric devices expose one channel for both directions; it is
+        returned once.
+        """
+        channels = []
+        for disk in self.disks.values():
+            channels.append(disk.read_channel)
+            if disk.write_channel is not disk.read_channel:
+                channels.append(disk.write_channel)
+        if include_memory and self.memory is not None:
+            channels.append(self.memory.read_channel)
+            if self.memory.write_channel is not self.memory.read_channel:
+                channels.append(self.memory.write_channel)
+        return channels
+
+    def fail(self) -> int:
+        """Mark the host down and abort every in-flight transfer it serves.
+
+        Returns the number of aborted flows (see
+        :meth:`~repro.platform.flows.FairShareChannel.abort_all` for the
+        abort semantics).  The caller — normally the fault injector — is
+        responsible for interrupting the processes that were running on
+        the host and for invalidating its page cache; this method only
+        flips the hardware state.
+        """
+        self.up = False
+        aborted = 0
+        for channel in self.channels():
+            aborted += channel.abort_all(reason=f"host {self.name} down")
+        return aborted
+
+    def restore(self) -> None:
+        """Mark the host up again (repaired / rejoined)."""
+        self.up = True
 
     # ------------------------------------------------------------------ info
     @property

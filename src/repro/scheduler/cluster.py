@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.des.environment import Environment
+from repro.des.events import Event
 from repro.errors import SchedulingError
 from repro.filesystem.file import File
 from repro.filesystem.registry import FileRegistry
@@ -53,6 +54,13 @@ class NodeState:
         self.free_cores = int(host.cores)
         #: Running jobs, keyed by job id.
         self.running: Dict[int, Job] = {}
+        #: Draining nodes accept no new work (elastic leave, maintenance);
+        #: running jobs finish normally.  Set via
+        #: :meth:`ClusterScheduler.drain_node`.
+        self.draining = False
+        #: Crashes this node has suffered (fault injection); placement
+        #: strategies may penalise failure-prone nodes with it.
+        self.n_failures = 0
         #: Cached release schedule for :meth:`earliest_fit_time` — the
         #: running jobs' estimated completions, sorted.  Invalidated on
         #: every allocate/release; between those the schedule is
@@ -65,6 +73,16 @@ class NodeState:
     def name(self) -> str:
         """The node's host name."""
         return self.host.name
+
+    @property
+    def up(self) -> bool:
+        """Whether the node's host is up (single source of truth: the host)."""
+        return self.host.up
+
+    @property
+    def available(self) -> bool:
+        """Whether the node may receive new work: up and not draining."""
+        return self.host.up and not self.draining
 
     @property
     def used_cores(self) -> int:
@@ -213,6 +231,22 @@ class ClusterScheduler:
         #: Jobs whose suspension is in flight (interrupted, not yet
         #: requeued); no new preemption is planned until this drains.
         self._suspending: Dict[int, Job] = {}
+        #: Ids of jobs interrupted by a node *crash* (as opposed to a
+        #: policy preemption): they requeue unpinned, with a restart
+        #: counted instead of a preemption.
+        self._crashed: set = set()
+        #: Node crashes injected so far (see :meth:`fail_node`).
+        self.n_node_failures = 0
+        #: Crash-driven requeues so far.
+        self.n_job_restarts = 0
+        #: Fault mode keeps the scheduler alive when no node is currently
+        #: available (all down / draining): instead of raising the stall
+        #: guard, the main loop also waits on a :meth:`kick` event that
+        #: fault and elasticity transitions trigger.  Enabled by the fault
+        #: injector; off by default so fault-free runs are byte-identical
+        #: to the pre-fault scheduler.
+        self.fault_mode = False
+        self._kick: Optional[Event] = None
         self._labels: set = set()
         self._next_id = 0
         self._started = False
@@ -300,6 +334,15 @@ class ClusterScheduler:
                     )
                     arrival_index = index
                 waits.append(arrival_timeout)
+            if self.fault_mode:
+                # Under fault injection the scheduler can be left with
+                # queued jobs and nothing to wait on (every node down or
+                # draining).  fail/restore/drain/undrain transitions
+                # trigger the kick event, re-running the dispatch pass.
+                kick = self._kick
+                if kick is None or kick.triggered:
+                    kick = self._kick = Event(self.env)
+                waits.append(kick)
             if not waits:
                 # Jobs are validated to fit on some node at submission, so
                 # an empty cluster with a non-empty queue is a logic error.
@@ -389,6 +432,108 @@ class ClusterScheduler:
                 )
                 observer.registry.counter("scheduler.preemptions").inc()
 
+    # ------------------------------------------------------ faults/elasticity
+    def kick(self) -> None:
+        """Wake the main loop for an out-of-band cluster-state change.
+
+        Called by the fault injector after a node comes up (repair,
+        elastic join): queued jobs may now fit where nothing fit before,
+        and no arrival or completion is guaranteed to wake the loop.
+        """
+        kick = self._kick
+        if kick is not None and not kick.triggered:
+            kick.succeed()
+
+    def fail_node(self, name: str) -> List[Job]:
+        """Crash a node: kill its jobs, mark it down, abort its transfers.
+
+        Every job running on the node is interrupted through the
+        checkpoint machinery in *crash* mode (no compute credit for the
+        in-flight segment — that progress lived in the node's memory) and
+        will requeue unpinned with ``restarts`` incremented once its
+        process unwinds.  The host is marked down and all in-flight
+        transfers on its devices abort.  Returns the victim jobs.
+
+        The caller — normally the fault injector — must let the current
+        event cascade drain (``yield env.timeout(0)``) and then invalidate
+        the node's page cache; the interrupted tasks' rollbacks release
+        their anonymous memory first, keeping the accounting exact.
+        """
+        node = self.node(name)
+        if not node.up:
+            return []
+        node.n_failures += 1
+        self.n_node_failures += 1
+        victims = list(node.running.values())
+        for victim in victims:
+            self._crashed.add(victim.id)
+            self._suspending[victim.id] = victim
+            executor = self._executors_by_job.get(victim.id)
+            if executor is not None:
+                executor.crash()
+        aborted = node.host.fail()
+        observer = self.env.observer
+        if observer is not None:
+            observer.instant(
+                f"fail:{name}", "fault", "scheduler", self.env.now,
+                {"node": name, "victims": len(victims),
+                 "aborted_flows": aborted},
+            )
+            observer.registry.counter("faults.node_failures").inc()
+        return victims
+
+    def restore_node(self, name: str) -> None:
+        """Bring a crashed node back up (repaired) and wake the loop."""
+        node = self.node(name)
+        if node.up:
+            return
+        node.host.restore()
+        observer = self.env.observer
+        if observer is not None:
+            observer.instant(
+                f"repair:{name}", "fault", "scheduler", self.env.now,
+                {"node": name},
+            )
+            observer.registry.counter("faults.node_repairs").inc()
+        self.kick()
+
+    def drain_node(self, name: str) -> None:
+        """Stop dispatching to a node; running jobs finish normally.
+
+        The first half of drain-before-leave elasticity: once
+        ``node.running`` empties the node can safely leave.
+        """
+        node = self.node(name)
+        if node.draining:
+            return
+        node.draining = True
+        # A preempted job pinned to this node could otherwise never
+        # resume once the node leaves; unpin it (the checkpoint on the
+        # node's storage stays readable remotely).
+        for job in self.queue:
+            if job.pinned_node == name:
+                job.pinned_node = None
+        observer = self.env.observer
+        if observer is not None:
+            observer.instant(
+                f"drain:{name}", "elastic", "scheduler", self.env.now,
+                {"node": name, "running": node.n_running},
+            )
+
+    def undrain_node(self, name: str) -> None:
+        """Make a draining (or not-yet-joined burstable) node schedulable."""
+        node = self.node(name)
+        if not node.draining:
+            return
+        node.draining = False
+        observer = self.env.observer
+        if observer is not None:
+            observer.instant(
+                f"join:{name}", "elastic", "scheduler", self.env.now,
+                {"node": name},
+            )
+        self.kick()
+
     def _executor_for(self, job: Job, node: NodeState) -> WorkflowExecutor:
         """The job's executor, created on first dispatch and reused after."""
         executor = self._executors_by_job.get(job.id)
@@ -409,6 +554,11 @@ class ClusterScheduler:
             )
             self._executors_by_job[job.id] = executor
             self.executors.append(executor)
+        elif executor.host is not node.host:
+            # Crash restart placed the job on a different node: repoint
+            # the executor (outputs written so far stay on the old node's
+            # storage and are read remotely via the registry).
+            executor.rebind(node.host, node.storage)
         return executor
 
     def _run_job(self, job: Job, node: NodeState):
@@ -453,8 +603,28 @@ class ClusterScheduler:
                      "preempted": preempted},
                 )
         if preempted:
-            job.preemptions += 1
-            job.pinned_node = node.name
+            if job.id in self._crashed:
+                # Crash restart: the in-flight segment is gone (no credit
+                # past the last checkpoint) and the node is down — requeue
+                # unpinned so any node may restart the job.
+                self._crashed.discard(job.id)
+                job.restarts += 1
+                self.n_job_restarts += 1
+                job.pinned_node = None
+                observer = self.env.observer
+                if observer is not None:
+                    observer.instant(
+                        f"restart:{job.label}", "fault", "scheduler",
+                        self.env.now,
+                        {"job": job.label, "node": node.name,
+                         "restarts": job.restarts},
+                    )
+                    observer.registry.counter("faults.job_restarts").inc()
+            else:
+                job.preemptions += 1
+                # Resume on the checkpoint's node — unless the node can no
+                # longer take work (crashed or draining since the plan).
+                job.pinned_node = node.name if node.available else None
             self.queue.append(job)
             return
         job.end_time = self.env.now
@@ -480,6 +650,7 @@ class ClusterScheduler:
                 estimated_runtime=job.estimated_runtime,
                 priority=job.priority,
                 preemptions=job.preemptions,
+                restarts=job.restarts,
                 run_seconds=job.run_seconds,
             )
         )
@@ -495,6 +666,11 @@ class ClusterScheduler:
             total_cores=self.total_cores,
             first_arrival=first_arrival,
             last_completion=last_completion,
+            n_node_failures=self.n_node_failures,
+            n_job_restarts=self.n_job_restarts,
+            lost_work_seconds=sum(
+                executor.lost_compute_seconds for executor in self.executors
+            ),
         )
 
     def __repr__(self) -> str:

@@ -85,6 +85,9 @@ class Job:
         self.run_seconds: float = 0.0
         #: Number of times the job was preempted.
         self.preemptions: int = 0
+        #: Number of times the job was crash-restarted (its node failed
+        #: while it ran and it was rolled back and requeued).
+        self.restarts: int = 0
         #: After a preemption the job resumes on the node holding its
         #: checkpoint (and its warm page cache); ``None`` = any node.
         self.pinned_node: Optional[str] = None

@@ -51,6 +51,9 @@ class JobRecord:
     priority: int = 0
     #: Number of times the job was preempted before completing.
     preemptions: int = 0
+    #: Number of times the job was crash-restarted (its node failed while
+    #: it ran and it was checkpoint-rolled-back and requeued).
+    restarts: int = 0
     #: Seconds actually spent running; ``None`` means the job ran in one
     #: uninterrupted segment (``end - start``).
     run_seconds: Optional[float] = None
@@ -89,6 +92,13 @@ class SchedulerMetrics:
     first_arrival: float = 0.0
     #: Last job completion (0 when no jobs completed).
     last_completion: float = 0.0
+    #: Node crashes injected over the run (0 in fault-free runs).
+    n_node_failures: int = 0
+    #: Crash-driven job restarts (rollback + requeue) over the run.
+    n_job_restarts: int = 0
+    #: Compute seconds destroyed by crashes: work a job had done past its
+    #: last checkpoint when its node failed, which it must redo.
+    lost_work_seconds: float = 0.0
 
     # ------------------------------------------------------------------- api
     @property
@@ -204,6 +214,9 @@ class SchedulerMetrics:
             "utilization": self.utilization,
             "throughput": self.throughput,
             "n_preemptions": self.n_preemptions,
+            "n_node_failures": self.n_node_failures,
+            "n_job_restarts": self.n_job_restarts,
+            "lost_work_seconds": self.lost_work_seconds,
         }
 
     def __repr__(self) -> str:

@@ -141,12 +141,72 @@ class CacheLocalityPlacement(PlacementStrategy):
         )
 
 
+class FailureAwarePlacement(CacheLocalityPlacement):
+    """Cache locality, discounted by a node's failure history.
+
+    Same scoring as :class:`CacheLocalityPlacement`, but each node's
+    cached-byte score is multiplied by ``1 / (1 + penalty * n_failures)``:
+    a node that keeps crashing loses its locality advantage — its cache is
+    cold after every crash anyway, and work placed there keeps being
+    rolled back.  With no failure history (or ``penalty=0``) the strategy
+    degenerates to plain cache locality, including the rendezvous-hash
+    cold path.
+
+    Parameters
+    ----------
+    penalty:
+        Discount weight per recorded crash (>= 0, default 1.0).
+    """
+
+    name = "failure-aware"
+
+    def __init__(self, penalty: float = 1.0) -> None:
+        super().__init__()
+        if penalty < 0:
+            raise ConfigurationError(
+                f"failure-aware placement: penalty must be >= 0, got {penalty}"
+            )
+        self.penalty = float(penalty)
+
+    def score(self, job: Job, node: "NodeState") -> float:
+        score = super().score(job, node)
+        return score / (1.0 + self.penalty * node.n_failures)
+
+    def select_node(self, job: Job, candidates: Sequence["NodeState"],
+                    now: float = 0.0) -> "NodeState":
+        files = job.input_files()
+        best_node = None
+        best_score = 0.0
+        best_tie = None
+        for node in candidates:
+            score = node.cached_bytes_of(files)
+            score /= 1.0 + self.penalty * node.n_failures
+            if score <= 0.0:
+                continue
+            tie = (-node.free_cores, node.n_running, node.name)
+            if (best_node is None or score > best_score
+                    or (score == best_score and tie < best_tie)):
+                best_node, best_score, best_tie = node, score, tie
+        if best_node is not None:
+            return best_node
+        # Cold path: rendezvous hashing, but crash-prone nodes are only
+        # picked when every healthier candidate is unavailable.
+        dataset_key = "|".join(sorted(f.name for f in files))
+        return max(
+            candidates,
+            key=lambda node: (-node.n_failures,
+                              self._weight(dataset_key, node.name),
+                              node.name),
+        )
+
+
 #: Strategies constructible by name.
 PLACEMENTS = {
     RoundRobinPlacement.name: RoundRobinPlacement,
     LeastLoadedPlacement.name: LeastLoadedPlacement,
     CacheLocalityPlacement.name: CacheLocalityPlacement,
     "cache-aware": CacheLocalityPlacement,
+    FailureAwarePlacement.name: FailureAwarePlacement,
 }
 
 

@@ -59,11 +59,14 @@ def fitting_nodes(job: Job, nodes: Sequence["NodeState"]) -> List["NodeState"]:
 
     A previously preempted job is pinned to the node holding its
     checkpoint (``job.pinned_node``); only that node qualifies for it.
+    Nodes that are down or draining (see :mod:`repro.faults`) never
+    qualify.
     """
     return [
         node
         for node in nodes
-        if node.free_cores >= job.cores
+        if node.available
+        and node.free_cores >= job.cores
         and (job.pinned_node is None or node.name == job.pinned_node)
     ]
 
@@ -171,6 +174,8 @@ class EasyBackfillPolicy(FIFOPolicy):
         best_time = float("inf")
         best_node: Optional["NodeState"] = None
         for node in nodes:
+            if not node.available:
+                continue
             available = node.earliest_fit_time(job.cores, now)
             if available < best_time:
                 best_time = available
@@ -276,6 +281,8 @@ class PreemptivePriorityPolicy(SchedulingPolicy):
         best_key: Optional[Tuple[int, float, str]] = None
         best_plan: Optional[PreemptionPlan] = None
         for node in nodes:
+            if not node.available:
+                continue
             if head.pinned_node is not None and node.name != head.pinned_node:
                 continue
             if head.cores > node.total_cores:

@@ -34,6 +34,8 @@ from __future__ import annotations
 import gzip
 import os
 import tempfile
+import time
+import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -383,12 +385,51 @@ def default_cache_dir() -> Path:
 
 #: Seconds before a stalled archive download errors out.
 FETCH_TIMEOUT = 60.0
+#: Download attempts per fetch (the archive mirror drops connections
+#: under load; transient network errors should not fail a sweep).
+FETCH_RETRIES = 3
+#: Base of the exponential backoff between attempts, in seconds:
+#: attempt ``k`` (0-based) sleeps ``FETCH_BACKOFF * 2**k`` after failing.
+FETCH_BACKOFF = 1.0
+
+#: Sleep hook used between retry attempts — module-level so tests can
+#: patch it and exercise the backoff schedule without real waiting.
+_sleep: Callable[[float], None] = time.sleep
+
+
+def _download(url: str, timeout: float, retries: int,
+              backoff: float) -> bytes:
+    """Read ``url`` fully, retrying transient errors with backoff.
+
+    Retries cover the network-shaped failures (``URLError`` — which
+    subsumes HTTP errors and DNS/connection resets — plus bare
+    ``OSError`` timeouts); anything else propagates immediately.  The
+    final attempt's exception is re-raised with the attempt count in a
+    :class:`~repro.errors.ConfigurationError` so sweep logs show the
+    fetch was retried, not flaky.
+    """
+    if retries < 1:
+        raise ConfigurationError(f"retries must be >= 1, got {retries}")
+    last: Optional[BaseException] = None
+    for attempt in range(retries):
+        try:
+            with urllib.request.urlopen(url, timeout=timeout) as response:
+                return response.read()
+        except (urllib.error.URLError, OSError) as exc:
+            last = exc
+            if attempt + 1 < retries:
+                _sleep(backoff * (2 ** attempt))
+    raise ConfigurationError(
+        f"failed to fetch {url!r} after {retries} attempts: {last}"
+    ) from last
 
 
 def fetch_trace(name_or_url: Union[str, Path], *,
                 cache_dir: Union[None, str, Path] = None,
                 refresh: bool = False,
-                timeout: float = FETCH_TIMEOUT) -> Path:
+                timeout: float = FETCH_TIMEOUT,
+                retries: int = FETCH_RETRIES,
+                backoff: float = FETCH_BACKOFF) -> Path:
     """Download-and-cache a workload trace; return the local ``.swf`` path.
 
     ``name_or_url`` is a :data:`KNOWN_TRACES` short name (``"KTH-SP2"``),
@@ -404,6 +445,11 @@ def fetch_trace(name_or_url: Union[str, Path], *,
     truncated trace in the cache and concurrent fetches (e.g. two sweep
     workers racing on a cold cache) cannot corrupt each other — the last
     rename wins with a complete file either way.
+
+    Transient network failures are retried up to ``retries`` times with
+    exponential backoff (``backoff * 2**attempt`` seconds between
+    attempts); exhausting the attempts raises a
+    :class:`~repro.errors.ConfigurationError` carrying the last error.
     """
     url = KNOWN_TRACES.get(str(name_or_url), str(name_or_url))
     if "://" not in url:
@@ -428,8 +474,7 @@ def fetch_trace(name_or_url: Union[str, Path], *,
         return target
 
     directory.mkdir(parents=True, exist_ok=True)
-    with urllib.request.urlopen(url, timeout=timeout) as response:
-        payload = response.read()
+    payload = _download(url, timeout, retries, backoff)
     if gzipped:
         payload = gzip.decompress(payload)
     fd, partial_name = tempfile.mkstemp(
@@ -449,10 +494,13 @@ def fetch_trace(name_or_url: Union[str, Path], *,
 def load_trace(name_or_url: Union[str, Path], *,
                cache_dir: Union[None, str, Path] = None,
                refresh: bool = False,
-               timeout: float = FETCH_TIMEOUT) -> SWFTrace:
+               timeout: float = FETCH_TIMEOUT,
+               retries: int = FETCH_RETRIES,
+               backoff: float = FETCH_BACKOFF) -> SWFTrace:
     """Fetch (cached) and parse a trace in one call."""
     return load_swf(fetch_trace(name_or_url, cache_dir=cache_dir,
-                                refresh=refresh, timeout=timeout))
+                                refresh=refresh, timeout=timeout,
+                                retries=retries, backoff=backoff))
 
 
 def records_from_specs(specs: Iterable[TraceJobSpec]) -> List[SWFRecord]:

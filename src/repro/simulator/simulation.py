@@ -198,12 +198,19 @@ class Simulation:
         ``"priority"``), an :class:`~repro.pagecache.policy.EvictionPolicy`
         instance (single-host simulations only), a subclass, or a factory.
         ``None`` keeps the configured policy (default LRU).
+    fault_plan:
+        A :class:`repro.faults.FaultPlan` describing node crashes,
+        stragglers and elastic capacity to inject while the cluster
+        scheduler runs.  ``None`` or the zero plan (``FaultPlan()``)
+        injects nothing and leaves the run byte-identical to a fault-free
+        simulation; a non-zero plan requires a cluster scheduler.
     """
 
     def __init__(self, env: Optional[Environment] = None,
                  config: Optional[SimulationConfig] = None,
                  observe: Union[bool, Observer, None] = None,
-                 eviction_policy=None):
+                 eviction_policy=None,
+                 fault_plan=None):
         self.env = env or Environment()
         self.config = config or SimulationConfig()
         if eviction_policy is not None:
@@ -230,6 +237,8 @@ class Simulation:
         self.storage_services: List[StorageService] = []
         self._executors: List[WorkflowExecutor] = []
         self._scheduler: Optional[ClusterScheduler] = None
+        self.fault_plan = fault_plan
+        self._fault_injector = None
         self._has_run = False
 
     # --------------------------------------------------------------- platform
@@ -597,6 +606,19 @@ class Simulation:
         if not self._executors and not scheduled_jobs:
             raise ConfigurationError("no workflow or job was submitted")
         self._has_run = True
+
+        if self.fault_plan is not None and not self.fault_plan.is_zero:
+            if self._scheduler is None or not scheduled_jobs:
+                raise ConfigurationError(
+                    "a non-zero fault_plan requires a cluster scheduler "
+                    "with submitted jobs"
+                )
+            from repro.faults.injector import FaultInjector
+
+            self._fault_injector = FaultInjector(
+                self.env, self._scheduler, self.fault_plan
+            )
+            self._fault_injector.start()
 
         processes = [
             self.env.process(executor.run(), name=f"executor:{executor.label}")

@@ -108,7 +108,12 @@ class WorkflowExecutor:
         self._compute_done: Dict[str, float] = {}
         self._running: Dict[str, object] = {}
         self._preempting = False
+        self._crashing = False
         self._suspended = False
+        #: Compute seconds destroyed by suspensions: the lost-work penalty
+        #: of each preemption, plus the whole in-flight segment of each
+        #: crash (that progress lived in the node's memory).
+        self.lost_compute_seconds = 0.0
 
     @property
     def suspended(self) -> bool:
@@ -134,6 +139,7 @@ class WorkflowExecutor:
             # (the scheduler can plan a preemption in the same pass that
             # started the victim): suspend immediately with no progress.
             self._preempting = False
+            self._crashing = False
             self._suspended = True
             return self.PREEMPTED
         self._suspended = False
@@ -178,6 +184,7 @@ class WorkflowExecutor:
                     # flag still set at entry means "preempted before the
                     # process ever ran", handled above).
                     self._preempting = False
+                    self._crashing = False
                     self._suspended = True
                     return self.PREEMPTED
                 raise SchedulingError(
@@ -225,6 +232,36 @@ class WorkflowExecutor:
         for process in self._running.values():
             if process.is_alive:
                 process.interrupt(self.PREEMPTED)
+
+    def crash(self) -> None:
+        """Suspend the execution because its node crashed.
+
+        Same unwind as :meth:`preempt` — running tasks are interrupted and
+        roll back their partial outputs and anonymous memory — but the
+        in-flight compute segment earns *no* checkpoint credit: that
+        progress only existed in the crashed node's memory.  Work
+        checkpointed by earlier suspensions survives (checkpoints persist
+        to the node's disk, which outlives a reboot), as do completed
+        tasks and their outputs.
+        """
+        self._crashing = True
+        self.preempt()
+
+    def rebind(self, host: Host, output_storage: StorageService) -> None:
+        """Repoint a suspended executor at a different node.
+
+        Used when a crash-restarted job is dispatched elsewhere: tasks now
+        compute on ``host`` and write to ``output_storage``.  Files the
+        job already produced stay registered on the old node's storage and
+        are read remotely through the registry.  The compute service is
+        rebuilt for the new host; a custom ``compute_service`` passed at
+        construction does not survive a rebind.
+        """
+        if host is self.host:
+            return
+        self.host = host
+        self.output_storage = output_storage
+        self.compute_service = ComputeService(self.env, host)
 
     # ------------------------------------------------------------------ tasks
     def _execute_task(self, task: Task):
@@ -333,7 +370,12 @@ class WorkflowExecutor:
         )
         speed = self.host.cpu.speed
         done = min(remaining_flops, executed * speed)
+        if self._crashing:
+            # The whole in-flight segment dies with the node's memory.
+            self.lost_compute_seconds += done / speed
+            return
         credit = max(0.0, done - self.lost_work_penalty * speed)
+        self.lost_compute_seconds += (done - credit) / speed
         total = self._compute_done.get(task.name, 0.0) + credit
         self._compute_done[task.name] = min(task.flops, total)
 

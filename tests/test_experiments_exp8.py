@@ -51,7 +51,9 @@ class TestRunExp8:
         assert "exp8" in EXPERIMENTS
 
     def test_workload_names_cover_dispatch(self):
-        assert set(EXP8_WORKLOADS) == {"skewed", "exp5", "exp6", "exp7"}
+        assert set(EXP8_WORKLOADS) == {
+            "skewed", "exp5", "exp6", "exp7", "sched"
+        }
 
     def test_exp5_workload_fits_in_memory_so_policies_tie(self):
         # Honest control: without memory pressure victim selection is
@@ -60,6 +62,38 @@ class TestRunExp8:
         arc = run_exp8("arc", "exp5")
         assert arc.hit_ratio == pytest.approx(lru.hit_ratio)
         assert arc.makespan == pytest.approx(lru.makespan)
+
+
+class TestSchedCell:
+    """The scheduler-driven cell built for the priority-weighted policy."""
+
+    def test_priority_policy_receives_dispatch_and_preemption_events(self):
+        from repro.experiments.exp8_policy_ablation import run_sched_cell
+
+        point = run_sched_cell("priority")
+        assert point.workload == "sched"
+        assert point.policy == "priority"
+        # The cell's whole point: the scheduler hooks actually fire.
+        assert point.n_job_dispatches > 0
+        assert point.n_job_preemptions > 0
+
+    def test_policies_without_job_hooks_see_no_events(self):
+        from repro.experiments.exp8_policy_ablation import run_sched_cell
+
+        point = run_sched_cell("lru")
+        # LRU does not subscribe (wants_job_events is False), so the
+        # scheduler never forwards events to it.
+        assert point.n_job_dispatches == 0
+        assert point.n_job_preemptions == 0
+        # The workload still exercises the cache under pressure.
+        assert 0.0 < point.hit_ratio < 1.0
+
+    def test_sched_cell_is_deterministic(self):
+        first = run_exp8("priority", "sched")
+        second = run_exp8("priority", "sched")
+        assert first.hit_ratio == second.hit_ratio
+        assert first.makespan == second.makespan
+        assert first.n_job_preemptions == second.n_job_preemptions
 
 
 class TestSeriesAndReport:

@@ -56,10 +56,41 @@ def _nap(duration):
     return duration
 
 
+class _HostileError(Exception):
+    """An exception whose every printable surface raises."""
+
+    def __str__(self):
+        raise RuntimeError("no str for you")
+
+    def __repr__(self):
+        raise RuntimeError("no repr either")
+
+
+class _UnpicklableError(Exception):
+    def __init__(self):
+        super().__init__("cannot cross process boundary")
+        self.payload = lambda: None  # lambdas do not pickle
+
+
+def _raise_hostile(x):
+    raise _HostileError()
+
+
+def _raise_unpicklable(x):
+    raise _UnpicklableError()
+
+
+def _return_unpicklable(x):
+    return lambda: x  # the *value* fails to pickle on the way back
+
+
 register_experiment("test-square", _square)
 register_experiment("test-echo-seed", _echo_seed)
 register_experiment("test-boom", _boom)
 register_experiment("test-nap", _nap)
+register_experiment("test-hostile", _raise_hostile)
+register_experiment("test-unpicklable-exc", _raise_unpicklable)
+register_experiment("test-unpicklable-value", _return_unpicklable)
 
 
 def _no_children(timeout=10.0):
@@ -230,6 +261,44 @@ class TestFailurePaths:
         assert "boom on 99" in str(err.value)
         if workers > 1:
             assert _no_children()
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_unpicklable_worker_exception_still_carries_the_spec(self, workers):
+        # The exception itself cannot cross the process boundary; the
+        # engine ships (type, message, traceback) strings instead, so the
+        # parent still learns which point died and why.
+        specs = [make_spec("test-unpicklable-exc", x=1, label="poison")]
+        with pytest.raises(SweepPointError) as err:
+            run_sweep(specs, workers=workers)
+        assert err.value.spec.label == "poison"
+        assert "_UnpicklableError" in str(err.value)
+        assert "cannot cross process boundary" in str(err.value)
+        if workers > 1:
+            assert _no_children()
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_hostile_exception_repr_does_not_mask_the_failure(self, workers):
+        # str(exc) and repr(exc) both raise; the report degrades to the
+        # type name instead of replacing the failure with a new one.
+        specs = [make_spec("test-hostile", x=1, label="hostile")]
+        with pytest.raises(SweepPointError) as err:
+            run_sweep(specs, workers=workers)
+        assert err.value.spec.label == "hostile"
+        assert "_HostileError" in str(err.value)
+
+    def test_unpicklable_point_value_becomes_sweep_point_error(self):
+        # Success values must pickle to cross back from a pool worker;
+        # when one does not, the error names the guilty point rather
+        # than surfacing a bare pool internals failure.  (Inline runs
+        # never pickle, so this is pool-only behaviour.)
+        specs = [
+            make_spec("test-square", x=2, label="fine"),
+            make_spec("test-unpicklable-value", x=1, label="lambda-point"),
+        ]
+        with pytest.raises(SweepPointError) as err:
+            run_sweep(specs, workers=2)
+        assert err.value.spec.label == "lambda-point"
+        assert _no_children()
 
     def test_keyboard_interrupt_shuts_the_pool_down_cleanly(self):
         specs = [make_spec("test-nap", duration=0.2) for _ in range(8)]

@@ -160,3 +160,43 @@ class TestExperimentParity:
             want["high_prio_wait"], rel=REL, abs=1e-9
         )
         assert point.n_preemptions == want["n_preemptions"]
+
+    def test_exp6_zero_fault_plan_replays_golden(self, experiment_golden):
+        # The fault-injection layer's parity contract: a zero FaultPlan
+        # enables no fault machinery, so the run replays the golden
+        # numbers exactly as if no plan had been passed at all.
+        from repro.experiments.exp6_cluster import run_exp6
+        from repro.faults import FaultPlan
+
+        point = run_exp6("cache", fault_plan=FaultPlan())
+        want = experiment_golden["exp6_cache"]
+        assert point.makespan == pytest.approx(want["makespan"], rel=REL)
+        assert point.cache_hit_ratio == pytest.approx(
+            want["cache_hit_ratio"], rel=REL
+        )
+        assert point.mean_wait_time == pytest.approx(
+            want["mean_wait_time"], rel=REL, abs=1e-9
+        )
+        assert point.mean_bounded_slowdown == pytest.approx(
+            want["mean_bounded_slowdown"], rel=REL
+        )
+        assert point.utilization == pytest.approx(want["utilization"], rel=REL)
+        assert point.n_node_failures == 0
+        assert point.n_job_restarts == 0
+
+    def test_exp7_zero_fault_plan_replays_golden(self, experiment_golden):
+        from repro.experiments.exp7_trace_replay import run_exp7
+        from repro.faults import FaultPlan
+
+        point = run_exp7("preemptive-priority", load_factor=40.0,
+                         fault_plan=FaultPlan())
+        want = experiment_golden["exp7_preemptive-priority"]
+        assert point.makespan == pytest.approx(want["makespan"], rel=REL)
+        assert point.cache_hit_ratio == pytest.approx(
+            want["cache_hit_ratio"], rel=REL
+        )
+        assert point.mean_bounded_slowdown == pytest.approx(
+            want["mean_bounded_slowdown"], rel=REL
+        )
+        assert point.n_preemptions == want["n_preemptions"]
+        assert point.n_node_failures == 0

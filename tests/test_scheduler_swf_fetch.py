@@ -9,11 +9,13 @@ explode if called.
 from __future__ import annotations
 
 import gzip
+import urllib.error
 import urllib.request
 from pathlib import Path
 
 import pytest
 
+import repro.scheduler.swf as swf_module
 from repro.errors import ConfigurationError
 from repro.scheduler.swf import (
     KNOWN_TRACES,
@@ -99,3 +101,78 @@ class TestFetchTrace:
         monkeypatch.delenv("REPRO_CACHE_DIR")
         monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
         assert default_cache_dir() == tmp_path / "xdg" / "repro"
+
+
+def _flaky_urlopen(monkeypatch, failures: int, exc_factory=None):
+    """Make ``urlopen`` fail ``failures`` times, then pass through.
+
+    Returns the list of sleeps the retry loop performed (the backoff
+    schedule) — the sleep hook is patched so no test actually waits.
+    """
+    sleeps = []
+    monkeypatch.setattr(swf_module, "_sleep", sleeps.append)
+    real = urllib.request.urlopen
+    state = {"left": failures}
+
+    def sometimes(url, *args, **kwargs):
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise (exc_factory() if exc_factory
+                   else urllib.error.URLError("connection reset"))
+        return real(url, *args, **kwargs)
+
+    monkeypatch.setattr(urllib.request, "urlopen", sometimes)
+    return sleeps
+
+
+class TestFetchRetry:
+    """Transient download failures are retried with exponential backoff."""
+
+    def test_first_attempt_failure_is_retried(self, tmp_path, monkeypatch):
+        sleeps = _flaky_urlopen(monkeypatch, failures=1)
+        target = fetch_trace(SAMPLE.resolve().as_uri(), cache_dir=tmp_path)
+        assert target.read_text() == SAMPLE.read_text()
+        assert sleeps == [1.0]  # one backoff before the winning attempt
+
+    def test_backoff_schedule_is_exponential(self, tmp_path, monkeypatch):
+        sleeps = _flaky_urlopen(monkeypatch, failures=2)
+        fetch_trace(SAMPLE.resolve().as_uri(), cache_dir=tmp_path,
+                    retries=3, backoff=0.5)
+        assert sleeps == [0.5, 1.0]
+
+    def test_exhausted_retries_raise_with_attempt_count(self, tmp_path,
+                                                        monkeypatch):
+        sleeps = _flaky_urlopen(monkeypatch, failures=99)
+        with pytest.raises(ConfigurationError, match="after 3 attempts"):
+            fetch_trace(SAMPLE.resolve().as_uri(), cache_dir=tmp_path,
+                        retries=3)
+        # No sleep after the final failure.
+        assert sleeps == [1.0, 2.0]
+        # No partial file polluted the cache either.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_timeout_oserror_is_retried(self, tmp_path, monkeypatch):
+        sleeps = _flaky_urlopen(monkeypatch, failures=1,
+                                exc_factory=lambda: TimeoutError("timed out"))
+        target = fetch_trace(SAMPLE.resolve().as_uri(), cache_dir=tmp_path)
+        assert target.read_text() == SAMPLE.read_text()
+        assert sleeps == [1.0]
+
+    def test_non_network_errors_are_not_retried(self, tmp_path, monkeypatch):
+        sleeps = _flaky_urlopen(monkeypatch, failures=99,
+                                exc_factory=lambda: ValueError("bug"))
+        with pytest.raises(ValueError):
+            fetch_trace(SAMPLE.resolve().as_uri(), cache_dir=tmp_path)
+        assert sleeps == []
+
+    def test_invalid_retry_count_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            fetch_trace(SAMPLE.resolve().as_uri(), cache_dir=tmp_path,
+                        retries=0)
+
+    def test_load_trace_forwards_retry_knobs(self, tmp_path, monkeypatch):
+        sleeps = _flaky_urlopen(monkeypatch, failures=1)
+        trace = load_trace(SAMPLE.resolve().as_uri(), cache_dir=tmp_path,
+                           retries=2, backoff=0.25)
+        assert trace.n_jobs == 84
+        assert sleeps == [0.25]
