@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""CI gate: snapshot/restore parity and snapshot-file determinism.
+
+Runs Exp 6 two ways and demands byte-identical canonical result JSON:
+
+1. **Uninterrupted** — build, run to completion.
+2. **Interrupted** — build, step to ``t = T``, snapshot to disk, then
+   restore the snapshot *in a fresh Python process* (so nothing survives
+   but the file) and run that restored simulation to completion.
+
+Also writes the snapshot twice from independently built simulations and
+asserts the two files are byte-for-byte identical — the snapshot format
+itself must be deterministic, or resumed sweeps could not be audited.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_snapshot_parity.py
+
+Exit status 0 on parity, 1 on any divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+#: The checked scenario: large enough that the snapshot at T lands
+#: mid-schedule (jobs queued, transfers in flight, cache warm), small
+#: enough to finish in seconds.
+N_JOBS = 40
+SNAPSHOT_T = 8.0
+
+
+def finished_point_json(simulation) -> str:
+    """Run ``simulation`` to completion and canonicalize its Exp 6 point."""
+    from repro.snapshot import canonical_json
+    from repro.snapshot.recipe import finish_point
+
+    result = simulation.run()
+    return canonical_json(finish_point(simulation.recipe, result))
+
+
+def child_restore(path: str) -> None:
+    """Fresh-process half: restore the snapshot, finish, print the JSON."""
+    from repro.snapshot import restore_simulation
+
+    simulation = restore_simulation(Path(path))
+    sys.stdout.write(finished_point_json(simulation))
+
+
+def build() -> "object":
+    from repro.experiments.exp6_cluster import build_exp6
+
+    return build_exp6("cache", n_jobs=N_JOBS)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--restore", metavar="SNAPSHOT",
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args()
+    if args.restore:
+        child_restore(args.restore)
+        return 0
+
+    from repro.snapshot import write_snapshot
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+
+        print(f"exp6 n_jobs={N_JOBS}: uninterrupted run ...")
+        reference = finished_point_json(build())
+
+        print(f"snapshot at t={SNAPSHOT_T} ...")
+        simulation = build()
+        simulation.step_until(SNAPSHOT_T)
+        snapshot = write_snapshot(simulation, tmp_path / "parity.json")
+        del simulation
+
+        print("restore in a fresh process ...")
+        proc = subprocess.run(
+            [sys.executable, __file__, "--restore", str(snapshot)],
+            capture_output=True, text=True,
+        )
+        if proc.returncode != 0:
+            print(proc.stderr, file=sys.stderr)
+            print("FAIL: restore process crashed", file=sys.stderr)
+            return 1
+        restored = proc.stdout
+        if restored != reference:
+            print("FAIL: restored run diverged from the uninterrupted run",
+                  file=sys.stderr)
+            print(f"  reference: {reference[:200]}...", file=sys.stderr)
+            print(f"  restored:  {restored[:200]}...", file=sys.stderr)
+            return 1
+        print(f"parity OK ({len(reference)} canonical bytes)")
+
+        print("snapshot-file determinism ...")
+        second = build()
+        second.step_until(SNAPSHOT_T)
+        again = write_snapshot(second, tmp_path / "parity-again.json")
+        first_bytes = snapshot.read_bytes()
+        again_bytes = again.read_bytes()
+        if first_bytes != again_bytes:
+            print("FAIL: two snapshots of the same run differ byte-wise",
+                  file=sys.stderr)
+            return 1
+        print(f"determinism OK ({len(first_bytes)} snapshot bytes)")
+
+    print("snapshot parity: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,11 @@ The package is organised in layers:
     The applications evaluated in the paper (synthetic pipeline, Nighres).
 ``repro.experiments``
     The evaluation harness regenerating every table and figure.
+``repro.snapshot``
+    Checkpoint/restore of full simulator state: versioned snapshot
+    files (recipe + replay-to-T + verified state fingerprint), periodic
+    checkpointing with Young/Daly-tuned intervals, crash-recoverable
+    runs and resumable sweeps.
 """
 
 from repro.version import __version__

@@ -53,3 +53,17 @@ class FlowAborted(SimulationError):
 
 class SimulationDeadlockError(SimulationError):
     """The event queue drained while processes were still waiting."""
+
+
+class SnapshotError(SimulationError):
+    """A simulation snapshot could not be written, read or restored."""
+
+
+class SnapshotIntegrityError(SnapshotError):
+    """A restored simulation's state does not match its snapshot.
+
+    Raised when the deterministic replay that rebuilds a snapshotted
+    simulation produces a state fingerprint different from the one
+    recorded in the snapshot file — the file is corrupt, was produced by
+    a different code version, or the simulation is not deterministic.
+    """

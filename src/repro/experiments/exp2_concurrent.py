@@ -46,18 +46,16 @@ class ConcurrencyPoint:
         return (self.n_apps, self.read_time, self.write_time)
 
 
-def run_exp2(simulator: str, n_apps: int, *,
-             input_size: float = DEFAULT_INPUT_SIZE,
-             chunk_size: float = 100 * MB,
-             nfs: bool = False,
-             eviction_policy: object = "lru") -> ConcurrencyPoint:
-    """Run one concurrency level for one simulator.
+def build_exp2(simulator: str, n_apps: int, *,
+               input_size: float = DEFAULT_INPUT_SIZE,
+               chunk_size: float = 100 * MB,
+               nfs: bool = False,
+               eviction_policy: object = "lru"):
+    """Build one concurrency-level simulation (unstarted), recipe bound.
 
-    ``nfs=False`` gives Exp 2 (local disk); ``nfs=True`` gives Exp 3 (the
-    same workload against the NFS-mounted remote disk).
-    ``eviction_policy`` selects the page caches' victim-selection policy
-    (the policy ablation of exp8 sweeps it); the default LRU reproduces
-    the paper runs bit-identically.
+    The builder/finisher split exists for checkpoint/restore: a snapshot
+    records this function's parameters, and a restore rebuilds through it
+    before replaying.  :func:`run_exp2` composes the two.
     """
     scenario = ScenarioConfig(nfs=nfs, chunk_size=chunk_size, trace_interval=None,
                               eviction_policy=eviction_policy)
@@ -66,7 +64,18 @@ def run_exp2(simulator: str, n_apps: int, *,
     stage_and_submit_instances(
         simulation, instances, host="node1", storage=storage, chunk_size=chunk_size
     )
-    result = simulation.run()
+    from repro.snapshot.recipe import SimRecipe
+
+    simulation.bind_recipe(SimRecipe("exp2", dict(
+        simulator=simulator, n_apps=n_apps, input_size=input_size,
+        chunk_size=chunk_size, nfs=nfs, eviction_policy=eviction_policy,
+    )))
+    return simulation
+
+
+def finish_exp2(result, simulator: str, n_apps: int,
+                **_params) -> ConcurrencyPoint:
+    """Reduce a finished Exp 2 ``SimulationResult`` to its point metrics."""
     return ConcurrencyPoint(
         simulator=simulator,
         n_apps=n_apps,
@@ -76,6 +85,20 @@ def run_exp2(simulator: str, n_apps: int, *,
         wallclock_time=result.wallclock_time,
         hit_ratio=result.read_cache_hit_ratio(),
     )
+
+
+def run_exp2(simulator: str, n_apps: int, **params) -> ConcurrencyPoint:
+    """Run one concurrency level for one simulator.
+
+    ``nfs=False`` gives Exp 2 (local disk); ``nfs=True`` gives Exp 3 (the
+    same workload against the NFS-mounted remote disk).
+    ``eviction_policy`` selects the page caches' victim-selection policy
+    (the policy ablation of exp8 sweeps it); the default LRU reproduces
+    the paper runs bit-identically.
+    """
+    simulation = build_exp2(simulator, n_apps, **params)
+    result = simulation.run()
+    return finish_exp2(result, simulator, n_apps, **params)
 
 
 def _exp2_specs(simulator: str, counts: Sequence[int], input_size: float,

@@ -131,25 +131,25 @@ def build_cluster_workload(simulation: Simulation, *,
         )
 
 
-def run_exp6(placement: str = "cache", *, policy: str = "fifo",
-             n_jobs: int = DEFAULT_N_JOBS,
-             n_nodes: int = DEFAULT_N_NODES,
-             n_datasets: int = DEFAULT_N_DATASETS,
-             cores_per_node: int = DEFAULT_CORES_PER_NODE,
-             input_size: float = DEFAULT_INPUT_SIZE,
-             output_size: float = DEFAULT_OUTPUT_SIZE,
-             arrival_rate: float = DEFAULT_ARRIVAL_RATE,
-             chunk_size: float = DEFAULT_CHUNK_SIZE,
-             seed: int = DEFAULT_SEED,
-             eviction_policy: object = "lru",
-             fault_plan=None) -> ClusterPoint:
-    """Run one cluster scheduling simulation and return its metrics.
+def build_exp6(placement: str = "cache", *, policy: str = "fifo",
+               n_jobs: int = DEFAULT_N_JOBS,
+               n_nodes: int = DEFAULT_N_NODES,
+               n_datasets: int = DEFAULT_N_DATASETS,
+               cores_per_node: int = DEFAULT_CORES_PER_NODE,
+               input_size: float = DEFAULT_INPUT_SIZE,
+               output_size: float = DEFAULT_OUTPUT_SIZE,
+               arrival_rate: float = DEFAULT_ARRIVAL_RATE,
+               chunk_size: float = DEFAULT_CHUNK_SIZE,
+               seed: int = DEFAULT_SEED,
+               eviction_policy: object = "lru",
+               fault_plan=None) -> Simulation:
+    """Build the Exp 6 simulation (unstarted), with its recipe bound.
 
-    ``eviction_policy`` selects every node cache's victim-selection policy
-    (swept by the exp8 policy ablation); the default LRU keeps the run
-    bit-identical to the pre-policy simulator.  ``fault_plan`` injects
-    seeded node crashes / stragglers / elasticity (exp9); ``None`` and the
-    zero plan leave the run untouched.
+    The builder/finisher split exists for checkpoint/restore: a snapshot
+    records the recipe (this function's parameters) and a restore calls
+    this builder again before replaying.  :func:`run_exp6` composes the
+    two, so a direct run and a snapshot/resume run share every line of
+    construction code.
     """
     simulation = Simulation(
         config=SimulationConfig(
@@ -173,7 +173,21 @@ def run_exp6(placement: str = "cache", *, policy: str = "fifo",
         arrival_rate=arrival_rate,
         seed=seed,
     )
-    result = simulation.run()
+    from repro.snapshot.recipe import SimRecipe
+
+    simulation.bind_recipe(SimRecipe("exp6", dict(
+        placement=placement, policy=policy, n_jobs=n_jobs, n_nodes=n_nodes,
+        n_datasets=n_datasets, cores_per_node=cores_per_node,
+        input_size=input_size, output_size=output_size,
+        arrival_rate=arrival_rate, chunk_size=chunk_size, seed=seed,
+        eviction_policy=eviction_policy, fault_plan=fault_plan,
+    )))
+    return simulation
+
+
+def finish_exp6(result, placement: str = "cache", *, policy: str = "fifo",
+                n_nodes: int = DEFAULT_N_NODES, **_params) -> ClusterPoint:
+    """Reduce a finished Exp 6 ``SimulationResult`` to its point metrics."""
     metrics = result.scheduler
     return ClusterPoint(
         policy=policy,
@@ -191,6 +205,20 @@ def run_exp6(placement: str = "cache", *, policy: str = "fifo",
         n_job_restarts=metrics.n_job_restarts,
         lost_work_seconds=metrics.lost_work_seconds,
     )
+
+
+def run_exp6(placement: str = "cache", **params) -> ClusterPoint:
+    """Run one cluster scheduling simulation and return its metrics.
+
+    ``eviction_policy`` selects every node cache's victim-selection policy
+    (swept by the exp8 policy ablation); the default LRU keeps the run
+    bit-identical to the pre-policy simulator.  ``fault_plan`` injects
+    seeded node crashes / stragglers / elasticity (exp9); ``None`` and the
+    zero plan leave the run untouched.
+    """
+    simulation = build_exp6(placement, **params)
+    result = simulation.run()
+    return finish_exp6(result, placement, **params)
 
 
 def exp6_series(placements: Sequence[str] = EXP6_PLACEMENTS, *,

@@ -105,28 +105,30 @@ class TracePoint:
         )
 
 
-def run_exp7(policy: str = "preemptive-priority", *,
-             placement: str = "cache",
-             trace: Union[None, str, Path, SWFTrace] = None,
-             n_nodes: int = DEFAULT_N_NODES,
-             cores_per_node: int = DEFAULT_CORES_PER_NODE,
-             max_jobs: Optional[int] = None,
-             load_factor: float = DEFAULT_LOAD_FACTOR,
-             runtime_scale: float = DEFAULT_RUNTIME_SCALE,
-             dataset_size: float = DEFAULT_DATASET_SIZE,
-             output_size: float = DEFAULT_OUTPUT_SIZE,
-             chunk_size: float = DEFAULT_CHUNK_SIZE,
-             lost_work_penalty: float = DEFAULT_LOST_WORK_PENALTY,
-             eviction_policy: object = "lru",
-             fault_plan=None) -> TracePoint:
-    """Replay the trace under one policy and return its metrics.
+def build_exp7(policy: str = "preemptive-priority", *,
+               placement: str = "cache",
+               trace: Union[None, str, Path, SWFTrace] = None,
+               n_nodes: int = DEFAULT_N_NODES,
+               cores_per_node: int = DEFAULT_CORES_PER_NODE,
+               max_jobs: Optional[int] = None,
+               load_factor: float = DEFAULT_LOAD_FACTOR,
+               runtime_scale: float = DEFAULT_RUNTIME_SCALE,
+               dataset_size: float = DEFAULT_DATASET_SIZE,
+               output_size: float = DEFAULT_OUTPUT_SIZE,
+               chunk_size: float = DEFAULT_CHUNK_SIZE,
+               lost_work_penalty: float = DEFAULT_LOST_WORK_PENALTY,
+               eviction_policy: object = "lru",
+               fault_plan=None) -> Simulation:
+    """Build the Exp 7 replay simulation (unstarted), recipe bound.
 
-    ``eviction_policy`` selects every node cache's victim-selection policy
-    (swept by the exp8 policy ablation); the default LRU keeps the replay
-    bit-identical to the pre-policy simulator.  ``fault_plan`` injects
-    seeded node crashes / stragglers / elasticity (exp9); ``None`` and the
-    zero plan leave the replay untouched.
+    The builder/finisher split exists for checkpoint/restore; see
+    :mod:`repro.snapshot.recipe`.  A recipe is bound only when ``trace``
+    is ``None`` or a path — an in-memory :class:`SWFTrace` object is not
+    JSON-serializable, so such simulations cannot be snapshotted.
     """
+    trace_param = None if trace is None else (
+        trace if isinstance(trace, SWFTrace) else str(trace)
+    )
     if trace is None:
         trace = default_trace_path()
     if not isinstance(trace, SWFTrace):
@@ -154,7 +156,7 @@ def run_exp7(policy: str = "preemptive-priority", *,
         placement=placement,
         lost_work_penalty=lost_work_penalty,
     )
-    jobs = simulation.submit_trace(
+    simulation.submit_trace(
         trace,
         max_jobs=max_jobs,
         load_factor=load_factor,
@@ -162,12 +164,30 @@ def run_exp7(policy: str = "preemptive-priority", *,
         dataset_size=dataset_size,
         output_size=output_size,
     )
-    result = simulation.run()
+    if not isinstance(trace_param, SWFTrace):
+        from repro.snapshot.recipe import SimRecipe
+
+        simulation.bind_recipe(SimRecipe("exp7", dict(
+            policy=policy, placement=placement, trace=trace_param,
+            n_nodes=n_nodes, cores_per_node=cores_per_node,
+            max_jobs=max_jobs, load_factor=load_factor,
+            runtime_scale=runtime_scale, dataset_size=dataset_size,
+            output_size=output_size, chunk_size=chunk_size,
+            lost_work_penalty=lost_work_penalty,
+            eviction_policy=eviction_policy, fault_plan=fault_plan,
+        )))
+    return simulation
+
+
+def finish_exp7(result, policy: str = "preemptive-priority", *,
+                placement: str = "cache",
+                n_nodes: int = DEFAULT_N_NODES, **_params) -> TracePoint:
+    """Reduce a finished Exp 7 ``SimulationResult`` to its point metrics."""
     metrics = result.scheduler
     return TracePoint(
         policy=policy,
         placement=placement,
-        n_jobs=len(jobs),
+        n_jobs=metrics.n_jobs,
         n_nodes=n_nodes,
         makespan=metrics.makespan,
         cache_hit_ratio=result.read_cache_hit_ratio(),
@@ -181,6 +201,20 @@ def run_exp7(policy: str = "preemptive-priority", *,
         n_job_restarts=metrics.n_job_restarts,
         lost_work_seconds=metrics.lost_work_seconds,
     )
+
+
+def run_exp7(policy: str = "preemptive-priority", **params) -> TracePoint:
+    """Replay the trace under one policy and return its metrics.
+
+    ``eviction_policy`` selects every node cache's victim-selection policy
+    (swept by the exp8 policy ablation); the default LRU keeps the replay
+    bit-identical to the pre-policy simulator.  ``fault_plan`` injects
+    seeded node crashes / stragglers / elasticity (exp9); ``None`` and the
+    zero plan leave the replay untouched.
+    """
+    simulation = build_exp7(policy, **params)
+    result = simulation.run()
+    return finish_exp7(result, policy, **params)
 
 
 def exp7_series(policies: Sequence[str] = EXP7_POLICIES, *,

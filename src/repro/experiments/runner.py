@@ -38,14 +38,22 @@ from __future__ import annotations
 
 import importlib
 import os
+import pickle
+import shutil
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.rng import derive_seed
+
+#: Patchable sleep used between point retries (tests stub it out).
+_sleep = time.sleep
 
 #: Environment variable consulted when ``workers`` is not passed explicitly.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -192,6 +200,52 @@ class SweepPointError(SimulationError):
         self.index = index
 
 
+class PointTimeoutError(SimulationError):
+    """A sweep point exceeded its wall-clock ``timeout=`` budget."""
+
+
+@dataclass(frozen=True)
+class PointOptions:
+    """Per-point execution policy, shipped to the worker with the spec.
+
+    Attributes
+    ----------
+    timeout:
+        Wall-clock seconds one attempt of the point may run before being
+        interrupted with :class:`PointTimeoutError` (``None`` = no limit).
+        Enforced with ``SIGALRM``, so it requires a Unix main thread; it
+        is silently skipped elsewhere.
+    retries:
+        Extra attempts after a failed one.  Every attempt runs with the
+        *identical* derived seed and parameters — a retried point is a
+        reseeded-identical rerun, so a flaky-environment retry can never
+        change the sweep's results.
+    retry_backoff:
+        Base of the exponential backoff between attempts: attempt ``k``
+        sleeps ``retry_backoff * 2**k`` seconds (via the patchable
+        module-level ``_sleep``).
+    checkpoint_dir:
+        Directory of the sweep's crash-recovery state: finished point
+        values are cached here (a re-run sweep skips them), and with
+        ``snapshot_plan`` set, in-progress points keep their simulator
+        snapshots here.
+    snapshot_plan:
+        A :class:`~repro.snapshot.plan.SnapshotPlan`; points whose
+        experiment has a registered snapshot builder then run under
+        :func:`~repro.snapshot.run.run_checkpointed` and *resume from
+        their last snapshot* after a crash, a kill or a timeout retry.
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 0
+    retry_backoff: float = 0.5
+    checkpoint_dir: Optional[str] = None
+    snapshot_plan: Optional[Any] = None
+
+
+_DEFAULT_OPTIONS = PointOptions()
+
+
 def resolve_workers(workers: Union[None, int, str] = None) -> int:
     """Resolve a worker count: argument, then ``REPRO_WORKERS``, then 1.
 
@@ -241,32 +295,180 @@ def _describe_exception(exc: BaseException) -> Tuple[str, str, str]:
     return type(exc).__name__, message, remote_tb
 
 
-def _execute_point(payload: Tuple[int, PointSpec, Optional[int]]):
+@contextmanager
+def _wall_clock_limit(seconds: Optional[float]):
+    """Interrupt the enclosed block after ``seconds`` of wall-clock time.
+
+    Uses ``SIGALRM``/``setitimer``, the only way to break out of a CPU-
+    bound simulation from within the same process.  Signals only deliver
+    to a Unix main thread; anywhere else the limit is skipped rather than
+    mis-enforced (pool workers run points on their main thread, so the
+    limit is effective exactly where it matters).
+    """
+    if seconds is None:
+        yield
+        return
+    import signal
+    import threading
+
+    if (not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise PointTimeoutError(
+            f"point exceeded its wall-clock timeout of {seconds}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def point_cache_key(spec: PointSpec, seed: Optional[int]) -> str:
+    """Deterministic identity of one point: experiment + params + seed.
+
+    The canonical-JSON hash is stable across processes and platforms, so
+    a resumed sweep recognizes its own cached values and snapshots.
+    """
+    from repro.snapshot.canonical import canonical_json
+    import hashlib
+
+    doc = canonical_json({
+        "experiment": spec.experiment,
+        "params": dict(spec.params),
+        "seed": seed,
+    })
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()[:16]
+
+
+def _point_value_path(checkpoint_dir: str, key: str) -> Path:
+    return Path(checkpoint_dir) / f"point-{key}.pkl"
+
+
+def _point_snapshot_dir(checkpoint_dir: str, key: str) -> Path:
+    return Path(checkpoint_dir) / f"run-{key}"
+
+
+def _load_cached_value(checkpoint_dir: str, key: str):
+    """Return ``(True, value)`` if the point's value is cached, else ``(False, None)``."""
+    path = _point_value_path(checkpoint_dir, key)
+    if not path.exists():
+        return False, None
+    try:
+        with open(path, "rb") as handle:
+            return True, pickle.load(handle)
+    except (OSError, pickle.PickleError, EOFError, AttributeError):
+        # A corrupt or stale cache entry is recomputed, never fatal.
+        return False, None
+
+
+def _store_cached_value(checkpoint_dir: str, key: str, value) -> None:
+    path = _point_value_path(checkpoint_dir, key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        pickle.dump(value, handle)
+    os.replace(tmp, path)
+    # The value is final: the point's simulator snapshots are dead weight.
+    shutil.rmtree(_point_snapshot_dir(checkpoint_dir, key),
+                  ignore_errors=True)
+
+
+def _run_point_checkpointed(spec: PointSpec, kwargs: Dict[str, Any],
+                            options: PointOptions, key: str):
+    """Run one point under the snapshot machinery, resuming if possible."""
+    from repro.snapshot.recipe import SimRecipe, build_from_recipe, finish_point
+    from repro.snapshot.run import (
+        latest_snapshot,
+        restore_simulation,
+        run_checkpointed,
+    )
+
+    recipe = SimRecipe(spec.experiment, dict(kwargs))
+    directory = _point_snapshot_dir(options.checkpoint_dir, key)
+    newest = latest_snapshot(directory)
+    if newest is not None:
+        sim = restore_simulation(newest)
+    else:
+        sim = build_from_recipe(recipe)
+    result, _ = run_checkpointed(sim, options.snapshot_plan, directory)
+    return finish_point(recipe, result)
+
+
+def _run_point(spec: PointSpec, kwargs: Dict[str, Any],
+               options: PointOptions, seed: Optional[int]):
+    """One attempt of one point, honoring the snapshot options."""
+    if (options.snapshot_plan is not None
+            and options.checkpoint_dir is not None):
+        from repro.snapshot.recipe import BUILDERS
+
+        if spec.experiment in BUILDERS:
+            return _run_point_checkpointed(
+                spec, kwargs, options, point_cache_key(spec, seed)
+            )
+    fn = experiment_fn(spec.experiment)
+    return fn(**kwargs)
+
+
+def _execute_point(
+    payload: Tuple[int, PointSpec, Optional[int], PointOptions]
+):
     """Run one point (in a worker or inline) and report success or failure.
 
     Returns ``(index, ok, value_or_error, elapsed, pid)``.  Failures are
     returned as ``(type name, message, formatted traceback)`` — three
     plain strings — rather than raised, so arbitrary (possibly
     unpicklable) exceptions never poison the pool's result channel.
+    Honors the payload's :class:`PointOptions`: each attempt runs under
+    the wall-clock ``timeout``, failed attempts are retried up to
+    ``retries`` times with exponential backoff and the *identical* seed,
+    and checkpointed points resume from their last snapshot.
     """
-    index, spec, seed = payload
+    index, spec, seed, options = payload
     kwargs = spec.kwargs()
     if seed is not None:
         kwargs["seed"] = seed
+    attempts = max(0, options.retries) + 1
     start = time.perf_counter()
-    try:
-        fn = experiment_fn(spec.experiment)
-        value = fn(**kwargs)
-    except KeyboardInterrupt:
-        raise
-    except BaseException as exc:  # noqa: BLE001 - reported with the spec
-        detail = _describe_exception(exc)
-        return index, False, detail, time.perf_counter() - start, os.getpid()
-    return index, True, value, time.perf_counter() - start, os.getpid()
+    detail = ("SimulationError", "point never ran", "")
+    for attempt in range(attempts):
+        try:
+            with _wall_clock_limit(options.timeout):
+                value = _run_point(spec, kwargs, options, seed)
+        except KeyboardInterrupt:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - reported with the spec
+            type_name, message, remote_tb = _describe_exception(exc)
+            if attempt + 1 < attempts:
+                _sleep(options.retry_backoff * (2 ** attempt))
+                continue
+            if attempts > 1:
+                message = f"(after {attempts} attempts) {message}"
+            detail = (type_name, message, remote_tb)
+        else:
+            elapsed = time.perf_counter() - start
+            if options.checkpoint_dir is not None:
+                try:
+                    _store_cached_value(
+                        options.checkpoint_dir,
+                        point_cache_key(spec, seed), value,
+                    )
+                except (OSError, pickle.PickleError):
+                    pass  # caching is best-effort; the value still returns
+            return index, True, value, elapsed, os.getpid()
+    return index, False, detail, time.perf_counter() - start, os.getpid()
 
 
-def _payloads(specs: Sequence[PointSpec],
-              base_seed: Optional[int]) -> List[Tuple[int, PointSpec, Optional[int]]]:
+def _payloads(
+    specs: Sequence[PointSpec], base_seed: Optional[int],
+    options: PointOptions = _DEFAULT_OPTIONS,
+) -> List[Tuple[int, PointSpec, Optional[int], PointOptions]]:
     payloads = []
     for index, spec in enumerate(specs):
         seed = None
@@ -277,15 +479,16 @@ def _payloads(specs: Sequence[PointSpec],
                     "run_sweep was called without base_seed"
                 )
             seed = derive_point_seed(base_seed, spec.seed_key)
-        payloads.append((index, spec, seed))
+        payloads.append((index, spec, seed, options))
     return payloads
 
 
 def _run_inline(payloads, progress) -> List[PointResult]:
     results: List[PointResult] = []
     total = len(payloads)
-    for index, spec, seed in payloads:
-        outcome = _execute_point((index, spec, seed))
+    for payload in payloads:
+        index, spec = payload[0], payload[1]
+        outcome = _execute_point(payload)
         _, ok, value, elapsed, pid = outcome
         if not ok:
             type_name, message, remote_tb = value
@@ -314,59 +517,92 @@ def _mp_context():
     return multiprocessing.get_context()
 
 
-def _run_pool(payloads, workers, progress) -> List[PointResult]:
+def _run_pool(payloads, workers, progress, *,
+              pool_respawns: int = 1) -> List[PointResult]:
+    """Fan payloads over a process pool, surviving pool crashes.
+
+    A worker dying mid-point (OOM kill, segfault, ``os._exit``) breaks
+    the whole :class:`ProcessPoolExecutor`, not just its own future.  The
+    results already retrieved are kept; the pool is respawned (at most
+    ``pool_respawns`` times) and only the still-unfinished points are
+    resubmitted — with per-point seeding and, when enabled, the snapshot
+    cache, the resubmitted points produce byte-identical values, so an
+    undisturbed sweep and a crashed-and-recovered one cannot differ.
+    """
     total = len(payloads)
-    by_index = {index: spec for index, spec, _ in payloads}
+    by_index = {payload[0]: payload[1] for payload in payloads}
     results: Dict[int, PointResult] = {}
-    executor = ProcessPoolExecutor(max_workers=workers,
-                                   mp_context=_mp_context())
-    futures: Dict[Any, int] = {}
-    try:
-        for payload in payloads:
-            futures[executor.submit(_execute_point, payload)] = payload[0]
-        pending = set(futures)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                try:
-                    index, ok, value, elapsed, pid = future.result()
-                except KeyboardInterrupt:
-                    raise
-                except BaseException as exc:  # noqa: BLE001
-                    # The failure report itself failed to cross the
-                    # process boundary (unpicklable point *value*, a
-                    # worker killed mid-point, a broken pool...).  Pin
-                    # the blame on the point whose future broke instead
-                    # of surfacing a bare pool internals error.
-                    index = futures[future]
-                    type_name, message, _ = _describe_exception(exc)
-                    raise SweepPointError(
-                        by_index[index], index,
-                        f"result could not be retrieved from the worker: "
-                        f"{type_name}: {message}",
-                    ) from exc
-                if not ok:
-                    type_name, message, remote_tb = value
-                    raise SweepPointError(
-                        by_index[index], index,
-                        f"{type_name}: {message}\n--- worker traceback ---\n"
-                        f"{remote_tb}",
-                    )
-                result = PointResult(spec=by_index[index], index=index,
-                                     value=value, wallclock_time=elapsed,
-                                     pid=pid)
-                results[index] = result
-                if progress is not None:
-                    progress(result, len(results), total)
-    except BaseException:
-        # Failure, KeyboardInterrupt, or a raising progress callback:
-        # drop everything still queued and shut the pool down before
-        # propagating (in-flight points finish, workers then exit).
-        for future in futures:
-            future.cancel()
-        executor.shutdown(wait=True, cancel_futures=True)
-        raise
-    executor.shutdown(wait=True)
+    remaining = list(payloads)
+    respawns_left = max(0, pool_respawns)
+    while remaining:
+        executor = ProcessPoolExecutor(max_workers=workers,
+                                       mp_context=_mp_context())
+        futures: Dict[Any, int] = {}
+        try:
+            for payload in remaining:
+                futures[executor.submit(_execute_point, payload)] = payload[0]
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    try:
+                        index, ok, value, elapsed, pid = future.result()
+                    except KeyboardInterrupt:
+                        raise
+                    except BrokenProcessPool:
+                        raise
+                    except BaseException as exc:  # noqa: BLE001
+                        # The failure report itself failed to cross the
+                        # process boundary (unpicklable point *value*, a
+                        # worker killed mid-point...).  Pin the blame on
+                        # the point whose future broke instead of
+                        # surfacing a bare pool internals error.
+                        index = futures[future]
+                        type_name, message, _ = _describe_exception(exc)
+                        raise SweepPointError(
+                            by_index[index], index,
+                            f"result could not be retrieved from the worker: "
+                            f"{type_name}: {message}",
+                        ) from exc
+                    if not ok:
+                        type_name, message, remote_tb = value
+                        raise SweepPointError(
+                            by_index[index], index,
+                            f"{type_name}: {message}\n--- worker traceback ---\n"
+                            f"{remote_tb}",
+                        )
+                    result = PointResult(spec=by_index[index], index=index,
+                                         value=value, wallclock_time=elapsed,
+                                         pid=pid)
+                    results[index] = result
+                    if progress is not None:
+                        progress(result, len(results), total)
+        except BrokenProcessPool as exc:
+            # A worker died abruptly and took the pool with it.  Keep what
+            # finished, respawn, resubmit the rest.
+            executor.shutdown(wait=True, cancel_futures=True)
+            remaining = [p for p in remaining if p[0] not in results]
+            if not remaining:
+                break
+            if respawns_left <= 0:
+                index = remaining[0][0]
+                raise SweepPointError(
+                    by_index[index], index,
+                    f"a worker process died abruptly and the pool-respawn "
+                    f"budget ({pool_respawns}) is exhausted",
+                ) from exc
+            respawns_left -= 1
+            continue
+        except BaseException:
+            # Failure, KeyboardInterrupt, or a raising progress callback:
+            # drop everything still queued and shut the pool down before
+            # propagating (in-flight points finish, workers then exit).
+            for future in futures:
+                future.cancel()
+            executor.shutdown(wait=True, cancel_futures=True)
+            raise
+        executor.shutdown(wait=True)
+        break
     return [results[index] for index in sorted(results)]
 
 
@@ -374,6 +610,12 @@ def run_sweep(specs: Sequence[PointSpec], *,
               workers: Union[None, int, str] = None,
               base_seed: Optional[int] = None,
               progress: Optional[Callable[[PointResult, int, int], None]] = None,
+              timeout: Optional[float] = None,
+              retries: int = 0,
+              retry_backoff: float = 0.5,
+              pool_respawns: int = 1,
+              checkpoint_dir: Union[None, str, Path] = None,
+              snapshot_plan: Optional[Any] = None,
               ) -> List[PointResult]:
     """Execute every spec and return results in spec order.
 
@@ -392,6 +634,28 @@ def run_sweep(specs: Sequence[PointSpec], *,
         Called as ``progress(result, n_completed, n_total)`` after each
         point completes.  Completion order is nondeterministic under a
         pool; only the returned list's order is guaranteed.
+    timeout:
+        Wall-clock seconds per point *attempt*; an attempt past the limit
+        is interrupted with :class:`PointTimeoutError` (and retried, if
+        ``retries`` allows).
+    retries:
+        Extra attempts for a failed point, with exponential backoff
+        (``retry_backoff * 2**attempt`` seconds between attempts) and the
+        identical derived seed — retrying cannot change results.
+    pool_respawns:
+        How many times a crashed worker pool (a worker killed mid-point
+        breaks the whole pool) is respawned; the finished results are
+        kept and only unfinished points are resubmitted.
+    checkpoint_dir:
+        Crash-recovery directory for the sweep.  Finished point values
+        are cached here and skipped on a re-run, so a killed sweep
+        re-invoked with the same directory completes with byte-identical
+        outputs, computing only what is missing.
+    snapshot_plan:
+        A :class:`~repro.snapshot.plan.SnapshotPlan` (requires
+        ``checkpoint_dir``).  Points with a registered snapshot builder
+        then auto-snapshot at the plan's boundaries and resume from their
+        last snapshot after a crash or timeout retry.
 
     Returns
     -------
@@ -400,18 +664,65 @@ def run_sweep(specs: Sequence[PointSpec], *,
     byte-identical across worker counts.
     """
     specs = list(specs)
-    payloads = _payloads(specs, base_seed)
+    if snapshot_plan is not None and checkpoint_dir is None:
+        raise ConfigurationError(
+            "snapshot_plan requires checkpoint_dir (snapshots need a home)"
+        )
+    options = PointOptions(
+        timeout=timeout,
+        retries=retries,
+        retry_backoff=retry_backoff,
+        checkpoint_dir=(None if checkpoint_dir is None
+                        else str(checkpoint_dir)),
+        snapshot_plan=snapshot_plan,
+    )
+    payloads = _payloads(specs, base_seed, options)
+    total = len(payloads)
+
+    # Resume: points whose value is already cached are not re-executed.
+    cached: Dict[int, PointResult] = {}
+    if options.checkpoint_dir is not None:
+        pending = []
+        for payload in payloads:
+            index, spec, seed, _ = payload
+            hit, value = _load_cached_value(options.checkpoint_dir,
+                                            point_cache_key(spec, seed))
+            if hit:
+                cached[index] = PointResult(
+                    spec=spec, index=index, value=value,
+                    wallclock_time=0.0, pid=os.getpid(),
+                )
+            else:
+                pending.append(payload)
+        payloads = pending
+        if progress is not None:
+            for done, index in enumerate(sorted(cached), start=1):
+                progress(cached[index], done, total)
+        if progress is not None and cached:
+            inner_progress = progress
+
+            def progress(result, n_completed, n_total,
+                         _offset=len(cached), _inner=inner_progress):
+                _inner(result, n_completed + _offset, total)
+
+    if not payloads:
+        return [cached[index] for index in sorted(cached)]
     count = resolve_workers(workers)
-    if count == 1 or len(specs) <= 1:
-        return _run_inline(payloads, progress)
-    return _run_pool(payloads, min(count, max(1, len(specs))), progress)
+    if count == 1 or len(payloads) <= 1:
+        executed = _run_inline(payloads, progress)
+    else:
+        executed = _run_pool(payloads, min(count, max(1, len(payloads))),
+                             progress, pool_respawns=pool_respawns)
+    merged = dict(cached)
+    merged.update({result.index: result for result in executed})
+    return [merged[index] for index in sorted(merged)]
 
 
 def run_named_sweep(experiment: str, variants: Dict[Any, Dict[str, Any]], *,
                     workers: Union[None, int, str] = None,
                     base_seed: Optional[int] = None,
                     progress: Optional[Callable[[PointResult, int, int], None]] = None,
-                    ) -> Dict[Any, Any]:
+                    **run_kwargs: Any) -> Dict[Any, Any]:
     """Run one sweep point per ``variants`` entry; return ``{key: value}``.
 
     ``variants`` maps a display key (a string, tuple, …) to the keyword
@@ -419,6 +730,8 @@ def run_named_sweep(experiment: str, variants: Dict[Any, Dict[str, Any]], *,
     This is the shape of every comparison series (placements × one
     workload, policies × one trace, …): insertion order is preserved and
     the values come back matched to their keys for any worker count.
+    Robustness options (``timeout``, ``retries``, ``checkpoint_dir``,
+    ``snapshot_plan``, …) pass through to :func:`run_sweep`.
     """
     keys = list(variants)
     values = sweep_values(
@@ -430,6 +743,7 @@ def run_named_sweep(experiment: str, variants: Dict[Any, Dict[str, Any]], *,
         workers=workers,
         base_seed=base_seed,
         progress=progress,
+        **run_kwargs,
     )
     return dict(zip(keys, values))
 
@@ -438,11 +752,12 @@ def sweep_values(specs: Sequence[PointSpec], *,
                  workers: Union[None, int, str] = None,
                  base_seed: Optional[int] = None,
                  progress: Optional[Callable[[PointResult, int, int], None]] = None,
-                 ) -> List[Any]:
+                 **run_kwargs: Any) -> List[Any]:
     """Like :func:`run_sweep`, returning just the point values in order."""
     return [
         result.value
         for result in run_sweep(
-            specs, workers=workers, base_seed=base_seed, progress=progress
+            specs, workers=workers, base_seed=base_seed, progress=progress,
+            **run_kwargs,
         )
     ]

@@ -39,6 +39,10 @@ class FaultInjector:
         self.processes: List[object] = []
         #: Original rates of currently slowed nodes, for exact restore.
         self._slowed: Dict[str, dict] = {}
+        #: Live per-stream generators, keyed by stream (``"crash:node3"``).
+        #: Kept on the injector (not just in process closures) so snapshot
+        #: capture can record each stream's seed and position.
+        self.rngs: Dict[str, DeterministicRNG] = {}
 
     # ----------------------------------------------------------------- setup
     def start(self) -> List[object]:
@@ -57,18 +61,15 @@ class FaultInjector:
 
         for spec in self.plan.node_faults:
             for name in self._expand(spec.node, names):
-                rng = DeterministicRNG(derive_seed(self.plan.seed,
-                                                   f"crash:{name}"))
                 self.processes.append(self.env.process(
-                    self._crash_loop(spec, name, rng),
+                    self._crash_loop(spec, name, self._stream(f"crash:{name}")),
                     name=f"fault:crash:{name}",
                 ))
         for spec in self.plan.stragglers:
             for name in self._expand(spec.node, names):
-                rng = DeterministicRNG(derive_seed(self.plan.seed,
-                                                   f"straggler:{name}"))
                 self.processes.append(self.env.process(
-                    self._straggler(spec, name, rng),
+                    self._straggler(spec, name,
+                                    self._stream(f"straggler:{name}")),
                     name=f"fault:straggler:{name}",
                 ))
         for spec in self.plan.elastic:
@@ -88,6 +89,12 @@ class FaultInjector:
             ))
         return self.processes
 
+    def _stream(self, key: str) -> DeterministicRNG:
+        """Create (and register) the seeded generator of one fault stream."""
+        rng = DeterministicRNG(derive_seed(self.plan.seed, key))
+        self.rngs[key] = rng
+        return rng
+
     @staticmethod
     def _expand(pattern: str, names: List[str]) -> List[str]:
         if pattern == ALL_NODES:
@@ -102,13 +109,21 @@ class FaultInjector:
     # -------------------------------------------------------------- processes
     def _crash_loop(self, spec: NodeFaultSpec, name: str,
                     rng: DeterministicRNG):
-        """Crash/repair lifecycle of one node; simulation process."""
+        """Crash/repair lifecycle of one node; simulation process.
+
+        Leave wins every race with an elastic departure: once the node
+        has left the cluster the rest of its crash/repair stream is
+        discarded — in particular a repair pending for a node that
+        crashed while draining never restores it.
+        """
         if spec.first_failure_after > 0:
             yield self.env.timeout(spec.first_failure_after)
         failures = 0
         while spec.max_failures is None or failures < spec.max_failures:
             yield self.env.timeout(rng.exponential(1.0 / spec.mtbf))
             node = self.scheduler.node(name)
+            if node.left:
+                return
             if not node.up:
                 continue
             self.scheduler.fail_node(name)
@@ -125,6 +140,8 @@ class FaultInjector:
                 yield self.env.timeout(rng.exponential(1.0 / spec.mttr))
             else:
                 yield self.env.timeout(0)
+            if node.left:
+                return
             self.scheduler.restore_node(name)
 
     def _straggler(self, spec: StragglerSpec, name: str,
@@ -157,13 +174,7 @@ class FaultInjector:
         node = self.scheduler.node(name)
         while node.running:
             yield self.env.timeout(spec.drain_poll)
-        observer = self.env.observer
-        if observer is not None:
-            observer.instant(
-                f"leave:{name}", "elastic", "scheduler", self.env.now,
-                {"node": name},
-            )
-            observer.registry.counter("faults.elastic_leaves").inc()
+        self.scheduler.leave_node(name)
 
     # ------------------------------------------------------------- slowdowns
     def _apply_slowdown(self, name: str, spec: StragglerSpec) -> None:

@@ -16,7 +16,7 @@ perturbs the crash times of another.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
@@ -212,3 +212,34 @@ class FaultPlan:
 
     def __bool__(self) -> bool:
         return not self.is_zero
+
+    # -------------------------------------------------------------- (de)code
+    def as_dict(self) -> dict:
+        """The plan as plain JSON-able data (see :meth:`from_dict`).
+
+        Snapshot recipes embed fault plans in their JSON headers; the
+        round trip ``FaultPlan.from_dict(plan.as_dict()) == plan`` is
+        exact because every spec field is a scalar.
+        """
+        return {
+            "seed": self.seed,
+            "node_faults": [asdict(spec) for spec in self.node_faults],
+            "stragglers": [asdict(spec) for spec in self.stragglers],
+            "elastic": [asdict(spec) for spec in self.elastic],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`as_dict` output."""
+        return cls(
+            seed=data.get("seed", 0),
+            node_faults=tuple(
+                NodeFaultSpec(**spec) for spec in data.get("node_faults", ())
+            ),
+            stragglers=tuple(
+                StragglerSpec(**spec) for spec in data.get("stragglers", ())
+            ),
+            elastic=tuple(
+                ElasticNodeSpec(**spec) for spec in data.get("elastic", ())
+            ),
+        )

@@ -52,28 +52,39 @@ class DeterministicRNG:
             raise TypeError(f"seed must be an int, got {type(seed).__name__}")
         self.seed = seed
         self._random = random.Random(seed)
+        #: API-level draws made so far.  Snapshot bookkeeping: together
+        #: with ``seed`` (and :meth:`state_digest` as ground truth) this
+        #: pins the stream position of a live generator, so a restored
+        #: simulation can prove its RNG streams sit exactly where the
+        #: original's did.
+        self.n_draws = 0
 
     # ------------------------------------------------------------------ draws
     def random(self) -> float:
         """Uniform float in ``[0, 1)``."""
+        self.n_draws += 1
         return self._random.random()
 
     def uniform(self, low: float, high: float) -> float:
         """Uniform float in ``[low, high]``."""
+        self.n_draws += 1
         return self._random.uniform(low, high)
 
     def integer(self, low: int, high: int) -> int:
         """Uniform integer in ``[low, high]`` (both ends included)."""
+        self.n_draws += 1
         return self._random.randint(low, high)
 
     def exponential(self, rate: float) -> float:
         """Exponential variate with the given ``rate`` (mean ``1 / rate``).
 
-        Computed by inversion from :meth:`random` so the draw consumes
-        exactly one uniform, keeping derived streams easy to reason about.
+        Computed by inversion from the underlying uniform so the draw
+        consumes exactly one uniform, keeping derived streams easy to
+        reason about.
         """
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
+        self.n_draws += 1
         u = self._random.random()
         return -math.log(1.0 - u) / rate
 
@@ -81,13 +92,26 @@ class DeterministicRNG:
         """One uniformly chosen element of ``sequence``."""
         if not sequence:
             raise ValueError("cannot choose from an empty sequence")
+        self.n_draws += 1
         return sequence[self._random.randrange(len(sequence))]
 
     def shuffled(self, sequence: Sequence[T]) -> List[T]:
         """A shuffled copy of ``sequence`` (the input is left untouched)."""
         items = list(sequence)
+        self.n_draws += 1
         self._random.shuffle(items)
         return items
+
+    # ------------------------------------------------------------------ state
+    def state_digest(self) -> str:
+        """Digest of the underlying generator state (16 hex chars).
+
+        The Mersenne Twister state is a tuple of plain integers whose
+        ``repr`` is platform-independent, so equal digests mean the two
+        generators will produce identical futures.
+        """
+        state = self._random.getstate()
+        return hashlib.sha256(repr(state).encode("utf-8")).hexdigest()[:16]
 
     # ---------------------------------------------------------------- streams
     def spawn(self, key: str) -> "DeterministicRNG":

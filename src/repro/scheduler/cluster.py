@@ -58,6 +58,11 @@ class NodeState:
         #: running jobs finish normally.  Set via
         #: :meth:`ClusterScheduler.drain_node`.
         self.draining = False
+        #: Departed elastic nodes (drain completed, capacity gone for
+        #: good).  Leave wins every race: crash, repair and join events
+        #: arriving for a left node are discarded.  Set via
+        #: :meth:`ClusterScheduler.leave_node`.
+        self.left = False
         #: Crashes this node has suffered (fault injection); placement
         #: strategies may penalise failure-prone nodes with it.
         self.n_failures = 0
@@ -81,8 +86,8 @@ class NodeState:
 
     @property
     def available(self) -> bool:
-        """Whether the node may receive new work: up and not draining."""
-        return self.host.up and not self.draining
+        """Whether the node may receive new work: up, not draining, not left."""
+        return self.host.up and not self.draining and not self.left
 
     @property
     def used_cores(self) -> int:
@@ -460,7 +465,7 @@ class ClusterScheduler:
         their anonymous memory first, keeping the accounting exact.
         """
         node = self.node(name)
-        if not node.up:
+        if not node.up or node.left:
             return []
         node.n_failures += 1
         self.n_node_failures += 1
@@ -483,9 +488,14 @@ class ClusterScheduler:
         return victims
 
     def restore_node(self, name: str) -> None:
-        """Bring a crashed node back up (repaired) and wake the loop."""
+        """Bring a crashed node back up (repaired) and wake the loop.
+
+        A repair arriving for a node that has since left the cluster
+        (elastic leave completed while the node was down) is discarded:
+        leave wins the race.
+        """
         node = self.node(name)
-        if node.up:
+        if node.up or node.left:
             return
         node.host.restore()
         observer = self.env.observer
@@ -521,9 +531,13 @@ class ClusterScheduler:
             )
 
     def undrain_node(self, name: str) -> None:
-        """Make a draining (or not-yet-joined burstable) node schedulable."""
+        """Make a draining (or not-yet-joined burstable) node schedulable.
+
+        A join arriving for a node that already left is discarded — a
+        departed node cannot rejoin the cluster.
+        """
         node = self.node(name)
-        if not node.draining:
+        if node.left or not node.draining:
             return
         node.draining = False
         observer = self.env.observer
@@ -533,6 +547,28 @@ class ClusterScheduler:
                 {"node": name},
             )
         self.kick()
+
+    def leave_node(self, name: str) -> None:
+        """Complete an elastic leave: the drained node departs for good.
+
+        The second half of drain-before-leave.  From here on the node is
+        permanently out of the cluster; the crash/repair machinery
+        discards every event still in flight for it (a pending repair of
+        a crashed-while-draining node never restores it), and join events
+        are ignored.  Idempotent.
+        """
+        node = self.node(name)
+        if node.left:
+            return
+        node.left = True
+        node.draining = True
+        observer = self.env.observer
+        if observer is not None:
+            observer.instant(
+                f"leave:{name}", "elastic", "scheduler", self.env.now,
+                {"node": name},
+            )
+            observer.registry.counter("faults.elastic_leaves").inc()
 
     def _executor_for(self, job: Job, node: NodeState) -> WorkflowExecutor:
         """The job's executor, created on first dispatch and reused after."""

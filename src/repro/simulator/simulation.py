@@ -24,6 +24,7 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Dict, List, Optional, TYPE_CHECKING, Union
 
 if TYPE_CHECKING:  # pragma: no cover - the scheduler imports simulator
@@ -239,7 +240,18 @@ class Simulation:
         self._scheduler: Optional[ClusterScheduler] = None
         self.fault_plan = fault_plan
         self._fault_injector = None
+        #: Lifecycle: ``_started`` flips when the processes are launched
+        #: (first :meth:`run` or :meth:`step_until`); ``_has_run`` when the
+        #: result has been finalized (a Simulation finalizes only once).
+        self._started = False
         self._has_run = False
+        self._completion = None
+        self._sampler = None
+        self._wallclock = 0.0
+        #: Build recipe bound by the experiment builders
+        #: (:mod:`repro.snapshot.recipe`); snapshots embed it so a restore
+        #: can rebuild the simulation from scratch and replay to time T.
+        self._recipe = None
 
     # --------------------------------------------------------------- platform
     def set_platform(self, platform: Platform) -> Platform:
@@ -595,17 +607,39 @@ class Simulation:
             )
         return jobs
 
-    # -------------------------------------------------------------------- run
-    def run(self, until: Optional[float] = None) -> SimulationResult:
-        """Run the simulation until all submitted workflows complete."""
-        import time as _time
+    # ----------------------------------------------------------------- recipe
+    def bind_recipe(self, recipe) -> None:
+        """Attach the build recipe this simulation was constructed from.
 
+        Called by the experiment builders (``build_exp6`` & co).  A bound
+        recipe is what makes :meth:`snapshot` possible: the snapshot file
+        records the recipe, and :meth:`restore` rebuilds the simulation
+        from it before replaying to the snapshot time.
+        """
+        self._recipe = recipe
+
+    @property
+    def recipe(self):
+        """The bound build recipe, or ``None``."""
+        return self._recipe
+
+    # -------------------------------------------------------------------- run
+    def _start(self) -> None:
+        """Launch the simulation's processes (idempotent).
+
+        Everything :meth:`run` used to do before entering the event loop:
+        fault injector, executor and scheduler processes, the completion
+        condition and the optional DES sampler — in exactly that order, so
+        a stepped run allocates event ids identically to a plain run.
+        """
+        if self._started:
+            return
         if self._has_run:
             raise ConfigurationError("a Simulation object can only be run once")
         scheduled_jobs = self._scheduler.jobs if self._scheduler else []
         if not self._executors and not scheduled_jobs:
             raise ConfigurationError("no workflow or job was submitted")
-        self._has_run = True
+        self._started = True
 
         if self.fault_plan is not None and not self.fault_plan.is_zero:
             if self._scheduler is None or not scheduled_jobs:
@@ -628,24 +662,78 @@ class Simulation:
             processes.append(
                 self.env.process(self._scheduler.run(), name="cluster-scheduler")
             )
-        completion = self.env.all_of(processes)
+        self._completion = self.env.all_of(processes)
 
         observer = self.observer
-        sampler = None
         if observer is not None and observer.des_sample_interval is not None:
-            sampler = DESSampler(self.env, observer,
-                                 interval=observer.des_sample_interval)
-            sampler.start()
+            self._sampler = DESSampler(self.env, observer,
+                                       interval=observer.des_sample_interval)
+            self._sampler.start()
+
+    @property
+    def completed(self) -> bool:
+        """Whether every submitted workflow and job has finished."""
+        return self._completion is not None and self._completion.processed
+
+    def step_until(self, t: float) -> float:
+        """Advance the simulation to simulated time ``t`` and pause.
+
+        Processes every event with timestamp ``<= t`` (stopping early at
+        completion), then returns the simulated clock.  No guard events
+        are inserted: the event heap is driven directly, so a run stepped
+        in any number of segments processes *exactly* the events a plain
+        :meth:`run` would, in the same order, with the same event ids —
+        the invariant that makes snapshot-at-T byte-identical to an
+        uninterrupted run.  Call :meth:`run` afterwards to finish the
+        simulation and collect the result.
+        """
+        import time as _time
+
+        self._start()
+        t = float(t)
+        if t < self.env.now:
+            raise ConfigurationError(
+                f"step_until({t}) is in the past (now={self.env.now})"
+            )
+        env = self.env
+        completion = self._completion
+        wall_start = _time.perf_counter()
+        try:
+            while not completion.processed:
+                if env.peek() > t:
+                    break
+                env.step()
+        finally:
+            self._wallclock += _time.perf_counter() - wall_start
+        return env.now
+
+    def run(self, until: Optional[float] = None) -> SimulationResult:
+        """Run the simulation until all submitted workflows complete.
+
+        May be called after any number of :meth:`step_until` segments; the
+        result is identical to an unsegmented run (``wallclock_time``
+        accumulates across segments).  A Simulation finalizes only once.
+        """
+        import time as _time
+
+        if self._has_run:
+            raise ConfigurationError("a Simulation object can only be run once")
+        self._start()
 
         wall_start = _time.perf_counter()
         if until is not None:
             self.env.run(until=until)
         else:
-            self.env.run(until=completion)
-        wallclock = _time.perf_counter() - wall_start
+            self.env.run(until=self._completion)
+        self._wallclock += _time.perf_counter() - wall_start
+        return self._finalize()
 
-        if sampler is not None:
-            sampler.stop()
+    def _finalize(self) -> SimulationResult:
+        """Stop the background machinery and assemble the result."""
+        self._has_run = True
+        observer = self.observer
+        if self._sampler is not None:
+            self._sampler.stop()
 
         # Stop background flushers so that subsequent env.run calls (if any)
         # are not kept alive forever by the periodical flushing loops.
@@ -672,7 +760,7 @@ class Simulation:
 
         return SimulationResult(
             makespan=self.env.now,
-            wallclock_time=wallclock,
+            wallclock_time=self._wallclock,
             operations=list(self.tracer.operations),
             memory_trace=list(self.tracer.memory_trace),
             cache_contents=list(self.tracer.cache_contents),
@@ -683,6 +771,35 @@ class Simulation:
             ),
             observer=observer,
         )
+
+    # --------------------------------------------------------------- snapshot
+    def snapshot(self, path) -> "Path":
+        """Write a crash-recoverable snapshot of the paused simulation.
+
+        Requires a bound build recipe (simulations built through
+        ``build_exp2`` / ``build_exp6`` / ``build_exp7`` or any registered
+        recipe builder).  The file is written atomically
+        (write-temp-then-rename) with a versioned header and a SHA-256
+        state fingerprint; see :mod:`repro.snapshot`.
+        """
+        from repro.snapshot import write_snapshot
+
+        return write_snapshot(self, path)
+
+    @classmethod
+    def restore(cls, path, *, verify: bool = True) -> "Simulation":
+        """Rebuild a simulation from a snapshot file, replayed to time T.
+
+        The returned simulation is paused exactly where :meth:`snapshot`
+        left the original: rebuild from the embedded recipe, deterministic
+        replay to the snapshot time, and (unless ``verify=False``) a
+        byte-exact comparison of the replayed state fingerprint against
+        the recorded one (:class:`repro.errors.SnapshotIntegrityError` on
+        mismatch).  Continue with :meth:`step_until` / :meth:`run`.
+        """
+        from repro.snapshot import restore_simulation
+
+        return restore_simulation(path, verify=verify)
 
     def _publish_final_metrics(self, observer: Observer,
                                cache_stats: Dict[str, CacheStatistics]) -> None:

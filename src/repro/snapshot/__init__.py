@@ -1,0 +1,74 @@
+"""Checkpoint/restore of full simulator state.
+
+Deterministic snapshots of a live simulation (``write_snapshot`` /
+``restore_simulation``), checkpoint-interval planning (``SnapshotPlan``
+with Young- and Daly-optimal intervals tuned against a fault plan's
+MTBF), and crash-recoverable execution (``run_checkpointed`` /
+``resume_checkpointed``).  The invariant throughout: a run snapshotted at
+``t=T`` and restored produces byte-identical results to the uninterrupted
+run.
+"""
+
+from repro.snapshot.canonical import (
+    NONDETERMINISTIC_FIELDS,
+    canonical_json,
+    fingerprint,
+    to_jsonable,
+)
+from repro.snapshot.capture import capture_state
+from repro.snapshot.plan import (
+    SnapshotPlan,
+    daly_interval,
+    effective_mtbf,
+    young_interval,
+)
+from repro.snapshot.recipe import (
+    BUILDERS,
+    FINISHERS,
+    SimRecipe,
+    build_from_recipe,
+    finish_point,
+)
+from repro.snapshot.run import (
+    SNAPSHOT_PREFIX,
+    latest_snapshot,
+    restore_simulation,
+    resume_checkpointed,
+    run_checkpointed,
+    snapshot_path,
+    write_snapshot,
+)
+from repro.snapshot.store import (
+    FORMAT,
+    VERSION,
+    read_snapshot_doc,
+    write_snapshot_doc,
+)
+
+__all__ = [
+    "BUILDERS",
+    "FINISHERS",
+    "FORMAT",
+    "NONDETERMINISTIC_FIELDS",
+    "SNAPSHOT_PREFIX",
+    "SimRecipe",
+    "SnapshotPlan",
+    "VERSION",
+    "build_from_recipe",
+    "canonical_json",
+    "capture_state",
+    "daly_interval",
+    "effective_mtbf",
+    "fingerprint",
+    "finish_point",
+    "latest_snapshot",
+    "read_snapshot_doc",
+    "restore_simulation",
+    "resume_checkpointed",
+    "run_checkpointed",
+    "snapshot_path",
+    "to_jsonable",
+    "write_snapshot",
+    "write_snapshot_doc",
+    "young_interval",
+]

@@ -1,0 +1,114 @@
+"""Build recipes: how a snapshot rebuilds the simulation it came from.
+
+A live :class:`~repro.simulator.simulation.Simulation` is full of paused
+generators and cannot be pickled.  What *can* be stored is the recipe that
+built it — the experiment name plus its keyword parameters — because every
+experiment here is deterministic: the same recipe always produces the same
+simulation, event for event.  A snapshot therefore stores ``(recipe, t,
+state fingerprint)`` and a restore re-runs the recipe to ``t`` and checks
+the fingerprint.
+
+Experiments participate by splitting their ``run_expN`` entry point into a
+builder (returns a recipe-bound, unstarted ``Simulation``) and a finisher
+(turns the ``SimulationResult`` into the experiment's point dataclass),
+both registered below as lazy ``"module:attr"`` strings — importing this
+module pulls in no experiment code.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.errors import SnapshotError
+from repro.faults.plan import FaultPlan
+
+#: experiment name -> "module:attr" of a ``build_*(**params) -> Simulation``.
+BUILDERS: Dict[str, str] = {
+    "exp2": "repro.experiments.exp2_concurrent:build_exp2",
+    "exp6": "repro.experiments.exp6_cluster:build_exp6",
+    "exp7": "repro.experiments.exp7_trace_replay:build_exp7",
+}
+
+#: experiment name -> "module:attr" of a ``finish_*(result, **params)``.
+FINISHERS: Dict[str, str] = {
+    "exp2": "repro.experiments.exp2_concurrent:finish_exp2",
+    "exp6": "repro.experiments.exp6_cluster:finish_exp6",
+    "exp7": "repro.experiments.exp7_trace_replay:finish_exp7",
+}
+
+
+def _resolve(registry: Dict[str, str], experiment: str):
+    try:
+        target = registry[experiment]
+    except KeyError:
+        known = ", ".join(sorted(registry))
+        raise SnapshotError(
+            f"no snapshot builder registered for experiment {experiment!r} "
+            f"(known: {known})"
+        ) from None
+    module_name, _, attr = target.partition(":")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+# ------------------------------------------------------------------ params
+def encode_params(params: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON-encode recipe parameters (fault plans get a marker wrapper)."""
+    encoded: Dict[str, Any] = {}
+    for key, value in params.items():
+        if isinstance(value, FaultPlan):
+            encoded[key] = {"__fault_plan__": value.as_dict()}
+        else:
+            encoded[key] = value
+    return encoded
+
+
+def decode_params(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Invert :func:`encode_params`."""
+    decoded: Dict[str, Any] = {}
+    for key, value in data.items():
+        if isinstance(value, dict) and "__fault_plan__" in value:
+            decoded[key] = FaultPlan.from_dict(value["__fault_plan__"])
+        else:
+            decoded[key] = value
+    return decoded
+
+
+@dataclass(frozen=True)
+class SimRecipe:
+    """An experiment name plus the keyword parameters that build it."""
+
+    experiment: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def encoded(self) -> Dict[str, Any]:
+        """The JSON-able ``{"experiment", "params"}`` form."""
+        return {"experiment": self.experiment,
+                "params": encode_params(self.params)}
+
+    @classmethod
+    def decode(cls, doc: Dict[str, Any]) -> "SimRecipe":
+        """Rebuild a recipe from a snapshot document (or its subset)."""
+        return cls(experiment=doc["experiment"],
+                   params=decode_params(doc["params"]))
+
+
+def build_from_recipe(recipe: SimRecipe):
+    """Build a fresh, unstarted simulation from ``recipe``.
+
+    The builder binds the recipe to the simulation itself; this function
+    only double-checks that it did (an unbound simulation could not be
+    snapshotted again after a resume).
+    """
+    builder = _resolve(BUILDERS, recipe.experiment)
+    sim = builder(**recipe.params)
+    if sim.recipe is None:
+        sim.bind_recipe(recipe)
+    return sim
+
+
+def finish_point(recipe: SimRecipe, result):
+    """Turn a finished ``SimulationResult`` into the experiment's point."""
+    finisher = _resolve(FINISHERS, recipe.experiment)
+    return finisher(result, **recipe.params)
