@@ -67,3 +67,25 @@ class SnapshotIntegrityError(SnapshotError):
     recorded in the snapshot file — the file is corrupt, was produced by
     a different code version, or the simulation is not deterministic.
     """
+
+
+class ServiceError(SimulationError):
+    """The simulation service could not carry out a request."""
+
+
+class ServiceBackpressure(ServiceError):
+    """The service's admission queue is full — retry after a delay.
+
+    The explicit backpressure signal of the service mode: a submission
+    beyond the queue bound is *rejected*, never dropped silently or
+    queued unbounded.  ``retry_after`` suggests the client delay in
+    seconds (HTTP maps this to 429 + Retry-After).
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceDraining(ServiceError):
+    """The service is draining (or drained) and accepts no new work."""

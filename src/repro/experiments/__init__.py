@@ -56,6 +56,12 @@ from repro.experiments.exp6_cluster import (
     exp6_series,
     run_exp6,
 )
+from repro.experiments.exp10_warmstart import (
+    Exp10Result,
+    exp10_report,
+    run_exp10,
+    snapshot_branch_point,
+)
 from repro.experiments.runner import (
     PointResult,
     PointSpec,
@@ -96,6 +102,10 @@ __all__ = [
     "exp6_policy_series",
     "exp6_grid",
     "exp6_report",
+    "Exp10Result",
+    "run_exp10",
+    "exp10_report",
+    "snapshot_branch_point",
     "PointSpec",
     "PointResult",
     "SweepPointError",

@@ -72,6 +72,7 @@ EXPERIMENTS: Dict[str, Union[str, Callable[..., Any]]] = {
     "exp7": "repro.experiments.exp7_trace_replay:run_exp7",
     "exp8": "repro.experiments.exp8_policy_ablation:run_exp8",
     "exp9": "repro.experiments.exp9_failures:run_exp9",
+    "exp10": "repro.experiments.exp10_warmstart:run_exp10",
 }
 
 
@@ -213,8 +214,8 @@ class PointOptions:
     timeout:
         Wall-clock seconds one attempt of the point may run before being
         interrupted with :class:`PointTimeoutError` (``None`` = no limit).
-        Enforced with ``SIGALRM``, so it requires a Unix main thread; it
-        is silently skipped elsewhere.
+        Enforced with ``SIGALRM`` on a Unix main thread and with an
+        async-exception watchdog thread everywhere else.
     retries:
         Extra attempts after a failed one.  Every attempt runs with the
         *identical* derived seed and parameters — a retried point is a
@@ -299,11 +300,14 @@ def _describe_exception(exc: BaseException) -> Tuple[str, str, str]:
 def _wall_clock_limit(seconds: Optional[float]):
     """Interrupt the enclosed block after ``seconds`` of wall-clock time.
 
-    Uses ``SIGALRM``/``setitimer``, the only way to break out of a CPU-
-    bound simulation from within the same process.  Signals only deliver
-    to a Unix main thread; anywhere else the limit is skipped rather than
-    mis-enforced (pool workers run points on their main thread, so the
-    limit is effective exactly where it matters).
+    On a Unix main thread this uses ``SIGALRM``/``setitimer``.  Anywhere
+    else — a sweep driven from a worker thread, or a platform without
+    ``SIGALRM`` — it falls back to a watchdog thread that injects
+    :class:`PointTimeoutError` into the running thread via CPython's
+    ``PyThreadState_SetAsyncExc``, so the limit is enforced everywhere a
+    CPU-bound simulation can run.  If neither mechanism is available the
+    limit raises :class:`~repro.errors.ConfigurationError` up front
+    instead of silently running unbounded.
     """
     if seconds is None:
         yield
@@ -311,23 +315,70 @@ def _wall_clock_limit(seconds: Optional[float]):
     import signal
     import threading
 
-    if (not hasattr(signal, "SIGALRM")
-            or threading.current_thread() is not threading.main_thread()):
-        yield
+    if (hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()):
+
+        def _on_alarm(signum, frame):
+            raise PointTimeoutError(
+                f"point exceeded its wall-clock timeout of {seconds}s"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
         return
 
-    def _on_alarm(signum, frame):
-        raise PointTimeoutError(
-            f"point exceeded its wall-clock timeout of {seconds}s"
-        )
+    with _async_exc_limit(seconds):
+        yield
 
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+
+@contextmanager
+def _async_exc_limit(seconds: float):
+    """Watchdog-thread timeout for threads that cannot receive signals.
+
+    ``PyThreadState_SetAsyncExc`` schedules the exception at the target
+    thread's next bytecode boundary, which is exactly where a pure-Python
+    simulation loop spends its time.  The pending exception is cleared on
+    exit in case the watchdog fired just as the block finished.
+    """
+    import ctypes
+    import threading
+
+    api = getattr(ctypes, "pythonapi", None)
+    set_async_exc = getattr(api, "PyThreadState_SetAsyncExc", None)
+    if set_async_exc is None:
+        raise ConfigurationError(
+            "timeout= needs SIGALRM on a Unix main thread or CPython's "
+            "PyThreadState_SetAsyncExc; neither is available here — run "
+            "the sweep from the main thread or drop the timeout"
+        )
+    target = ctypes.c_ulong(threading.get_ident())
+    finished = threading.Event()
+
+    def _watchdog() -> None:
+        if finished.wait(seconds):
+            return
+        hit = set_async_exc(target, ctypes.py_object(PointTimeoutError))
+        if hit > 1:  # pragma: no cover - CPython contract: undo a misfire
+            set_async_exc(target, None)
+
+    watchdog = threading.Thread(target=_watchdog,
+                                name="point-timeout-watchdog", daemon=True)
+    watchdog.start()
     try:
         yield
+    except PointTimeoutError:
+        raise PointTimeoutError(
+            f"point exceeded its wall-clock timeout of {seconds}s"
+        ) from None
     finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+        finished.set()
+        watchdog.join()
+        set_async_exc(target, None)  # drop a not-yet-delivered injection
 
 
 def point_cache_key(spec: PointSpec, seed: Optional[int]) -> str:

@@ -10,7 +10,9 @@ trace replays verbatim.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import threading
+from collections import deque
+from typing import List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.rng import DeterministicRNG
@@ -86,3 +88,58 @@ class TraceArrivalProcess(ArrivalProcess):
 
     def __repr__(self) -> str:
         return f"<TraceArrivalProcess n={len(self.times)}>"
+
+
+class SubmissionQueue:
+    """Bounded thread-safe queue feeding a live arrival process.
+
+    The service-mode counterpart of the offline generators above: client
+    threads :meth:`offer` submissions as they arrive over the wire, and
+    the simulation worker :meth:`drain`\\ s them into the streaming
+    scheduler.  The bound is the backpressure contract — :meth:`offer`
+    never blocks and returns ``False`` when the queue is full, so the
+    caller can reject the submission explicitly (HTTP 429 + Retry-After)
+    instead of queueing unbounded work or dropping it silently.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"submission queue capacity must be positive, got {capacity}"
+            )
+        self.capacity = int(capacity)
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        #: Submissions rejected because the queue was full (backpressure).
+        self.n_rejected = 0
+        #: Submissions accepted so far.
+        self.n_accepted = 0
+
+    def offer(self, item) -> bool:
+        """Enqueue ``item`` if the bound allows; never blocks."""
+        with self._ready:
+            if len(self._items) >= self.capacity:
+                self.n_rejected += 1
+                return False
+            self._items.append(item)
+            self.n_accepted += 1
+            self._ready.notify()
+            return True
+
+    def drain(self, timeout: Optional[float] = None) -> list:
+        """Dequeue everything currently queued, in arrival order.
+
+        Blocks for up to ``timeout`` seconds (forever when ``None``) for
+        the first item; returns ``[]`` on timeout.
+        """
+        with self._ready:
+            if not self._items:
+                self._ready.wait(timeout)
+            items = list(self._items)
+            self._items.clear()
+            return items
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)

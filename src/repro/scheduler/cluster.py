@@ -15,6 +15,7 @@ the page-cache residency queries the cache-locality placement relies on.
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.des.environment import Environment
@@ -198,6 +199,13 @@ class ClusterScheduler:
         Seconds of compute progress a job loses each time it is preempted
         (checkpoint-and-requeue redoes the work since the last
         checkpoint); forwarded to the workflow executors.
+    streaming:
+        Accept submissions *while the simulation runs*: :meth:`feed` may
+        be called at any paused point and the main loop waits for new
+        work instead of terminating when it drains.  The run ends once
+        :meth:`close_stream` declares the submission stream over and all
+        accepted jobs completed.  Off by default — the batch loop is the
+        parity-pinned historical behaviour.
     """
 
     def __init__(self, env: Environment, nodes: List[NodeState],
@@ -206,6 +214,7 @@ class ClusterScheduler:
                  placement: Union[str, PlacementStrategy] = "round-robin",
                  chunk_size: Optional[float] = None,
                  lost_work_penalty: float = 0.0,
+                 streaming: bool = False,
                  name: str = "cluster-scheduler"):
         if not nodes:
             raise SchedulingError("a cluster scheduler needs at least one node")
@@ -252,6 +261,12 @@ class ClusterScheduler:
         #: to the pre-fault scheduler.
         self.fault_mode = False
         self._kick: Optional[Event] = None
+        #: Streaming mode (see the class docstring).
+        self.streaming = bool(streaming)
+        self._stream_closed = False
+        self._stream_event: Optional[Event] = None
+        #: Fed-but-not-yet-arrived jobs, a heap of (arrival_time, id, job).
+        self._stream_arrivals: List[Tuple[float, int, Job]] = []
         self._labels: set = set()
         self._next_id = 0
         self._started = False
@@ -259,10 +274,19 @@ class ClusterScheduler:
     # ------------------------------------------------------------ submission
     def submit(self, job: Job) -> Job:
         """Register a job for execution; must be called before :meth:`run`."""
+        if self.streaming:
+            return self.feed(job)
         if self._started:
             raise SchedulingError(
                 "jobs must be submitted before the simulation starts"
             )
+        self._validate(job)
+        job.id = self._next_id
+        self._next_id += 1
+        self.jobs.append(job)
+        return job
+
+    def _validate(self, job: Job) -> None:
         max_cores = max(node.total_cores for node in self.nodes)
         if job.cores > max_cores:
             raise SchedulingError(
@@ -277,10 +301,56 @@ class ClusterScheduler:
                 "give each job a unique label"
             )
         self._labels.add(job.label)
+
+    def feed(self, job: Job) -> Job:
+        """Submit a job to a streaming scheduler, possibly mid-run.
+
+        May be called before the simulation starts or at any *paused*
+        point afterwards (between :meth:`Environment.step` calls — e.g.
+        from a service loop that drives the DES via ``step_until``).  An
+        arrival time in the simulated past is clamped to ``env.now``: a
+        job cannot arrive before the instant it was fed.
+        """
+        if not self.streaming:
+            raise SchedulingError(
+                "feed() requires a streaming scheduler; use submit()"
+            )
+        if self._stream_closed:
+            raise SchedulingError(
+                "the submission stream is closed; no further jobs accepted"
+            )
+        self._validate(job)
         job.id = self._next_id
         self._next_id += 1
+        if self._started and job.arrival_time < self.env.now:
+            job.arrival_time = self.env.now
         self.jobs.append(job)
+        heapq.heappush(
+            self._stream_arrivals, (job.arrival_time, job.id, job)
+        )
+        if self._started:
+            self._wake_stream()
         return job
+
+    def close_stream(self) -> None:
+        """Declare the submission stream over.
+
+        The streaming main loop terminates once every already-accepted
+        job has completed; further :meth:`feed` calls raise.  Idempotent.
+        """
+        if not self.streaming:
+            raise SchedulingError("close_stream() requires a streaming scheduler")
+        if self._stream_closed:
+            return
+        self._stream_closed = True
+        if self._started:
+            self._wake_stream()
+
+    def _wake_stream(self) -> None:
+        """Wake the streaming main loop after a feed/close."""
+        event = self._stream_event
+        if event is not None and not event.triggered:
+            event.succeed()
 
     @property
     def total_cores(self) -> int:
@@ -306,6 +376,9 @@ class ClusterScheduler:
         job can start.
         """
         self._started = True
+        if self.streaming:
+            yield from self._run_stream()
+            return
         pending = sorted(self.jobs, key=lambda job: (job.arrival_time, job.id))
         index = 0
         # The timeout to the next arrival is reused across wake-ups (a
@@ -360,6 +433,75 @@ class ClusterScheduler:
             # after the scan, so no per-poll ``list(items())`` snapshot is
             # needed; the (usually tiny) finished list is allocated only
             # when something actually completed.
+            finished = None
+            for job_id, process in self._running_procs.items():
+                if process.is_alive:
+                    continue
+                if not process.ok:
+                    raise process.value
+                if finished is None:
+                    finished = []
+                finished.append(job_id)
+            if finished is not None:
+                for job_id in finished:
+                    del self._running_procs[job_id]
+
+    def _run_stream(self):
+        """Streaming main loop; simulation process.
+
+        Like the batch loop, but arrivals come from the :meth:`feed` heap
+        instead of a pre-sorted snapshot, and an open stream keeps the
+        loop alive even when it has nothing to do: it waits on a wake
+        event that :meth:`feed` / :meth:`close_stream` trigger.  The loop
+        exits once the stream is closed and every accepted job finished.
+        """
+        arrivals = self._stream_arrivals
+        arrival_timeout = None
+        arrival_id = -1
+
+        while (not self._stream_closed or arrivals
+               or self.queue or self._running_procs):
+            now = self.env.now
+            while arrivals and arrivals[0][0] <= now + _EPSILON:
+                self.queue.append(heapq.heappop(arrivals)[2])
+
+            self._dispatch()
+
+            observer = self.env.observer
+            if observer is not None:
+                observer.counter_sample(
+                    "scheduler.jobs", "scheduler", now,
+                    {"queued": len(self.queue),
+                     "running": len(self._running_procs)},
+                )
+
+            waits = list(self._running_procs.values())
+            if arrivals:
+                # Reuse the timeout to the next arrival across wake-ups,
+                # keyed by the head job's id (a feed may change the head).
+                head_time, head_id, _ = arrivals[0]
+                if arrival_id != head_id:
+                    arrival_timeout = self.env.timeout(max(0.0, head_time - now))
+                    arrival_id = head_id
+                waits.append(arrival_timeout)
+            if self.fault_mode:
+                kick = self._kick
+                if kick is None or kick.triggered:
+                    kick = self._kick = Event(self.env)
+                waits.append(kick)
+            if not self._stream_closed:
+                wake = self._stream_event
+                if wake is None or wake.triggered:
+                    wake = self._stream_event = Event(self.env)
+                waits.append(wake)
+            if not waits:
+                if self.queue:
+                    raise SchedulingError(
+                        f"scheduler stalled with {len(self.queue)} queued job(s)"
+                    )
+                break
+            yield self.env.any_of(waits)
+
             finished = None
             for job_id, process in self._running_procs.items():
                 if process.is_alive:

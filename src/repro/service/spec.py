@@ -1,0 +1,168 @@
+"""Wire-format job specifications for the simulation service.
+
+A :class:`JobSpec` is what a client submits over the HTTP API: a small,
+JSON-able description of one batch job — which shared dataset it reads,
+how long it computes, how many cores it wants.  The service validates the
+spec *before* appending it to the durable submission log, so every logged
+entry is guaranteed to inject cleanly on replay; the spec's dict form is
+the log's (and therefore the recovery protocol's) canonical encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.filesystem.file import File
+from repro.simulator.workflow import Task, Workflow
+from repro.units import MB
+
+#: Default size of each job's private output file.
+DEFAULT_OUTPUT_SIZE = 64 * MB
+
+#: Fields a submission body may carry (anything else is rejected loudly).
+_FIELDS = (
+    "label", "dataset", "runtime", "cores", "priority", "arrival_time",
+    "output_size",
+)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One submitted job, as it travels over the wire and into the log.
+
+    Attributes
+    ----------
+    label:
+        Unique job label (assigned by the service from the log sequence
+        number when the client omits it).
+    dataset:
+        Index into the service cluster's shared dataset pool.
+    runtime:
+        CPU seconds of the job's single compute task.
+    cores:
+        Cores reserved for the job.
+    priority:
+        Scheduling priority (higher runs first under priority policies).
+    arrival_time:
+        Requested simulated arrival; the effective arrival is
+        ``max(injection_time, arrival_time)`` — a job cannot arrive in
+        the simulated past.  ``None`` means "arrive at injection".
+    output_size:
+        Bytes of the job's private output file.
+    """
+
+    label: str
+    dataset: int
+    runtime: float
+    cores: int = 1
+    priority: int = 0
+    arrival_time: Optional[float] = None
+    output_size: float = DEFAULT_OUTPUT_SIZE
+
+    # ------------------------------------------------------------- validation
+    def validate(self, *, n_datasets: int, max_cores: int) -> None:
+        """Check the spec against the serving cluster's limits."""
+        if not self.label:
+            raise ConfigurationError("job label must be non-empty")
+        if not isinstance(self.dataset, int) or isinstance(self.dataset, bool):
+            raise ConfigurationError(
+                f"dataset must be an integer index, got {self.dataset!r}"
+            )
+        if not 0 <= self.dataset < n_datasets:
+            raise ConfigurationError(
+                f"dataset index {self.dataset} out of range "
+                f"(the service stages {n_datasets} datasets)"
+            )
+        if not self.runtime > 0:
+            raise ConfigurationError(
+                f"runtime must be > 0 seconds, got {self.runtime!r}"
+            )
+        if not isinstance(self.cores, int) or self.cores < 1:
+            raise ConfigurationError(
+                f"cores must be a positive integer, got {self.cores!r}"
+            )
+        if self.cores > max_cores:
+            raise ConfigurationError(
+                f"job needs {self.cores} cores but the largest node has "
+                f"only {max_cores}"
+            )
+        if self.arrival_time is not None and self.arrival_time < 0:
+            raise ConfigurationError(
+                f"arrival_time must be >= 0, got {self.arrival_time!r}"
+            )
+        if not self.output_size >= 0:
+            raise ConfigurationError(
+                f"output_size must be >= 0, got {self.output_size!r}"
+            )
+
+    # --------------------------------------------------------------- encoding
+    def as_dict(self) -> Dict[str, Any]:
+        """The JSON-able log encoding."""
+        return {
+            "label": self.label,
+            "dataset": self.dataset,
+            "runtime": self.runtime,
+            "cores": self.cores,
+            "priority": self.priority,
+            "arrival_time": self.arrival_time,
+            "output_size": self.output_size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], *,
+                  default_label: Optional[str] = None) -> "JobSpec":
+        """Decode a submission body / log entry; unknown keys are errors."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"a job spec must be a JSON object, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - set(_FIELDS))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown job spec field(s) {unknown}; "
+                f"accepted fields: {sorted(_FIELDS)}"
+            )
+        if "dataset" not in data or "runtime" not in data:
+            raise ConfigurationError(
+                "a job spec needs at least 'dataset' and 'runtime'"
+            )
+        label = data.get("label") or default_label
+        if label is None:
+            raise ConfigurationError("job label must be non-empty")
+        try:
+            runtime = float(data["runtime"])
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"runtime must be a number, got {data['runtime']!r}"
+            ) from None
+        arrival = data.get("arrival_time")
+        return cls(
+            label=str(label),
+            dataset=data["dataset"],
+            runtime=runtime,
+            cores=data.get("cores", 1),
+            priority=int(data.get("priority", 0)),
+            arrival_time=None if arrival is None else float(arrival),
+            output_size=float(data.get("output_size", DEFAULT_OUTPUT_SIZE)),
+        )
+
+    # ------------------------------------------------------------------ build
+    def build_workflow(self, datasets: List[File]) -> Workflow:
+        """The single-task workflow this spec describes.
+
+        ``datasets`` is the service cluster's staged pool; the job reads
+        one shared dataset, computes for ``runtime`` CPU seconds, and
+        writes a private output file.
+        """
+        workflow = Workflow(self.label)
+        workflow.add_task(
+            Task.from_cpu_time(
+                "process",
+                self.runtime,
+                inputs=[datasets[self.dataset]],
+                outputs=[File(f"{self.label}_out", self.output_size)],
+            )
+        )
+        return workflow

@@ -436,6 +436,7 @@ class Simulation:
                                  cache_mode: Optional[str] = None,
                                  chunk_size: Optional[float] = None,
                                  lost_work_penalty: float = 0.0,
+                                 streaming: bool = False,
                                  ) -> ClusterScheduler:
         """Create the batch scheduler managing the platform's compute nodes.
 
@@ -444,6 +445,12 @@ class Simulation:
         which excludes the NFS server and its ``/export`` disk).  Jobs are
         then submitted with :meth:`submit_job` and executed when
         :meth:`run` is called.
+
+        With ``streaming=True`` the scheduler accepts submissions while
+        the simulation runs (:meth:`submit_job` works at any paused
+        point) and the run only completes once
+        ``scheduler.close_stream()`` has been called — the mode
+        :mod:`repro.service` drives.
         """
         from repro.scheduler.cluster import ClusterScheduler, NodeState
 
@@ -478,6 +485,7 @@ class Simulation:
             placement=placement,
             chunk_size=chunk_size or self.config.chunk_size,
             lost_work_penalty=lost_work_penalty,
+            streaming=streaming,
         )
         return self._scheduler
 
@@ -637,12 +645,15 @@ class Simulation:
         if self._has_run:
             raise ConfigurationError("a Simulation object can only be run once")
         scheduled_jobs = self._scheduler.jobs if self._scheduler else []
-        if not self._executors and not scheduled_jobs:
+        # A streaming scheduler may legitimately start empty: jobs arrive
+        # over its lifetime via feed().
+        streaming = self._scheduler is not None and self._scheduler.streaming
+        if not self._executors and not scheduled_jobs and not streaming:
             raise ConfigurationError("no workflow or job was submitted")
         self._started = True
 
         if self.fault_plan is not None and not self.fault_plan.is_zero:
-            if self._scheduler is None or not scheduled_jobs:
+            if self._scheduler is None or not (scheduled_jobs or streaming):
                 raise ConfigurationError(
                     "a non-zero fault_plan requires a cluster scheduler "
                     "with submitted jobs"
@@ -658,7 +669,7 @@ class Simulation:
             self.env.process(executor.run(), name=f"executor:{executor.label}")
             for executor in self._executors
         ]
-        if self._scheduler is not None and scheduled_jobs:
+        if self._scheduler is not None and (scheduled_jobs or streaming):
             processes.append(
                 self.env.process(self._scheduler.run(), name="cluster-scheduler")
             )
@@ -787,7 +798,8 @@ class Simulation:
         return write_snapshot(self, path)
 
     @classmethod
-    def restore(cls, path, *, verify: bool = True) -> "Simulation":
+    def restore(cls, path, *, verify: bool = True,
+                overrides: Optional[Dict[str, object]] = None) -> "Simulation":
         """Rebuild a simulation from a snapshot file, replayed to time T.
 
         The returned simulation is paused exactly where :meth:`snapshot`
@@ -796,10 +808,16 @@ class Simulation:
         byte-exact comparison of the replayed state fingerprint against
         the recorded one (:class:`repro.errors.SnapshotIntegrityError` on
         mismatch).  Continue with :meth:`step_until` / :meth:`run`.
+
+        ``overrides`` merges recipe parameters at restore time (warm-start
+        sweeps: N policy variants branching off one snapshot); overriding
+        disables the fingerprint check, because the replayed history is
+        the variant's own, not the snapshot producer's.  See
+        :func:`repro.snapshot.restore_simulation`.
         """
         from repro.snapshot import restore_simulation
 
-        return restore_simulation(path, verify=verify)
+        return restore_simulation(path, verify=verify, overrides=overrides)
 
     def _publish_final_metrics(self, observer: Observer,
                                cache_stats: Dict[str, CacheStatistics]) -> None:

@@ -30,12 +30,15 @@ from repro.snapshot.recipe import (
     finish_point,
 )
 from repro.snapshot.run import (
+    LIVE_OVERRIDES,
     SNAPSHOT_PREFIX,
+    apply_live_overrides,
     latest_snapshot,
     restore_simulation,
     resume_checkpointed,
     run_checkpointed,
     snapshot_path,
+    warm_start_values,
     write_snapshot,
 )
 from repro.snapshot.store import (
@@ -49,11 +52,13 @@ __all__ = [
     "BUILDERS",
     "FINISHERS",
     "FORMAT",
+    "LIVE_OVERRIDES",
     "NONDETERMINISTIC_FIELDS",
     "SNAPSHOT_PREFIX",
     "SimRecipe",
     "SnapshotPlan",
     "VERSION",
+    "apply_live_overrides",
     "build_from_recipe",
     "canonical_json",
     "capture_state",
@@ -68,6 +73,7 @@ __all__ = [
     "run_checkpointed",
     "snapshot_path",
     "to_jsonable",
+    "warm_start_values",
     "write_snapshot",
     "write_snapshot_doc",
     "young_interval",

@@ -144,6 +144,20 @@ def _capture_lru(lru) -> Dict[str, Any]:
 
 
 def _capture_scheduler(scheduler) -> Dict[str, Any]:
+    data = _capture_scheduler_base(scheduler)
+    if scheduler.streaming:
+        # Streaming-only keys are added conditionally so batch-mode
+        # fingerprints (and the pinned parity goldens) stay byte-identical.
+        data["stream"] = {
+            "closed": bool(scheduler._stream_closed),
+            "pending": sorted(
+                job_id for _, job_id, _ in scheduler._stream_arrivals
+            ),
+        }
+    return data
+
+
+def _capture_scheduler_base(scheduler) -> Dict[str, Any]:
     return {
         "queue": [job.id for job in scheduler.queue],
         "jobs": {

@@ -29,6 +29,7 @@ BUILDERS: Dict[str, str] = {
     "exp2": "repro.experiments.exp2_concurrent:build_exp2",
     "exp6": "repro.experiments.exp6_cluster:build_exp6",
     "exp7": "repro.experiments.exp7_trace_replay:build_exp7",
+    "service-cluster": "repro.service.base:build_service_cluster",
 }
 
 #: experiment name -> "module:attr" of a ``finish_*(result, **params)``.
@@ -36,6 +37,7 @@ FINISHERS: Dict[str, str] = {
     "exp2": "repro.experiments.exp2_concurrent:finish_exp2",
     "exp6": "repro.experiments.exp6_cluster:finish_exp6",
     "exp7": "repro.experiments.exp7_trace_replay:finish_exp7",
+    "service-cluster": "repro.service.base:finish_service_cluster",
 }
 
 
